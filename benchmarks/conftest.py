@@ -1,0 +1,104 @@
+"""Shared fixtures and workload sizes for the benchmark suite.
+
+Every benchmark regenerates a row/series of the paper's evaluation (see
+DESIGN.md's per-experiment index).  Sizes are laptop-scale by default;
+set ``REPRO_BENCH_SCALE=large`` to get closer to paper-scale inputs, or
+``small`` for a quick smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.stobject import STObject
+from repro.io.datagen import clustered_points, random_polygons, timed_stobjects
+from repro.spark.context import SparkContext
+
+SCALES = {
+    "small": {
+        "fig4_points": 2_000,
+        "filter_points": 5_000,
+        "join_points": 3_000,
+        "join_polygons": 150,
+        "knn_points": 5_000,
+        "cluster_points": 1_500,
+    },
+    "medium": {
+        "fig4_points": 8_000,
+        "filter_points": 20_000,
+        "join_points": 10_000,
+        "join_polygons": 400,
+        "knn_points": 20_000,
+        "cluster_points": 4_000,
+    },
+    "large": {
+        "fig4_points": 50_000,
+        "filter_points": 100_000,
+        "join_points": 50_000,
+        "join_polygons": 2_000,
+        "knn_points": 100_000,
+        "cluster_points": 20_000,
+    },
+}
+
+
+@pytest.fixture(scope="session")
+def sizes() -> dict[str, int]:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "medium")
+    if scale not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+@pytest.fixture(scope="session")
+def sc():
+    context = SparkContext(app_name="bench", parallelism=4, executor="threads")
+    yield context
+    context.stop()
+
+
+@pytest.fixture(scope="session")
+def fig4_points_rdd(sc, sizes):
+    """The Figure-4 input: clustered points (the paper's 1M-point set,
+    scaled), already cached."""
+    pts = clustered_points(sizes["fig4_points"], num_clusters=10, seed=1704)
+    rdd = sc.parallelize(
+        [(STObject(p), i) for i, p in enumerate(pts)], 8
+    ).persist()
+    rdd.count()
+    return rdd
+
+
+@pytest.fixture(scope="session")
+def filter_events_rdd(sc, sizes):
+    """Timed events for the filter benchmarks."""
+    objs = list(
+        timed_stobjects(
+            clustered_points(sizes["filter_points"], num_clusters=12, seed=1705),
+            time_range=(0, 1_000_000),
+            seed=1705,
+        )
+    )
+    rdd = sc.parallelize([(o, i) for i, o in enumerate(objs)], 8).persist()
+    rdd.count()
+    return rdd
+
+
+@pytest.fixture(scope="session")
+def join_inputs(sc, sizes):
+    """(points, polygons) for the point-in-polygon join benchmarks."""
+    pts = clustered_points(sizes["join_points"], num_clusters=8, seed=1706)
+    polys = random_polygons(
+        sizes["join_polygons"], mean_radius_fraction=0.03, seed=1706
+    )
+    points_rdd = sc.parallelize(
+        [(STObject(p), i) for i, p in enumerate(pts)], 8
+    ).persist()
+    polys_rdd = sc.parallelize(
+        [(STObject(p), i) for i, p in enumerate(polys)], 4
+    ).persist()
+    points_rdd.count()
+    polys_rdd.count()
+    return points_rdd, polys_rdd

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Generate the full evaluation report in one run.
+
+Usage::
+
+    python benchmarks/run_report.py [--scale small|medium|large]
+                                    [--repeats N] [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.evaluation.report import generate_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=["small", "medium", "large"])
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--output", default=None, help="write to a file instead of stdout")
+    args = parser.parse_args()
+
+    report = generate_report(args.scale, args.repeats)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(report + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""Ablation: the three indexing modes (paper section 2.2).
+
+Live indexing rebuilds per-partition R-trees on every query; the
+persistent mode builds once and reuses -- including across programs via
+save/load.  This benchmark shows the crossover: for a single query live
+indexing pays the build without amortizing it, while a query *sequence*
+amortizes the persistent build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import filter as filter_ops
+from repro.core.predicates import INTERSECTS
+from repro.core.spatial_rdd import spatial
+from repro.core.stobject import STObject
+
+ROUNDS = 3
+
+QUERIES = [
+    STObject(
+        f"POLYGON (({x} {y}, {x + 150} {y}, {x + 150} {y + 150}, {x} {y + 150}, {x} {y}))",
+        0,
+        1_000_000,
+    )
+    for x, y in [(100, 100), (400, 400), (700, 200), (200, 700), (500, 100)]
+]
+
+
+@pytest.fixture(scope="module")
+def indexed_handle(filter_events_rdd):
+    handle = spatial(filter_events_rdd).index(order=10)
+    handle.intersects(QUERIES[0]).count()  # materialize the trees
+    return handle
+
+
+@pytest.fixture(scope="module")
+def expected_counts(filter_events_rdd):
+    return [
+        filter_ops.filter_no_index(filter_events_rdd, q, INTERSECTS).count()
+        for q in QUERIES
+    ]
+
+
+class TestIndexingModes:
+    def test_query_sequence_no_index(self, benchmark, filter_events_rdd, expected_counts):
+        counts = benchmark.pedantic(
+            lambda: [
+                filter_ops.filter_no_index(filter_events_rdd, q, INTERSECTS).count()
+                for q in QUERIES
+            ],
+            rounds=ROUNDS,
+        )
+        assert counts == expected_counts
+
+    def test_query_sequence_live_index(self, benchmark, filter_events_rdd, expected_counts):
+        counts = benchmark.pedantic(
+            lambda: [
+                filter_ops.filter_live_index(
+                    filter_events_rdd, q, INTERSECTS, order=10
+                ).count()
+                for q in QUERIES
+            ],
+            rounds=ROUNDS,
+        )
+        assert counts == expected_counts
+
+    def test_query_sequence_persistent_index(
+        self, benchmark, indexed_handle, expected_counts
+    ):
+        counts = benchmark.pedantic(
+            lambda: [indexed_handle.intersects(q).count() for q in QUERIES],
+            rounds=ROUNDS,
+        )
+        assert counts == expected_counts
+
+    def test_index_build_cost(self, benchmark, filter_events_rdd):
+        def build():
+            handle = spatial(filter_events_rdd).index(order=10)
+            handle.tree_rdd.count()  # force materialization
+            handle.tree_rdd.unpersist()
+            return handle
+
+        assert benchmark.pedantic(build, rounds=ROUNDS) is not None
+
+    @pytest.mark.parametrize("order", [4, 10, 32, 64])
+    def test_tree_order_sweep(self, benchmark, filter_events_rdd, order):
+        """The R-tree order parameter exposed by liveIndex(order=...)."""
+        count = benchmark.pedantic(
+            lambda: filter_ops.filter_live_index(
+                filter_events_rdd, QUERIES[0], INTERSECTS, order=order
+            ).count(),
+            rounds=ROUNDS,
+        )
+        assert count > 0
+
+
+class TestIndexingShape:
+    def test_persistent_beats_live_for_query_sequences(
+        self, benchmark, filter_events_rdd, indexed_handle
+    ):
+        from repro.evaluation.harness import time_call
+
+        live = time_call(
+            lambda: [
+                filter_ops.filter_live_index(
+                    filter_events_rdd, q, INTERSECTS, order=10
+                ).count()
+                for q in QUERIES
+            ],
+            repeats=2,
+        ).best
+        benchmark.pedantic(
+            lambda: [indexed_handle.intersects(q).count() for q in QUERIES],
+            rounds=2,
+        )
+        persistent = benchmark.stats.stats.min
+        print(f"\n5-query sequence: live={live:.3f}s persistent={persistent:.3f}s")
+        assert persistent < live
+
+    def test_reloaded_index_as_fast_as_fresh(
+        self, benchmark, sc, indexed_handle, expected_counts, tmp_path_factory
+    ):
+        from repro.core.spatial_rdd import IndexedSpatialRDD
+        from repro.evaluation.harness import time_call
+
+        path = str(tmp_path_factory.mktemp("bench") / "idx")
+        indexed_handle.save(path)
+        reloaded = IndexedSpatialRDD.load(sc, path)
+        counts = [reloaded.intersects(q).count() for q in QUERIES]  # warm cache
+        assert counts == expected_counts
+        fresh = time_call(
+            lambda: [indexed_handle.intersects(q).count() for q in QUERIES], repeats=2
+        ).best
+        benchmark.pedantic(
+            lambda: [reloaded.intersects(q).count() for q in QUERIES], rounds=2
+        )
+        warm = benchmark.stats.stats.min
+        assert warm < fresh * 3  # same order of magnitude

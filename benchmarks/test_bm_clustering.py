@@ -1,0 +1,98 @@
+"""spatialbm: DBSCAN clustering benchmark (partitioner comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clustering import dbscan, local_dbscan
+from repro.core.stobject import STObject
+from repro.io.datagen import clustered_points
+from repro.partitioners.bsp import BSPartitioner
+from repro.partitioners.grid import GridPartitioner
+
+ROUNDS = 3
+EPS = 12.0
+MIN_PTS = 5
+
+
+@pytest.fixture(scope="module")
+def cluster_points(sizes):
+    return clustered_points(
+        sizes["cluster_points"], num_clusters=6, seed=1708, noise_fraction=0.05
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster_rdd(sc, cluster_points):
+    rdd = sc.parallelize(
+        [(STObject(p), i) for i, p in enumerate(cluster_points)], 8
+    ).persist()
+    rdd.count()
+    return rdd
+
+
+@pytest.fixture(scope="module")
+def expected_cluster_count(cluster_points):
+    labels, _core = local_dbscan([(p.x, p.y) for p in cluster_points], EPS, MIN_PTS)
+    return len(set(l for l in labels if l >= 0))
+
+
+class TestDbscanModes:
+    def test_sequential_reference(self, benchmark, cluster_points):
+        coords = [(p.x, p.y) for p in cluster_points]
+        labels, _ = benchmark.pedantic(
+            lambda: local_dbscan(coords, EPS, MIN_PTS), rounds=ROUNDS
+        )
+        assert len(labels) == len(coords)
+
+    def test_mr_dbscan_default_partitioner(
+        self, benchmark, cluster_rdd, expected_cluster_count
+    ):
+        result = benchmark.pedantic(
+            lambda: dbscan(cluster_rdd, EPS, MIN_PTS).collect(), rounds=ROUNDS
+        )
+        labels = {label for _st, (_i, label) in result if label >= 0}
+        assert len(labels) == expected_cluster_count
+
+    def test_mr_dbscan_grid(self, benchmark, cluster_rdd, expected_cluster_count):
+        grid = GridPartitioner.from_rdd(cluster_rdd, 3)
+        result = benchmark.pedantic(
+            lambda: dbscan(cluster_rdd, EPS, MIN_PTS, partitioner=grid).collect(),
+            rounds=ROUNDS,
+        )
+        labels = {label for _st, (_i, label) in result if label >= 0}
+        assert len(labels) == expected_cluster_count
+
+    def test_mr_dbscan_bsp(
+        self, benchmark, cluster_rdd, expected_cluster_count, sizes
+    ):
+        bsp = BSPartitioner.from_rdd(
+            cluster_rdd,
+            max_cost_per_partition=max(64, sizes["cluster_points"] // 8),
+            side_length=2 * EPS,
+        )
+        result = benchmark.pedantic(
+            lambda: dbscan(cluster_rdd, EPS, MIN_PTS, partitioner=bsp).collect(),
+            rounds=ROUNDS,
+        )
+        labels = {label for _st, (_i, label) in result if label >= 0}
+        assert len(labels) == expected_cluster_count
+
+
+class TestDbscanShape:
+    def test_replication_volume_bounded(self, benchmark, sc, cluster_rdd, sizes):
+        """eps-border replication is a small fraction of the dataset."""
+        bsp = BSPartitioner.from_rdd(
+            cluster_rdd,
+            max_cost_per_partition=max(64, sizes["cluster_points"] // 8),
+            side_length=2 * EPS,
+        )
+        n = sizes["cluster_points"]
+        sc.metrics.reset()
+        benchmark.pedantic(
+            lambda: dbscan(cluster_rdd, EPS, MIN_PTS, partitioner=bsp).collect(),
+            rounds=1,
+        )
+        shuffled = sc.metrics.shuffle_records_written
+        # shuffled = points + replicas; replicas should stay well below 1x
+        assert shuffled < 2 * n

@@ -1,0 +1,98 @@
+"""spatialbm: point-in-polygon join across systems and strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GeoSparkStyle, SpatialSparkStyle
+from repro.core.join import spatial_join
+from repro.core.predicates import CONTAINED_BY
+from repro.partitioners.bsp import BSPartitioner
+
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def expected_count(join_inputs):
+    points, polys = join_inputs
+    return spatial_join(points, polys, CONTAINED_BY).count()
+
+
+class TestPointInPolygonJoin:
+    def test_stark_unpartitioned(self, benchmark, join_inputs, expected_count):
+        points, polys = join_inputs
+        count = benchmark.pedantic(
+            lambda: spatial_join(points, polys, CONTAINED_BY).count(), rounds=ROUNDS
+        )
+        assert count == expected_count
+
+    def test_stark_bsp_partitioned(self, benchmark, join_inputs, expected_count, sizes):
+        points, polys = join_inputs
+        bsp = BSPartitioner.from_rdd(
+            points, max_cost_per_partition=max(64, sizes["join_points"] // 16)
+        )
+        p_points = points.partition_by(bsp).persist()
+        p_polys = polys.partition_by(bsp).persist()
+        p_points.count()
+        p_polys.count()
+        count = benchmark.pedantic(
+            lambda: spatial_join(p_points, p_polys, CONTAINED_BY).count(),
+            rounds=ROUNDS,
+        )
+        assert count == expected_count
+
+    def test_stark_nested_loop_local_join(self, benchmark, join_inputs, expected_count):
+        points, polys = join_inputs
+        count = benchmark.pedantic(
+            lambda: spatial_join(points, polys, CONTAINED_BY, index_order=None).count(),
+            rounds=ROUNDS,
+        )
+        assert count == expected_count
+
+    def test_geospark_grid(self, benchmark, join_inputs, expected_count):
+        points, polys = join_inputs
+        engine = GeoSparkStyle()
+        count = benchmark.pedantic(
+            lambda: engine.spatial_join(
+                points, polys, CONTAINED_BY, "grid", num_cells=16
+            ).count(),
+            rounds=ROUNDS,
+        )
+        assert count == expected_count
+
+    def test_spatialspark_broadcast(self, benchmark, join_inputs, expected_count):
+        points, polys = join_inputs
+        engine = SpatialSparkStyle()
+        count = benchmark.pedantic(
+            lambda: engine.broadcast_join(points, polys, CONTAINED_BY).count(),
+            rounds=ROUNDS,
+        )
+        assert count == expected_count
+
+    def test_spatialspark_tile(self, benchmark, join_inputs, expected_count):
+        points, polys = join_inputs
+        engine = SpatialSparkStyle()
+        count = benchmark.pedantic(
+            lambda: engine.tile_join(
+                points, polys, CONTAINED_BY, tiles_per_dimension=8
+            ).count(),
+            rounds=ROUNDS,
+        )
+        assert count == expected_count
+
+
+class TestJoinShape:
+    def test_indexed_local_join_beats_nested_loop(self, benchmark, join_inputs):
+        from repro.evaluation.harness import time_call
+
+        points, polys = join_inputs
+        benchmark.pedantic(
+            lambda: spatial_join(points, polys, CONTAINED_BY, index_order=10).count(),
+            rounds=2,
+        )
+        indexed = benchmark.stats.stats.min
+        nested = time_call(
+            lambda: spatial_join(points, polys, CONTAINED_BY, index_order=None).count(),
+            repeats=2,
+        ).best
+        assert indexed < nested

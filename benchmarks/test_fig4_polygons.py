@@ -1,0 +1,114 @@
+"""Figure 4 variant: the self-join on *polygons* instead of points.
+
+The paper's micro-benchmark repository (spatialbm) carries both point
+and polygon datasets.  Polygons are where the design decisions
+actually collide: extended geometries span partition/cell borders, so
+
+- replication-based engines copy them into several cells and must
+  de-duplicate result pairs (or silently return wrong counts -- the
+  GeoSpark bug class),
+- STARK's centroid assignment keeps one copy and compensates with the
+  partition *extents* during pair selection.
+
+The assertions pin the count-correctness story; the timing rows show
+the same who-wins shape as the point benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GeoSparkStyle, SpatialSparkStyle
+from repro.core.join import spatial_join
+from repro.core.predicates import INTERSECTS
+from repro.core.stobject import STObject
+from repro.io.datagen import random_polygons
+from repro.partitioners.bsp import BSPartitioner
+
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def polygons_rdd(sc, sizes):
+    n = max(200, sizes["join_polygons"] * 2)
+    polys = random_polygons(n, mean_radius_fraction=0.02, seed=1716)
+    rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(polys)], 8).persist()
+    rdd.count()
+    return rdd
+
+
+@pytest.fixture(scope="module")
+def expected_count(polygons_rdd):
+    return spatial_join(polygons_rdd, polygons_rdd, INTERSECTS).count()
+
+
+class TestFig4Polygons:
+    def test_stark_no_partitioning(self, benchmark, polygons_rdd, expected_count):
+        count = benchmark.pedantic(
+            lambda: spatial_join(polygons_rdd, polygons_rdd, INTERSECTS).count(),
+            rounds=ROUNDS,
+        )
+        assert count == expected_count
+
+    def test_stark_bsp(self, benchmark, polygons_rdd, expected_count):
+        bsp = BSPartitioner.from_rdd(
+            polygons_rdd, max_cost_per_partition=max(32, polygons_rdd.count() // 16)
+        )
+        partitioned = polygons_rdd.partition_by(bsp).persist()
+        partitioned.count()
+        count = benchmark.pedantic(
+            lambda: spatial_join(partitioned, partitioned, INTERSECTS).count(),
+            rounds=ROUNDS,
+        )
+        assert count == expected_count
+
+    def test_geospark_grid_with_dedup(self, benchmark, polygons_rdd, expected_count):
+        engine = GeoSparkStyle()
+        count = benchmark.pedantic(
+            lambda: engine.spatial_join(
+                polygons_rdd, polygons_rdd, INTERSECTS, "grid", num_cells=16
+            ).count(),
+            rounds=ROUNDS,
+        )
+        assert count == expected_count
+
+    def test_spatialspark_tile(self, benchmark, polygons_rdd, expected_count):
+        engine = SpatialSparkStyle()
+        count = benchmark.pedantic(
+            lambda: engine.tile_join(
+                polygons_rdd, polygons_rdd, INTERSECTS, tiles_per_dimension=8
+            ).count(),
+            rounds=ROUNDS,
+        )
+        assert count == expected_count
+
+
+class TestPolygonJoinShape:
+    def test_geospark_without_dedup_overcounts(self, benchmark, polygons_rdd, expected_count):
+        """The reproduced GeoSpark bug class: skipping exact duplicate
+        elimination inflates polygon-join counts, layout-dependently."""
+        engine = GeoSparkStyle()
+        buggy = benchmark.pedantic(
+            lambda: engine.spatial_join(
+                polygons_rdd, polygons_rdd, INTERSECTS, "grid", num_cells=16,
+                buggy_duplicates=True,
+            ).count(),
+            rounds=1,
+        )
+        assert buggy > expected_count
+
+    def test_stark_needs_no_dedup_shuffle(self, benchmark, sc, polygons_rdd, expected_count):
+        """STARK's single-assignment join emits each pair once without
+        any post-join shuffle; the replication engines cannot."""
+        bsp = BSPartitioner.from_rdd(
+            polygons_rdd, max_cost_per_partition=max(32, polygons_rdd.count() // 16)
+        )
+        partitioned = polygons_rdd.partition_by(bsp).persist()
+        partitioned.count()
+        sc.metrics.reset()
+        count = benchmark.pedantic(
+            lambda: spatial_join(partitioned, partitioned, INTERSECTS).count(),
+            rounds=1,
+        )
+        assert count == expected_count
+        assert sc.metrics.shuffles_executed == 0  # join itself never shuffles

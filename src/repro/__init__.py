@@ -1,0 +1,80 @@
+"""STARK reproduction: efficient spatio-temporal event processing.
+
+A from-scratch Python reproduction of *"Efficient spatio-temporal event
+processing with STARK"* (Hagedorn & Räth, EDBT 2017), including the two
+substrates the paper builds on -- a Spark-like RDD engine
+(:mod:`repro.spark`) and a JTS-like geometry engine
+(:mod:`repro.geometry`) -- plus the STARK layer itself: the
+:class:`~repro.core.stobject.STObject` data type, spatio-temporal
+filter/join/kNN/clustering operators, spatial partitioning (grid and
+cost-based BSP) and the three indexing modes (none / live / persistent).
+
+Quickstart::
+
+    from repro import SparkContext, STObject
+
+    with SparkContext("events") as sc:
+        raw = sc.parallelize(rows)
+        events = raw.map(lambda r: (STObject(r[3], r[2]), (r[0], r[1])))
+        qry = STObject("POLYGON ((...))", begin, end)
+        contain = events.containedBy(qry)
+        intersect = events.liveIndex(order=5).intersect(qry)
+"""
+
+from repro.core import (
+    CONTAINED_BY,
+    CONTAINS,
+    INTERSECTS,
+    IndexedSpatialRDD,
+    STObject,
+    STPredicate,
+    SpatialRDDFunctions,
+    spatial,
+    within_distance_predicate,
+)
+from repro.geometry import (
+    Envelope,
+    Geometry,
+    LineString,
+    Point,
+    Polygon,
+    parse_wkt,
+)
+from repro.partitioners import (
+    BSPartitioner,
+    GridPartitioner,
+    SpatialPartitioner,
+    SpatioTemporalPartitioner,
+    TemporalRangePartitioner,
+)
+from repro.spark import RDD, SparkContext
+from repro.temporal import Instant, Interval
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSPartitioner",
+    "CONTAINED_BY",
+    "CONTAINS",
+    "Envelope",
+    "Geometry",
+    "GridPartitioner",
+    "INTERSECTS",
+    "IndexedSpatialRDD",
+    "Instant",
+    "Interval",
+    "LineString",
+    "Point",
+    "Polygon",
+    "RDD",
+    "STObject",
+    "STPredicate",
+    "SparkContext",
+    "SpatialPartitioner",
+    "SpatialRDDFunctions",
+    "SpatioTemporalPartitioner",
+    "TemporalRangePartitioner",
+    "parse_wkt",
+    "spatial",
+    "within_distance_predicate",
+]

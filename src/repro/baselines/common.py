@@ -1,0 +1,164 @@
+"""Shared machinery of the replication-based baseline engines."""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.predicates import STPredicate
+from repro.core.stobject import STObject
+from repro.geometry.envelope import Envelope
+from repro.index.rtree import STRTree
+from repro.spark.rdd import RDD, _IdentityPartitioner
+
+
+def grid_cells(universe: Envelope, cells_per_dimension: int) -> list[Envelope]:
+    """A fixed grid of cell envelopes over *universe*."""
+    if cells_per_dimension < 1:
+        raise ValueError("cells_per_dimension must be >= 1")
+    step_x = universe.width / cells_per_dimension or 1.0
+    step_y = universe.height / cells_per_dimension or 1.0
+    return [
+        Envelope(
+            universe.min_x + ix * step_x,
+            universe.min_y + iy * step_y,
+            universe.min_x + (ix + 1) * step_x,
+            universe.min_y + (iy + 1) * step_y,
+        )
+        for iy in range(cells_per_dimension)
+        for ix in range(cells_per_dimension)
+    ]
+
+
+def grid_locator(universe: Envelope, cells_per_dimension: int):
+    """O(overlap) cell lookup for a fixed grid (index arithmetic).
+
+    Returns ``locate(envelope) -> list[int]`` yielding the ids of every
+    grid cell the envelope overlaps, in the same id order as
+    :func:`grid_cells`.  Real grid partitioners route this way; a linear
+    scan over all cells would charge the baselines a cost the original
+    systems do not pay.
+    """
+    n = cells_per_dimension
+    step_x = universe.width / n or 1.0
+    step_y = universe.height / n or 1.0
+
+    def clamp(index: int) -> int:
+        return min(max(index, 0), n - 1)
+
+    def locate(env: Envelope) -> list[int]:
+        if env.is_empty:
+            return []
+        ix0 = clamp(int((env.min_x - universe.min_x) / step_x))
+        ix1 = clamp(int((env.max_x - universe.min_x) / step_x))
+        iy0 = clamp(int((env.min_y - universe.min_y) / step_y))
+        iy1 = clamp(int((env.max_y - universe.min_y) / step_y))
+        return [
+            iy * n + ix for iy in range(iy0, iy1 + 1) for ix in range(ix0, ix1 + 1)
+        ]
+
+    return locate
+
+
+def voronoi_cells(
+    sample: list[STObject], num_cells: int, seed: int
+) -> list[Envelope]:
+    """Voronoi-style cells: random seeds, cell = extent of nearest points.
+
+    GeoSpark's Voronoi partitioner, reduced to its envelope behaviour:
+    the cells it produces are summarized by the bounding boxes of the
+    points assigned to each seed (grown marginally so border objects
+    overlap at least one cell).
+    """
+    if not sample:
+        raise ValueError("cannot build voronoi cells from an empty sample")
+    rng = random.Random(seed)
+    seeds = [
+        (c.x, c.y)
+        for st in rng.sample(sample, min(num_cells, len(sample)))
+        for c in [st.geo.centroid()]
+    ]
+    extents = [Envelope.empty() for _ in seeds]
+    for st in sample:
+        c = st.geo.centroid()
+        nearest = min(
+            range(len(seeds)),
+            key=lambda i: (seeds[i][0] - c.x) ** 2 + (seeds[i][1] - c.y) ** 2,
+        )
+        extents[nearest] = extents[nearest].merge(st.geo.envelope)
+    pad = 1e-9
+    return [env.buffer(pad) for env in extents if not env.is_empty]
+
+
+def replicate_into_cells(rdd: RDD, cells: list[Envelope], locator=None) -> RDD:
+    """Copy every item into *every* cell its envelope intersects.
+
+    The core GeoSpark/SpatialSpark partitioning decision (and the
+    opposite of STARK's centroid assignment): correct without extents,
+    but each copy costs shuffle volume and the join must eliminate the
+    duplicate result pairs afterwards.  Items overlapping no cell are
+    routed to the nearest cell so nothing is silently dropped.
+
+    ``locator`` (e.g. :func:`grid_locator`) computes overlapping cell
+    ids in O(overlap); without one, cells are scanned linearly -- fine
+    for the few dozen irregular Voronoi cells, wrong for large grids.
+    """
+
+    def route(kv: tuple[STObject, object]) -> Iterator[tuple[int, tuple]]:
+        env = kv[0].geo.envelope
+        if locator is not None:
+            targets = locator(env)
+        else:
+            targets = [cid for cid, cell in enumerate(cells) if cell.intersects(env)]
+        if targets:
+            for cid in targets:
+                yield (cid, kv)
+        else:
+            center = kv[0].geo.centroid()
+            nearest = min(
+                range(len(cells)),
+                key=lambda i: cells[i].distance_to_point(center.x, center.y),
+            )
+            yield (nearest, kv)
+
+    return rdd.flat_map(route).partition_by(_IdentityPartitioner(len(cells)))
+
+
+def local_index_join(
+    cell_rdd_left: RDD,
+    cell_rdd_right: RDD,
+    predicate: STPredicate,
+    index_order: int,
+) -> RDD:
+    """Per-cell index join of two co-partitioned, cell-keyed RDDs.
+
+    Both inputs carry ``(cell_id, (STObject, V))`` rows with identical
+    partitioning; each partition joins its own cell contents.
+    """
+
+    def join_partition(split: int, it: Iterator) -> Iterator[tuple]:
+        left_rows = [kv for _cid, kv in it]
+        right_rows = [
+            kv for _cid, kv in cell_rdd_right.iterator(split)
+        ]
+        if not left_rows or not right_rows:
+            return
+        tree: STRTree = STRTree(
+            ((kv[0].geo.envelope, kv) for kv in right_rows), node_capacity=index_order
+        )
+        for left_kv in left_rows:
+            region = predicate.candidate_region(left_kv[0].geo.envelope)
+            for right_kv in tree.query(region):
+                if predicate.evaluate(left_kv[0], right_kv[0]):
+                    yield (left_kv, right_kv)
+
+    return cell_rdd_left.map_partitions_with_index(join_partition)
+
+
+def dedup_pairs(pairs: RDD) -> RDD:
+    """Global duplicate elimination of join result pairs.
+
+    The price of replication-based partitioning: a pair found in two
+    cells appears twice and must be removed with a full shuffle.
+    """
+    return pairs.distinct()

@@ -1,0 +1,85 @@
+"""A GeoSpark-style engine: replication partitioning + dedup joins.
+
+GeoSpark (Yu et al., SIGSPATIAL 2015) partitions spatially by copying
+each geometry into every partition cell its envelope overlaps, runs
+per-cell joins, and removes duplicate result pairs afterwards.  Its
+join *requires* a spatial partitioning -- the paper's Figure 4
+accordingly marks the un-partitioned GeoSpark entry "N/A", which this
+class reproduces by raising :class:`UnsupportedOperation`.
+
+``buggy_duplicates=True`` skips the duplicate-elimination step.  This
+is deliberate: the paper reports that for two of GeoSpark's
+partitioners the result *count changed between repetitions* of the same
+query -- the signature of incomplete duplicate handling, where the
+number of spurious pairs depends on the (randomized) partition layout.
+The flag lets the benchmarks demonstrate the bug class.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import common
+from repro.core.predicates import STPredicate
+from repro.geometry.envelope import Envelope
+from repro.spark.rdd import RDD
+
+
+class UnsupportedOperation(RuntimeError):
+    """The baseline does not support this configuration (paper: "N/A")."""
+
+
+class GeoSparkStyle:
+    """Replication-based spatial joins with grid or Voronoi cells."""
+
+    PARTITIONINGS = ("grid", "voronoi")
+
+    def __init__(self, index_order: int = 10) -> None:
+        self.index_order = index_order
+
+    def spatial_join(
+        self,
+        left: RDD,
+        right: RDD,
+        predicate: STPredicate,
+        partitioning: str | None = "grid",
+        num_cells: int = 16,
+        seed: int = 17,
+        buggy_duplicates: bool = False,
+    ) -> RDD:
+        """Join two ``RDD[(STObject, V)]`` the GeoSpark way.
+
+        ``num_cells`` is the total cell count (rounded to a square for
+        the grid).  Returns ``((lk, lv), (rk, rv))`` pairs.
+        """
+        if partitioning is None:
+            raise UnsupportedOperation(
+                "GeoSpark-style join requires a spatial partitioning "
+                "(the paper's Figure 4 marks this configuration N/A)"
+            )
+        cells, locator = self._build_cells(left, partitioning, num_cells, seed)
+        left_cells = common.replicate_into_cells(left, cells, locator)
+        right_cells = (
+            left_cells
+            if right is left
+            else common.replicate_into_cells(right, cells, locator)
+        )
+        pairs = common.local_index_join(
+            left_cells, right_cells, predicate, self.index_order
+        )
+        if buggy_duplicates:
+            return pairs
+        return common.dedup_pairs(pairs)
+
+    def _build_cells(self, rdd: RDD, partitioning: str, num_cells: int, seed: int):
+        """Returns (cells, locator-or-None)."""
+        if partitioning not in self.PARTITIONINGS:
+            raise ValueError(
+                f"unknown partitioning {partitioning!r}; known: {self.PARTITIONINGS}"
+            )
+        keys = rdd.keys().collect()
+        if partitioning == "voronoi":
+            return common.voronoi_cells(keys, num_cells, seed), None
+        universe = Envelope.empty()
+        for key in keys:
+            universe = universe.merge(key.geo.envelope)
+        side = max(1, round(num_cells ** 0.5))
+        return common.grid_cells(universe, side), common.grid_locator(universe, side)

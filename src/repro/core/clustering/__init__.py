@@ -1,0 +1,22 @@
+"""Density-based clustering (paper section 2.3).
+
+STARK implements DBSCAN for Spark inspired by MR-DBSCAN [He et al.]:
+
+1. points within epsilon of a partition border are *replicated* into the
+   neighbouring partitions,
+2. a local DBSCAN runs per partition in parallel,
+3. local clusterings are merged through the replicated points, which may
+   connect two local clusters into one.
+
+:func:`~repro.core.clustering.mr_dbscan.dbscan` is the public operator;
+:mod:`~repro.core.clustering.dbscan` holds the sequential algorithm it
+runs per partition (also the reference implementation the tests compare
+against), and :mod:`~repro.core.clustering.union_find` the merge
+structure.
+"""
+
+from repro.core.clustering.dbscan import NOISE, local_dbscan
+from repro.core.clustering.mr_dbscan import dbscan
+from repro.core.clustering.union_find import UnionFind
+
+__all__ = ["NOISE", "UnionFind", "dbscan", "local_dbscan"]

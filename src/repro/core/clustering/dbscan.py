@@ -1,0 +1,94 @@
+"""Sequential DBSCAN over 2D points.
+
+The per-partition algorithm of the MR-DBSCAN scheme, and the reference
+the property tests compare the distributed version against.  Neighbour
+queries go through an STR-tree (range query on the epsilon box, refined
+by exact distance), so a local run is ``O(n log n)`` for reasonable
+epsilon.
+
+DBSCAN definitions used (classic, Ester et al.):
+
+- *core point*: has at least ``min_pts`` points within ``eps``
+  (the point itself counts),
+- clusters grow from core points through density-reachability,
+- non-core points within ``eps`` of a core point join its cluster as
+  *border points* (assignment to one of several reachable clusters is
+  first-come),
+- everything else is *noise* (label :data:`NOISE`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Sequence
+
+from repro.geometry.envelope import Envelope
+from repro.index.rtree import STRTree
+
+#: Cluster label for noise points.
+NOISE = -1
+
+_UNVISITED = -2
+
+Coord = tuple[float, float]
+
+
+def local_dbscan(
+    points: Sequence[Coord], eps: float, min_pts: int
+) -> tuple[list[int], list[bool]]:
+    """Cluster *points*; returns (labels, core flags), index-aligned.
+
+    Labels are dense non-negative integers in first-discovery order,
+    or :data:`NOISE`.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if min_pts < 1:
+        raise ValueError(f"min_pts must be >= 1, got {min_pts}")
+
+    n = len(points)
+    labels = [_UNVISITED] * n
+    core = [False] * n
+    if n == 0:
+        return [], []
+
+    tree: STRTree[int] = STRTree(
+        (Envelope.of_point(x, y), i) for i, (x, y) in enumerate(points)
+    )
+
+    def neighbours(i: int) -> list[int]:
+        x, y = points[i]
+        box = Envelope(x - eps, y - eps, x + eps, y + eps)
+        return [
+            j
+            for j in tree.query(box)
+            if math.hypot(points[j][0] - x, points[j][1] - y) <= eps
+        ]
+
+    next_label = 0
+    for seed in range(n):
+        if labels[seed] != _UNVISITED:
+            continue
+        seed_neighbours = neighbours(seed)
+        if len(seed_neighbours) < min_pts:
+            labels[seed] = NOISE  # may later become a border point
+            continue
+        # Start a new cluster and expand it breadth-first.
+        label = next_label
+        next_label += 1
+        labels[seed] = label
+        core[seed] = True
+        queue = deque(seed_neighbours)
+        while queue:
+            j = queue.popleft()
+            if labels[j] == NOISE:
+                labels[j] = label  # border point adoption
+            if labels[j] != _UNVISITED:
+                continue
+            labels[j] = label
+            j_neighbours = neighbours(j)
+            if len(j_neighbours) >= min_pts:
+                core[j] = True
+                queue.extend(j_neighbours)
+    return labels, core

@@ -1,0 +1,185 @@
+"""Distributed DBSCAN: replicate -> local cluster -> merge.
+
+The operator follows the MR-DBSCAN scheme the paper describes: "points
+that are within eps-distance from the partition border are replicated
+into the respective neighbouring partitions.  In a next step a local
+clustering is performed locally and in parallel on each partition.  In
+a subsequent merge step, these local clusterings are merged using the
+replicated points, which may connect two clusters to a single one."
+
+Correctness sketch (why the result matches a sequential DBSCAN up to
+the usual border-point tie-breaking):
+
+- every pair of points within ``eps`` of each other co-occurs in at
+  least one partition: if ``p`` lives in partition ``A``, any ``q``
+  within ``eps`` of ``p`` is within ``eps`` of ``A``'s bounds and is
+  therefore replicated into ``A``;
+- consequently a point's neighbourhood is *complete* in its home
+  partition, so home-partition core flags are exact (replica core flags
+  can only be understated, which is conservative);
+- two local clusters merge iff they share a point that is core in at
+  least one of them -- precisely DBSCAN's density-connectivity through
+  that point; border points shared by two clusters do *not* merge them.
+
+Output labels: dense non-negative integers per final cluster;
+:data:`~repro.core.clustering.dbscan.NOISE` (-1) for noise.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator, TypeVar
+
+from repro.core.clustering.dbscan import NOISE, local_dbscan
+from repro.core.clustering.union_find import UnionFind
+from repro.core.stobject import STObject
+from repro.partitioners.base import SpatialPartitioner
+from repro.partitioners.bsp import BSPartitioner
+from repro.spark.rdd import RDD, _IdentityPartitioner
+
+V = TypeVar("V")
+
+
+def _default_partitioner(keys: list[STObject], eps: float) -> SpatialPartitioner:
+    """A BSP partitioner sized for clustering.
+
+    The cost threshold targets a handful of partitions per available
+    core; the granularity floor keeps cells from becoming thinner than
+    the replication band (which would only inflate replication volume,
+    not break correctness).
+    """
+    max_cost = max(64, len(keys) // 8)
+    return BSPartitioner(keys, max_cost_per_partition=max_cost, side_length=2 * eps)
+
+
+def dbscan(
+    rdd: RDD,
+    eps: float,
+    min_pts: int,
+    partitioner: SpatialPartitioner | None = None,
+) -> RDD:
+    """Cluster an ``RDD[(STObject, V)]``; geometry centroids are the points.
+
+    Returns an ``RDD[(STObject, (V, label))]`` in which every input row
+    appears exactly once.  Rows stay in their home partition, so the
+    output remains spatially partitioned.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    if min_pts < 1:
+        raise ValueError(f"min_pts must be >= 1, got {min_pts}")
+
+    context = rdd.context
+    if partitioner is None:
+        if isinstance(rdd.partitioner, SpatialPartitioner):
+            partitioner = rdd.partitioner
+        else:
+            partitioner = _default_partitioner(rdd.keys().collect(), eps)
+    part = partitioner
+    num_partitions = part.num_partitions
+
+    # -- step 0: stable ids, replication assignments -----------------------
+    indexed = rdd.zip_with_index()
+
+    def assign(row: tuple[tuple[STObject, V], int]) -> Iterator[tuple[int, tuple]]:
+        (key, value), gid = row
+        centroid = key.geo.centroid()
+        home = part.partition_of_point(centroid.x, centroid.y)
+        targets = set(
+            part.partitions_within_distance(
+                centroid.x, centroid.y, eps, use_extent=False
+            )
+        )
+        targets.add(home)  # a clamped out-of-universe point still needs its home
+        shared = len(targets) > 1
+        for pid in targets:
+            native = pid == home
+            payload = (key, value) if native else None
+            yield (pid, (gid, centroid.x, centroid.y, native, shared, payload))
+
+    routed = indexed.flat_map(assign).partition_by(
+        _IdentityPartitioner(num_partitions)
+    )
+
+    # -- step 1: local DBSCAN per partition ---------------------------------
+    def run_local(split: int, it: Iterator[tuple[int, tuple]]) -> Iterator[tuple]:
+        rows = [record for _pid, record in it]
+        points = [(x, y) for _gid, x, y, _n, _s, _p in rows]
+        labels, core = local_dbscan(points, eps, min_pts)
+        cluster_count = max(labels, default=NOISE) + 1
+        yield ("C", split, cluster_count)
+        for row, label, is_core in zip(rows, labels, core):
+            gid, _x, _y, native, shared, payload = row
+            if native:
+                yield ("N", gid, split, label, payload)
+            if shared:
+                yield ("S", gid, split, label, is_core)
+
+    local = routed.map_partitions_with_index(run_local).persist()
+
+    # -- step 2: merge on the driver ----------------------------------------
+    counts = dict(
+        local.filter(lambda r: r[0] == "C").map(lambda r: (r[1], r[2])).collect()
+    )
+    base = [0] * num_partitions
+    running = 0
+    for pid in range(num_partitions):
+        base[pid] = running
+        running += counts.get(pid, 0)
+    total_clusters = running
+
+    shared_rows = (
+        local.filter(lambda r: r[0] == "S").map(lambda r: r[1:]).collect()
+    )
+    by_gid: dict[int, list[tuple[int, int, bool]]] = defaultdict(list)
+    for gid, pid, label, is_core in shared_rows:
+        by_gid[gid].append((pid, label, is_core))
+
+    uf = UnionFind(range(total_clusters))
+    adoption: dict[int, int] = {}
+    for gid, occurrences in by_gid.items():
+        clustered = [
+            (base[pid] + label, is_core)
+            for pid, label, is_core in occurrences
+            if label != NOISE
+        ]
+        # Density connection: occurrences sharing this point merge when
+        # the point is core in at least one of the two clusters.
+        for i in range(len(clustered)):
+            for j in range(i + 1, len(clustered)):
+                if clustered[i][1] or clustered[j][1]:
+                    uf.union(clustered[i][0], clustered[j][0])
+        if clustered:
+            # A point that is noise at home but clustered elsewhere is a
+            # border point of that remote cluster: adopt (deterministic
+            # pick: smallest preliminary id).
+            adoption[gid] = min(g for g, _c in clustered)
+
+    # Dense final labels, stable across runs: roots in ascending order.
+    resolution = [uf.find(g) for g in range(total_clusters)]
+    dense: dict[int, int] = {}
+    for root in resolution:
+        if root not in dense:
+            dense[root] = len(dense)
+    final_of = [dense[root] for root in resolution]
+
+    final_broadcast = context.broadcast((final_of, adoption, base))
+
+    # -- step 3: relabel native rows ------------------------------------------
+    def relabel(row: tuple) -> tuple[STObject, tuple[V, int]]:
+        _tag, gid, pid, label, payload = row
+        final_of_, adoption_, base_ = final_broadcast.value
+        if label != NOISE:
+            final = final_of_[base_[pid] + label]
+        elif gid in adoption_:
+            final = final_of_[adoption_[gid]]
+        else:
+            final = NOISE
+        key, value = payload
+        return (key, (value, final))
+
+    result = local.filter(lambda r: r[0] == "N").map(relabel)
+    # Native rows never left their home partition, so the spatial
+    # partitioner still describes the layout.
+    result.partitioner = part
+    return result

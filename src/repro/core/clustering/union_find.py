@@ -1,0 +1,63 @@
+"""Disjoint sets with union by rank and path compression."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind:
+    """A disjoint-set forest over arbitrary hashable elements.
+
+    Elements are added implicitly on first use.
+    """
+
+    def __init__(self, elements: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._rank: dict[T, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: T) -> None:
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def find(self, element: T) -> T:
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the sets of *a* and *b*; returns the new root."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        return root_a
+
+    def connected(self, a: T, b: T) -> bool:
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> dict[T, list[T]]:
+        """Root -> members mapping for every known element."""
+        out: dict[T, list[T]] = {}
+        for element in self._parent:
+            out.setdefault(self.find(element), []).append(element)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._parent

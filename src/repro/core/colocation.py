@@ -1,0 +1,109 @@
+"""Co-location pattern mining (paper section 4).
+
+The demo scenarios include "clustering/co-location" analyses over
+event data.  This operator implements the standard participation-index
+measure (Shekhar & Huang): for every pair of event categories (A, B),
+
+- a *neighbour pair* is an A-event and a B-event within ``distance`` of
+  each other (spatio-temporally, via the combined semantics),
+- the participation ratio ``pr(A)`` is the fraction of A-events that
+  appear in at least one such pair,
+- the participation index ``pi(A, B) = min(pr(A), pr(B))`` -- high when
+  *both* categories are usually found together.
+
+Input: ``RDD[(STObject, category)]``.  Output: a driver-side list of
+:class:`ColocationPattern`, sorted by participation index, descending.
+The neighbour pairs come from a ``withinDistance`` spatial join, so
+spatial partitioning of the input speeds this up like any other join.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.join import spatial_join
+from repro.core.predicates import within_distance_predicate
+from repro.spark.rdd import RDD
+
+
+@dataclass(frozen=True)
+class ColocationPattern:
+    """One category pair's co-location strength."""
+
+    category_a: Hashable
+    category_b: Hashable
+    participation_a: float
+    participation_b: float
+    pair_count: int
+
+    @property
+    def participation_index(self) -> float:
+        return min(self.participation_a, self.participation_b)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColocationPattern({self.category_a!r}, {self.category_b!r}, "
+            f"pi={self.participation_index:.3f}, pairs={self.pair_count})"
+        )
+
+
+def colocation_patterns(
+    rdd: RDD,
+    distance: float,
+    min_participation: float = 0.0,
+) -> list[ColocationPattern]:
+    """Mine co-located category pairs from ``RDD[(STObject, category)]``.
+
+    Pairs of the *same* category are excluded (auto-co-location is
+    trivially high near clusters).  Patterns below ``min_participation``
+    are dropped.  Category order within a pattern is normalized
+    (``category_a <= category_b`` by string order).
+    """
+    if distance <= 0:
+        raise ValueError(f"distance must be positive, got {distance}")
+
+    # Stable per-event identity for participation counting.
+    indexed = rdd.zip_with_index().map(
+        lambda row: (row[0][0], (row[1], row[0][1]))  # (STObject, (gid, category))
+    ).persist()
+
+    totals: dict[Hashable, int] = defaultdict(int)
+    for _gid, category in indexed.values().collect():
+        totals[category] += 1
+
+    predicate = within_distance_predicate(distance)
+    pairs = spatial_join(indexed, indexed, predicate)
+
+    def to_pair_row(match) -> tuple | None:
+        (_lk, (lgid, lcat)), (_rk, (rgid, rcat)) = match
+        if lgid >= rgid or lcat == rcat:
+            return None  # dedupe mirrored pairs; skip same-category
+        a, b = sorted((str(lcat), str(rcat)))
+        first, second = ((lcat, lgid), (rcat, rgid))
+        if str(lcat) > str(rcat):
+            first, second = second, first
+        return ((a, b), (first[1], second[1]))
+
+    pair_rows = pairs.map(to_pair_row).filter(lambda r: r is not None).collect()
+
+    participants_a: dict[tuple, set] = defaultdict(set)
+    participants_b: dict[tuple, set] = defaultdict(set)
+    counts: dict[tuple, int] = defaultdict(int)
+    for key, (gid_a, gid_b) in pair_rows:
+        participants_a[key].add(gid_a)
+        participants_b[key].add(gid_b)
+        counts[key] += 1
+
+    by_name = {str(cat): cat for cat in totals}
+    patterns = []
+    for (name_a, name_b), count in counts.items():
+        cat_a, cat_b = by_name[name_a], by_name[name_b]
+        pr_a = len(participants_a[(name_a, name_b)]) / totals[cat_a]
+        pr_b = len(participants_b[(name_a, name_b)]) / totals[cat_b]
+        pattern = ColocationPattern(cat_a, cat_b, pr_a, pr_b, count)
+        if pattern.participation_index >= min_participation:
+            patterns.append(pattern)
+    patterns.sort(key=lambda p: (-p.participation_index, str(p.category_a)))
+    return patterns

@@ -1,0 +1,140 @@
+"""Spatio-temporal filter execution (paper sections 2.1-2.2).
+
+A filter evaluates one predicate between every item of an
+``RDD[(STObject, V)]`` and a single query ``STObject``.  Execution
+composes three independent choices, matching the paper's design:
+
+1. **Partition pruning** -- when the RDD carries a
+   :class:`~repro.partitioners.base.SpatialPartitioner`, only the
+   partitions whose *extent* can satisfy the predicate are computed at
+   all (a :class:`~repro.spark.rdd.PartitionPruningRDD` hides the rest).
+2. **No indexing** -- every surviving item is checked with the exact
+   predicate (after the cheap envelope pre-test).
+3. **Live indexing** -- each partition's content is bulk-loaded into an
+   STR-tree first, the tree is queried for candidates whose bounding
+   boxes match, and the candidates are refined with the exact spatial
+   *and temporal* predicate ("during this candidate pruning step, the
+   temporal predicate is evaluated as well").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, TypeVar
+
+from repro.core.predicates import STPredicate
+from repro.core.stobject import STObject
+from repro.index.rtree import STRTree
+from repro.partitioners.base import SpatialPartitioner
+from repro.spark.rdd import RDD, PartitionPruningRDD
+
+V = TypeVar("V")
+
+
+def prune_partitions(
+    rdd: RDD, query: STObject, predicate: STPredicate
+) -> RDD:
+    """Drop partitions whose extent cannot satisfy *predicate* for *query*.
+
+    Understands spatial partitioners (prune by spatial extent), the
+    temporal-range extension (prune by temporal extent) and the
+    spatio-temporal product (prune on both axes); a no-op for anything
+    else.  Pruning is always conservative: the extent test is necessary
+    for a match, never sufficient, so no result can be lost.
+    """
+    from repro.partitioners.temporal import (
+        SpatioTemporalPartitioner,
+        TemporalRangePartitioner,
+    )
+
+    partitioner = rdd.partitioner
+    keep: list[int] | None = None
+    if isinstance(partitioner, SpatialPartitioner):
+        region = predicate.candidate_region(query.geo.envelope)
+        keep = partitioner.partitions_intersecting(region)
+    elif isinstance(partitioner, TemporalRangePartitioner):
+        # Temporally partitioned data is all timed; a query without a
+        # temporal component can never match (eqs. (1)-(3)), so every
+        # partition prunes away.
+        keep = (
+            partitioner.partitions_intersecting(query.time)
+            if query.time is not None
+            else []
+        )
+    elif isinstance(partitioner, SpatioTemporalPartitioner):
+        if query.time is None:
+            keep = []  # all members are timed; an untimed query never matches
+        else:
+            region = predicate.candidate_region(query.geo.envelope)
+            keep = partitioner.partitions_intersecting(region, query.time)
+    if keep is None or len(keep) == rdd.num_partitions:
+        return rdd
+    return PartitionPruningRDD(rdd, keep)
+
+
+def filter_no_index(
+    rdd: RDD, query: STObject, predicate: STPredicate, prune: bool = True
+) -> RDD:
+    """Filter by scanning every item of every surviving partition."""
+    base = prune_partitions(rdd, query, predicate) if prune else rdd
+    query_env = query.geo.envelope
+
+    def keep(kv: tuple[STObject, V]) -> bool:
+        key = kv[0]
+        return predicate.envelope_test(
+            key.geo.envelope, query_env
+        ) and predicate.evaluate(key, query)
+
+    return base.filter(keep)
+
+
+def filter_live_index(
+    rdd: RDD,
+    query: STObject,
+    predicate: STPredicate,
+    order: int = 10,
+    prune: bool = True,
+) -> RDD:
+    """Filter with live indexing: build, query, refine -- per partition."""
+    base = prune_partitions(rdd, query, predicate) if prune else rdd
+    region = predicate.candidate_region(query.geo.envelope)
+
+    def run_partition(it: Iterator[tuple[STObject, V]]) -> Iterator[tuple[STObject, V]]:
+        tree: STRTree[tuple[STObject, V]] = STRTree(
+            ((kv[0].geo.envelope, kv) for kv in it), node_capacity=order
+        )
+        # Candidates match on bounding boxes only; refinement applies the
+        # exact spatial predicate and the temporal predicate.
+        for kv in tree.query(region):
+            if predicate.evaluate(kv[0], query):
+                yield kv
+
+    return base.map_partitions(run_partition, preserves_partitioning=True)
+
+
+def filter_indexed(
+    index_rdd: RDD,
+    query: STObject,
+    predicate: STPredicate,
+    partitioner: SpatialPartitioner | None = None,
+) -> RDD:
+    """Filter an RDD of per-partition STR-trees (persistent index mode).
+
+    ``index_rdd`` holds one :class:`STRTree` per partition whose entries
+    are ``(STObject, V)`` pairs.  When the partitioner that produced the
+    trees is supplied, partition pruning applies before any tree is
+    opened.
+    """
+    region = predicate.candidate_region(query.geo.envelope)
+    base = index_rdd
+    if partitioner is not None:
+        keep = partitioner.partitions_intersecting(region)
+        if len(keep) < index_rdd.num_partitions:
+            base = PartitionPruningRDD(index_rdd, keep)
+
+    def run_partition(trees: Iterator[STRTree]) -> Iterator[tuple[STObject, V]]:
+        for tree in trees:
+            for kv in tree.query(region):
+                if predicate.evaluate(kv[0], query):
+                    yield kv
+
+    return base.map_partitions(run_partition, preserves_partitioning=True)

@@ -1,0 +1,177 @@
+"""Spatio-temporal join (paper section 2.3).
+
+``spatial_join(left, right, predicate)`` emits every pair
+``((lk, lv), (rk, rv))`` with ``predicate(lk, rk)`` true.  Execution:
+
+- **Partition-pair enumeration.**  Every (left partition, right
+  partition) pair whose *actual extents* (the merged envelopes of the
+  partitions' members, computed in one cheap pass) can satisfy the
+  predicate becomes one join task.  Without spatial partitioning the
+  extents are unconstrained and all ``n x m`` pairs run -- the paper's
+  "no partitioning" configuration.  With a good spatial partitioner
+  the pair list collapses to near-diagonal, which is exactly where the
+  Figure-4 speed-up comes from.
+- **Local join.**  Each task bulk-loads the right block into an
+  STR-tree (live indexing), probes it with every left item's candidate
+  region and refines candidates with the exact predicate.  With
+  ``index_order=None`` a nested loop with envelope pre-test runs
+  instead.
+
+Because STARK assigns each item to exactly one partition (centroid
+assignment, no replication), every qualifying pair is produced by
+exactly one task: no duplicate elimination is needed -- one of the
+design differences to the replication-based baselines that the
+benchmarks ablate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, TypeVar
+
+from repro.core.predicates import STPredicate
+from repro.core.stobject import STObject
+from repro.geometry.envelope import Envelope
+from repro.index.rtree import STRTree
+from repro.spark.rdd import RDD
+
+V = TypeVar("V")
+W = TypeVar("W")
+
+
+def partition_extents(rdd: RDD) -> list[Envelope]:
+    """The merged envelope of each partition's member geometries."""
+
+    def extent(it: Iterator[tuple[STObject, V]]) -> Envelope:
+        env = Envelope.empty()
+        for key, _value in it:
+            env = env.merge(key.geo.envelope)
+        return env
+
+    return rdd.context.run_job(rdd, extent)
+
+
+def candidate_partition_pairs(
+    left_extents: list[Envelope],
+    right_extents: list[Envelope],
+    predicate: STPredicate,
+) -> list[tuple[int, int]]:
+    """All (i, j) pairs whose extents can hold a qualifying pair.
+
+    The test -- left extent intersects the candidate region of the right
+    extent -- is necessary for every supported predicate: intersecting,
+    containing or near geometries always have intersecting (or, for
+    withinDistance, buffered-intersecting) envelopes, and extents cover
+    the members' envelopes.  Empty partitions never pair.
+    """
+    pairs: list[tuple[int, int]] = []
+    regions = [predicate.candidate_region(env) for env in right_extents]
+    for i, left_env in enumerate(left_extents):
+        if left_env.is_empty:
+            continue
+        for j, region in enumerate(regions):
+            if right_extents[j].is_empty:
+                continue
+            if left_env.intersects(region):
+                pairs.append((i, j))
+    return pairs
+
+
+class SpatialJoinRDD(RDD[tuple]):
+    """One partition per surviving (left, right) partition pair.
+
+    With live indexing, the right side's per-partition STR-trees are
+    built through a cached tree RDD, so each right partition is indexed
+    exactly **once** no matter how many left partitions pair with it --
+    the same reuse STARK gets from indexing the right relation before
+    the join rather than inside every task.
+    """
+
+    def __init__(
+        self,
+        left: RDD,
+        right: RDD,
+        predicate: STPredicate,
+        pairs: list[tuple[int, int]],
+        index_order: int | None,
+    ) -> None:
+        super().__init__(left.context, [left, right])
+        self._left = left
+        self._right = right
+        self._predicate = predicate
+        self._pairs = pairs
+        self._index_order = index_order
+        if index_order is not None:
+            order = index_order
+
+            def build_tree(it: Iterator) -> Iterator[STRTree]:
+                yield STRTree(
+                    ((kv[0].geo.envelope, kv) for kv in it), node_capacity=order
+                )
+
+            self._right_trees = right.map_partitions(
+                build_tree, preserves_partitioning=True
+            ).persist()
+        else:
+            self._right_trees = None
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._pairs)
+
+    def compute(self, split: int) -> Iterator[tuple]:
+        left_split, right_split = self._pairs[split]
+        predicate = self._predicate
+
+        if self._right_trees is not None:
+            tree: STRTree = next(self._right_trees.iterator(right_split))
+            if len(tree) == 0:
+                return
+            for left_kv in self._left.iterator(left_split):
+                region = predicate.candidate_region(left_kv[0].geo.envelope)
+                for right_kv in tree.query(region):
+                    if predicate.evaluate(left_kv[0], right_kv[0]):
+                        yield (left_kv, right_kv)
+        else:
+            right_block = list(self._right.iterator(right_split))
+            if not right_block:
+                return
+            for left_kv in self._left.iterator(left_split):
+                left_env = left_kv[0].geo.envelope
+                for right_kv in right_block:
+                    if predicate.envelope_test(
+                        left_env, right_kv[0].geo.envelope
+                    ) and predicate.evaluate(left_kv[0], right_kv[0]):
+                        yield (left_kv, right_kv)
+
+
+def spatial_join(
+    left: RDD,
+    right: RDD,
+    predicate: STPredicate,
+    index_order: int | None = 10,
+    prune_pairs: bool = True,
+) -> RDD:
+    """Join two ``RDD[(STObject, V)]`` on a spatio-temporal predicate.
+
+    ``index_order`` enables live indexing of the right blocks (the
+    usual mode); ``None`` selects the nested-loop local join.  With
+    ``prune_pairs=False`` every partition pair is evaluated regardless
+    of extents (the ablation knob for measuring what extent-based pair
+    pruning is worth).
+    """
+    if prune_pairs:
+        left_extents = partition_extents(left)
+        right_extents = (
+            left_extents if right is left else partition_extents(right)
+        )
+        pairs = candidate_partition_pairs(left_extents, right_extents, predicate)
+    else:
+        pairs = [
+            (i, j)
+            for i in range(left.num_partitions)
+            for j in range(right.num_partitions)
+        ]
+    left.context.metrics.partitions_pruned += (
+        left.num_partitions * right.num_partitions - len(pairs)
+    )
+    return SpatialJoinRDD(left, right, predicate, pairs, index_order)

@@ -1,0 +1,136 @@
+"""k-nearest-neighbour search (paper section 2.3).
+
+``knn(rdd, query, k)`` returns the *k* items nearest to the query's
+geometry as an ascending ``[(distance, (STObject, V)), ...]`` list.
+
+With a spatial partitioner and the Euclidean metric the search is
+two-phase, exploiting partition extents:
+
+1. scan only the query point's *home partition* and take its best k;
+2. the k-th local distance bounds the true answer, so only partitions
+   whose extent comes within that bound need to be searched; the home
+   scan is reused and the rest are pruned.
+
+When the home partition holds fewer than k items, or a custom distance
+function makes envelope bounds inadmissible, the search falls back to a
+full scan -- correctness over speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, TypeVar
+
+from repro.core.stobject import STObject
+from repro.geometry.distance import DistanceFunction, euclidean, resolve
+from repro.partitioners.base import SpatialPartitioner
+from repro.spark.rdd import RDD, PartitionPruningRDD
+
+V = TypeVar("V")
+
+KnnResult = list[tuple[float, tuple[STObject, V]]]
+
+
+def _scan(
+    rdd: RDD, query: STObject, k: int, fn: DistanceFunction
+) -> KnnResult:
+    """Exact kNN by scanning every partition of *rdd*."""
+
+    def local_best(it: Iterator[tuple[STObject, V]]) -> KnnResult:
+        return heapq.nsmallest(k, ((fn(kv[0].geo, query.geo), kv) for kv in it), key=lambda p: p[0])
+
+    per_partition = rdd.context.run_job(rdd, local_best)
+    merged = [pair for best in per_partition for pair in best]
+    return heapq.nsmallest(k, merged, key=lambda p: p[0])
+
+
+def knn(
+    rdd: RDD,
+    query: STObject,
+    k: int,
+    distance_fn: str | DistanceFunction = euclidean,
+) -> KnnResult:
+    """The *k* nearest items to *query*, ascending by distance.
+
+    Ties at the k-th distance are broken arbitrarily (one of the tied
+    items is returned), matching the usual kNN contract.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    fn = resolve(distance_fn)
+
+    partitioner = rdd.partitioner
+    if not isinstance(partitioner, SpatialPartitioner) or fn is not euclidean:
+        return _scan(rdd, query, k, fn)
+
+    centroid = query.geo.centroid()
+    home = partitioner.partition_of_point(centroid.x, centroid.y)
+    home_best = _scan(PartitionPruningRDD(rdd, [home]), query, k, fn)
+    if len(home_best) < k:
+        # Not enough local candidates to establish a bound.
+        return _scan(rdd, query, k, fn)
+
+    bound = home_best[-1][0]
+    candidates = partitioner.partitions_within_distance(
+        centroid.x, centroid.y, bound
+    )
+    others = [pid for pid in candidates if pid != home]
+    if not others:
+        return home_best
+    rest = _scan(PartitionPruningRDD(rdd, others), query, k, fn)
+    return heapq.nsmallest(k, home_best + rest, key=lambda p: p[0])
+
+
+def knn_indexed(
+    index_rdd: RDD,
+    query: STObject,
+    k: int,
+    partitioner: SpatialPartitioner | None = None,
+) -> KnnResult:
+    """kNN over an RDD of per-partition STR-trees (Euclidean metric).
+
+    Each tree answers its local top-k with exact geometry distances via
+    branch-and-bound; the driver merges the per-partition lists.  With
+    the producing *partitioner*, a home-partition pass bounds the search
+    the same way :func:`knn` does.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    centroid = query.geo.centroid()
+
+    def local_best(trees: Iterator) -> KnnResult:
+        best: KnnResult = []
+        for tree in trees:
+            best.extend(
+                tree.nearest(
+                    centroid.x,
+                    centroid.y,
+                    k,
+                    exact_distance=lambda kv: kv[0].geo.distance(query.geo),
+                )
+            )
+        return heapq.nsmallest(k, best, key=lambda p: p[0])
+
+    base = index_rdd
+    if partitioner is not None:
+        home = partitioner.partition_of_point(centroid.x, centroid.y)
+        home_best = index_rdd.context.run_job(
+            PartitionPruningRDD(index_rdd, [home]), local_best
+        )[0]
+        if len(home_best) == k:
+            bound = home_best[-1][0]
+            keep = partitioner.partitions_within_distance(
+                centroid.x, centroid.y, bound
+            )
+            others = [pid for pid in keep if pid != home]
+            if not others:
+                return home_best
+            rest_lists = index_rdd.context.run_job(
+                PartitionPruningRDD(index_rdd, others), local_best
+            )
+            merged = home_best + [p for best in rest_lists for p in best]
+            return heapq.nsmallest(k, merged, key=lambda p: p[0])
+
+    per_partition = base.context.run_job(base, local_best)
+    merged = [pair for best in per_partition for pair in best]
+    return heapq.nsmallest(k, merged, key=lambda p: p[0])

@@ -1,0 +1,186 @@
+"""Combined spatio-temporal predicates (paper eqs. (1)-(3)).
+
+The paper defines, for two STObjects ``o`` and ``p`` and a predicate
+``phi``::
+
+    phi(o, p) <=> phi_s(s(o), s(p)) and (
+        (t(o) = undef and t(p) = undef) or
+        (t(o) != undef and t(p) != undef and phi_t(t(o), t(p))))
+
+i.e. the spatial predicate must hold, and either both temporal
+components are undefined or both are defined and the temporal predicate
+holds as well.  A mixed pair (one timed, one not) never matches.
+
+:class:`STPredicate` bundles the spatial part, the temporal part and
+the envelope pre-filter used by indexes and partition pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.stobject import STObject
+from repro.geometry import predicates as geo_predicates
+from repro.geometry.base import Geometry
+from repro.geometry.distance import DistanceFunction, euclidean, resolve
+from repro.geometry.envelope import Envelope
+from repro.temporal import predicates as t_predicates
+from repro.temporal.interval import TemporalExpression
+
+SpatialPredicate = Callable[[Geometry, Geometry], bool]
+TemporalPredicate = Callable[[TemporalExpression, TemporalExpression], bool]
+EnvelopeTest = Callable[[Envelope, Envelope], bool]
+
+
+def combine(
+    spatial: SpatialPredicate,
+    temporal: TemporalPredicate,
+    item: STObject,
+    query: STObject,
+) -> bool:
+    """Evaluate the combined semantics for (item, query)."""
+    if not spatial(item.geo, query.geo):
+        return False  # clause (1) fails
+    if item.time is None and query.time is None:
+        return True  # clause (2)
+    if item.time is not None and query.time is not None:
+        return temporal(item.time, query.time)  # clause (3)
+    return False  # mixed defined/undefined never matches
+
+
+@dataclass(frozen=True)
+class STPredicate:
+    """A named spatio-temporal predicate.
+
+    ``spatial``/``temporal`` are evaluated as ``f(item, query)``.
+    ``envelope_test`` is the *necessary* (never sufficient) cheap test on
+    envelopes used to collect candidates from an R-tree or to prune
+    partitions; candidates always go through :meth:`evaluate` afterwards
+    -- the refinement step of the paper's live indexing, where the
+    temporal predicate is evaluated as well.
+
+    ``candidate_region`` maps the query envelope to the region an index
+    lookup must cover (identity except for distance predicates, which
+    buffer it).
+    """
+
+    name: str
+    spatial: SpatialPredicate
+    temporal: TemporalPredicate
+    envelope_test: EnvelopeTest
+    candidate_region: Callable[[Envelope], Envelope] = field(
+        default=lambda env: env
+    )
+
+    def evaluate(self, item: STObject, query: STObject) -> bool:
+        """Full predicate with the combined temporal semantics."""
+        return combine(self.spatial, self.temporal, item, query)
+
+    def __repr__(self) -> str:
+        return f"STPredicate({self.name})"
+
+
+def _env_intersects(item_env: Envelope, query_env: Envelope) -> bool:
+    return item_env.intersects(query_env)
+
+
+def _env_item_contains_query(item_env: Envelope, query_env: Envelope) -> bool:
+    return item_env.contains(query_env)
+
+
+def _env_query_contains_item(item_env: Envelope, query_env: Envelope) -> bool:
+    return query_env.contains(item_env)
+
+
+#: ``o intersects p``: spatial intersection + temporal intersection.
+INTERSECTS = STPredicate(
+    "intersects",
+    geo_predicates.intersects,
+    t_predicates.t_intersects,
+    _env_intersects,
+)
+
+#: ``o contains p``: the item completely contains the query.
+CONTAINS = STPredicate(
+    "contains",
+    geo_predicates.contains,
+    t_predicates.t_contains,
+    _env_item_contains_query,
+)
+
+#: ``o containedBy p``: the item lies completely within the query
+#: (the reverse operation of contains, as the paper defines it).
+CONTAINED_BY = STPredicate(
+    "containedby",
+    lambda item, query: geo_predicates.contains(query, item),
+    lambda item_t, query_t: t_predicates.t_contains(query_t, item_t),
+    _env_query_contains_item,
+)
+
+
+def within_distance_predicate(
+    max_distance: float,
+    distance_fn: str | DistanceFunction = euclidean,
+) -> STPredicate:
+    """The ``withinDistance`` predicate with a pluggable distance function.
+
+    The temporal part is intersection: two timed events are "within
+    distance" when they are near in space and their times overlap.
+
+    Envelope pruning is only *valid* for the Euclidean metric (an
+    envelope gap larger than ``max_distance`` proves the geometries are
+    farther apart).  For any other function the envelope test degrades
+    to always-true, so candidates are complete; the exact function then
+    decides.
+    """
+    if max_distance < 0:
+        raise ValueError("max_distance must be non-negative")
+    fn = resolve(distance_fn)
+    is_euclidean = fn is euclidean
+
+    def spatial(item_geo: Geometry, query_geo: Geometry) -> bool:
+        return fn(item_geo, query_geo) <= max_distance
+
+    if is_euclidean:
+        def envelope_test(item_env: Envelope, query_env: Envelope) -> bool:
+            return item_env.distance(query_env) <= max_distance
+
+        def candidate_region(query_env: Envelope) -> Envelope:
+            return query_env.buffer(max_distance)
+    else:
+        def envelope_test(item_env: Envelope, query_env: Envelope) -> bool:  # noqa: ARG001
+            return True
+
+        def candidate_region(query_env: Envelope) -> Envelope:  # noqa: ARG001
+            return Envelope(
+                float("-inf"), float("-inf"), float("inf"), float("inf")
+            )
+
+    return STPredicate(
+        f"withindistance({max_distance:g})",
+        spatial,
+        t_predicates.t_intersects,
+        envelope_test,
+        candidate_region,
+    )
+
+
+BUILTIN_PREDICATES: dict[str, STPredicate] = {
+    "intersects": INTERSECTS,
+    "contains": CONTAINS,
+    "containedby": CONTAINED_BY,
+}
+
+
+def resolve_predicate(name_or_pred: str | STPredicate) -> STPredicate:
+    """Resolve a predicate from its name, or pass an instance through."""
+    if isinstance(name_or_pred, STPredicate):
+        return name_or_pred
+    try:
+        return BUILTIN_PREDICATES[name_or_pred.lower()]
+    except (KeyError, AttributeError):
+        known = ", ".join(sorted(BUILTIN_PREDICATES))
+        raise ValueError(
+            f"unknown predicate {name_or_pred!r}; known: {known}"
+        ) from None

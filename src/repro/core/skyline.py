@@ -1,0 +1,117 @@
+"""Skyline queries over spatio-temporal events.
+
+STARK's follow-up work adds skyline processing to the framework; this
+module implements the operator for the reproduction.  Given a query
+object, every event is scored on two criteria -- spatial distance to
+the query and temporal distance to the query -- and the skyline is the
+set of events not *dominated* by any other (an event dominates another
+when it is at least as good in both criteria and strictly better in at
+least one).
+
+The classic use case from the STARK line of work: "events close to
+here and close to that date, with the best trade-offs".
+
+Distributed execution mirrors the usual pattern: a local skyline per
+partition (each partition's skyline is a superset of its contribution
+to the global one -- dominance is transitive), then a driver-side merge
+of the, typically tiny, candidate sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, TypeVar
+
+from repro.core.stobject import STObject
+from repro.spark.rdd import RDD
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class SkylineEntry:
+    """One skyline member with its two criterion values."""
+
+    spatial_distance: float
+    temporal_distance: float
+    key: STObject
+    value: object
+
+    def dominates(self, other: "SkylineEntry") -> bool:
+        """At least as good in both criteria, strictly better in one."""
+        return (
+            self.spatial_distance <= other.spatial_distance
+            and self.temporal_distance <= other.temporal_distance
+            and (
+                self.spatial_distance < other.spatial_distance
+                or self.temporal_distance < other.temporal_distance
+            )
+        )
+
+
+def _temporal_distance(item: STObject, query: STObject) -> float:
+    """Gap between temporal extents; 0 when they overlap.
+
+    Untimed items against a timed query (or vice versa) are treated as
+    maximally distant, consistent with the combined semantics where
+    mixed pairs never match exactly.
+    """
+    if item.time is None and query.time is None:
+        return 0.0
+    if item.time is None or query.time is None:
+        return float("inf")
+    if item.time.start > query.time.end:
+        return item.time.start - query.time.end
+    if query.time.start > item.time.end:
+        return query.time.start - item.time.end
+    return 0.0
+
+
+def _local_skyline(entries: list[SkylineEntry]) -> list[SkylineEntry]:
+    """Sort-based skyline: sort by one criterion, sweep the other."""
+    entries = sorted(
+        entries, key=lambda e: (e.spatial_distance, e.temporal_distance)
+    )
+    skyline: list[SkylineEntry] = []
+    best_temporal = float("inf")
+    for entry in entries:
+        # Everything earlier has spatial <= entry's; entry survives only
+        # when it improves the temporal criterion (ties on both
+        # criteria are kept: neither strictly dominates).
+        if (
+            not skyline  # the spatially best entry is never dominated
+            or entry.temporal_distance < best_temporal
+            or (
+                entry.spatial_distance == skyline[-1].spatial_distance
+                and entry.temporal_distance == skyline[-1].temporal_distance
+            )
+        ):
+            skyline.append(entry)
+            best_temporal = min(best_temporal, entry.temporal_distance)
+    return skyline
+
+
+def skyline(rdd: RDD, query: STObject | str) -> list[SkylineEntry]:
+    """The skyline of ``RDD[(STObject, V)]`` relative to *query*.
+
+    Returns entries sorted by spatial distance, ascending.  No returned
+    entry dominates another; every excluded event is dominated by some
+    returned entry.
+    """
+    query_obj = query if isinstance(query, STObject) else STObject(query)
+
+    def score_partition(it: Iterator[tuple[STObject, V]]) -> list[SkylineEntry]:
+        entries = [
+            SkylineEntry(
+                key.geo.distance(query_obj.geo),
+                _temporal_distance(key, query_obj),
+                key,
+                value,
+            )
+            for key, value in it
+        ]
+        return _local_skyline(entries)
+
+    per_partition = rdd.context.run_job(rdd, score_partition)
+    merged = [entry for part in per_partition for entry in part]
+    return _local_skyline(merged)

@@ -1,0 +1,15 @@
+"""Evaluation support: the feature comparison (paper section 3) and the
+timing harness the benchmark suite is built on."""
+
+from repro.evaluation.features import FEATURES, SYSTEMS, feature_matrix, render_feature_table
+from repro.evaluation.harness import BenchmarkResult, render_table, time_call
+
+__all__ = [
+    "BenchmarkResult",
+    "FEATURES",
+    "SYSTEMS",
+    "feature_matrix",
+    "render_feature_table",
+    "render_table",
+    "time_call",
+]

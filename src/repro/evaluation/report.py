@@ -1,0 +1,227 @@
+"""The one-shot evaluation report: every reproduced experiment, one run.
+
+:func:`generate_report` executes a compact version of the full
+benchmark suite (Figure 4, the feature table, the spatialbm micro
+benchmarks and the ablations) and renders the results as plain text --
+the "More results of the performance evaluation" companion the paper
+keeps in its GitHub repository.
+
+Entry point: ``python benchmarks/run_report.py [--scale small|medium]``.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import GeoSparkStyle, SpatialSparkStyle
+from repro.core import filter as filter_ops
+from repro.core.clustering import dbscan, local_dbscan
+from repro.core.join import spatial_join
+from repro.core.knn import knn
+from repro.core.predicates import CONTAINED_BY, INTERSECTS
+from repro.core.spatial_rdd import spatial
+from repro.core.stobject import STObject
+from repro.evaluation.features import render_feature_table
+from repro.evaluation.harness import render_table, time_call
+from repro.io.datagen import clustered_points, timed_stobjects, world_events
+from repro.partitioners.bsp import BSPartitioner
+from repro.partitioners.grid import GridPartitioner
+from repro.spark.context import SparkContext
+
+SCALES = {
+    "small": {"join": 3_000, "filter": 8_000, "cluster": 1_500},
+    "medium": {"join": 10_000, "filter": 20_000, "cluster": 4_000},
+    "large": {"join": 40_000, "filter": 80_000, "cluster": 15_000},
+}
+
+
+def _fmt(result) -> str:
+    return f"{result.best:.3f}s"
+
+
+def _figure4(sc: SparkContext, n: int, repeats: int) -> str:
+    points = clustered_points(n, num_clusters=10, seed=1704)
+    rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(points)], 8).persist()
+    rdd.count()
+    bsp = BSPartitioner.from_rdd(rdd, max_cost_per_partition=max(64, n // 16))
+    partitioned = rdd.partition_by(bsp).persist()
+    partitioned.count()
+
+    geospark, spatialspark = GeoSparkStyle(), SpatialSparkStyle()
+    rows = [
+        [
+            "GeoSpark",
+            "N/A",
+            _fmt(
+                time_call(
+                    lambda: geospark.spatial_join(
+                        rdd, rdd, INTERSECTS, "voronoi", 16
+                    ).count(),
+                    repeats=repeats,
+                )
+            )
+            + " (Voronoi)",
+        ],
+        [
+            "SpatialSpark",
+            _fmt(
+                time_call(
+                    lambda: spatialspark.broadcast_join(rdd, rdd, INTERSECTS).count(),
+                    repeats=repeats,
+                )
+            ),
+            _fmt(
+                time_call(
+                    lambda: spatialspark.tile_join(rdd, rdd, INTERSECTS, 16).count(),
+                    repeats=repeats,
+                )
+            )
+            + " (Tile)",
+        ],
+        [
+            "STARK",
+            _fmt(
+                time_call(
+                    lambda: spatial_join(rdd, rdd, INTERSECTS).count(),
+                    repeats=repeats,
+                )
+            ),
+            _fmt(
+                time_call(
+                    lambda: spatial_join(partitioned, partitioned, INTERSECTS).count(),
+                    repeats=repeats,
+                )
+            )
+            + " (BSP)",
+        ],
+    ]
+    return render_table(
+        ["system", "no partitioning", "best partitioner"],
+        rows,
+        title=f"Figure 4: self-join on {n:,} clustered points "
+        "(paper: GeoSpark N/A / 51.9s; SpatialSpark 31.1 / 95.9s; STARK 19.8 / 6.3s)",
+    )
+
+
+def _filter_suite(sc: SparkContext, n: int, repeats: int) -> str:
+    objs = list(
+        timed_stobjects(clustered_points(n, num_clusters=12, seed=1705), seed=1705)
+    )
+    rdd = sc.parallelize([(o, i) for i, o in enumerate(objs)], 8).persist()
+    rdd.count()
+    query = STObject(
+        "POLYGON ((100 100, 350 100, 350 350, 100 350, 100 100))", 0, 1_000_000
+    )
+    bsp = BSPartitioner.from_rdd(rdd, max_cost_per_partition=max(64, n // 16))
+    partitioned = rdd.partition_by(bsp).persist()
+    partitioned.count()
+    indexed = spatial(partitioned).index(order=10)
+    indexed.intersects(query).count()
+
+    rows = [
+        [
+            "scan, no partitioning",
+            _fmt(time_call(lambda: filter_ops.filter_no_index(rdd, query, CONTAINED_BY).count(), repeats=repeats)),
+        ],
+        [
+            "scan, BSP (pruned)",
+            _fmt(time_call(lambda: filter_ops.filter_no_index(partitioned, query, CONTAINED_BY).count(), repeats=repeats)),
+        ],
+        [
+            "live index, BSP",
+            _fmt(time_call(lambda: filter_ops.filter_live_index(partitioned, query, CONTAINED_BY).count(), repeats=repeats)),
+        ],
+        [
+            "persistent index, BSP",
+            _fmt(time_call(lambda: indexed.contained_by(query).count(), repeats=repeats)),
+        ],
+    ]
+    return render_table(
+        ["configuration", "time"],
+        rows,
+        title=f"spatialbm filter: containedBy window over {n:,} timed events",
+    )
+
+
+def _knn_suite(sc: SparkContext, n: int, repeats: int) -> str:
+    pts = clustered_points(n, num_clusters=10, seed=1707)
+    rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8).persist()
+    rdd.count()
+    bsp = BSPartitioner.from_rdd(rdd, max_cost_per_partition=max(64, n // 16))
+    partitioned = rdd.partition_by(bsp).persist()
+    partitioned.count()
+    query = STObject("POINT (500 500)")
+    rows = []
+    for k in (1, 10, 100):
+        rows.append(
+            [
+                str(k),
+                _fmt(time_call(lambda: knn(rdd, query, k), repeats=repeats)),
+                _fmt(time_call(lambda: knn(partitioned, query, k), repeats=repeats)),
+            ]
+        )
+    return render_table(
+        ["k", "full scan", "two-phase (BSP)"],
+        rows,
+        title=f"spatialbm kNN over {n:,} points",
+    )
+
+
+def _clustering_suite(sc: SparkContext, n: int, repeats: int) -> str:
+    pts = clustered_points(n, num_clusters=6, seed=1708, noise_fraction=0.05)
+    coords = [(p.x, p.y) for p in pts]
+    rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8).persist()
+    rdd.count()
+    eps, min_pts = 12.0, 5
+    rows = [
+        [
+            "sequential reference",
+            _fmt(time_call(lambda: local_dbscan(coords, eps, min_pts), repeats=repeats)),
+        ],
+        [
+            "MR-DBSCAN (BSP)",
+            _fmt(time_call(lambda: dbscan(rdd, eps, min_pts).collect(), repeats=repeats)),
+        ],
+    ]
+    return render_table(
+        ["mode", "time"],
+        rows,
+        title=f"spatialbm clustering: DBSCAN eps={eps} minPts={min_pts} on {n:,} points",
+    )
+
+
+def _partitioning_ablation(sc: SparkContext, n: int) -> str:
+    keys = [STObject(p) for p in world_events(n, seed=1709)]
+    grid = GridPartitioner(keys, 4)
+    bsp = BSPartitioner(keys, max_cost_per_partition=max(64, n // 16))
+    rows = [
+        ["grid 4x4", "16", f"{grid.imbalance(keys):.2f}"],
+        [
+            "cost-based BSP",
+            str(bsp.num_partitions),
+            f"{bsp.imbalance(keys):.2f}",
+        ],
+    ]
+    return render_table(
+        ["partitioner", "partitions", "imbalance (max/mean)"],
+        rows,
+        title=f"partitioning ablation on skewed world data ({n:,} events)",
+    )
+
+
+def generate_report(scale: str = "small", repeats: int = 2) -> str:
+    """Run every experiment once and render the full text report."""
+    sizes = SCALES.get(scale)
+    if sizes is None:
+        raise ValueError(f"scale must be one of {sorted(SCALES)}")
+    sections = [
+        "STARK reproduction -- evaluation report",
+        "=" * 44,
+        "",
+        render_feature_table(),
+    ]
+    with SparkContext("report", parallelism=4) as sc:
+        sections += ["", _figure4(sc, sizes["join"], repeats)]
+        sections += ["", _filter_suite(sc, sizes["filter"], repeats)]
+        sections += ["", _knn_suite(sc, sizes["filter"], repeats)]
+        sections += ["", _clustering_suite(sc, sizes["cluster"], repeats)]
+        sections += ["", _partitioning_ablation(sc, sizes["filter"])]
+    return "\n".join(sections)

@@ -1,0 +1,235 @@
+"""Low-level computational-geometry primitives.
+
+These free functions operate on bare coordinate tuples and back the exact
+predicates in :mod:`repro.geometry.predicates`.  They follow the classic
+robust-enough formulations used by JTS: orientation tests with an epsilon
+collapse, segment intersection via orientation signs, and ray-crossing
+point-in-polygon with an explicit boundary pass.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+Coord = tuple[float, float]
+
+# Tolerance for collinearity decisions.  Coordinates in this codebase are
+# "user scale" (degrees or meters), so a fixed epsilon is adequate; JTS
+# uses exact arithmetic but STARK's observable behaviour only needs the
+# predicate outcomes to be stable for non-degenerate inputs.
+_EPS = 1e-12
+
+
+def orientation(p: Coord, q: Coord, r: Coord) -> int:
+    """Sign of the cross product (q - p) x (r - p).
+
+    Returns 1 for a counter-clockwise turn, -1 for clockwise and 0 for
+    (nearly) collinear points.
+    """
+    cross = (q[0] - p[0]) * (r[1] - p[1]) - (q[1] - p[1]) * (r[0] - p[0])
+    scale = max(
+        abs(q[0] - p[0]), abs(q[1] - p[1]), abs(r[0] - p[0]), abs(r[1] - p[1]), 1.0
+    )
+    if abs(cross) <= _EPS * scale * scale:
+        return 0
+    return 1 if cross > 0 else -1
+
+
+def on_segment(p: Coord, a: Coord, b: Coord) -> bool:
+    """True when *p* lies on the closed segment ``a-b``.
+
+    Assumes nothing: collinearity is checked here as well.
+    """
+    if orientation(a, b, p) != 0:
+        return False
+    return (
+        min(a[0], b[0]) - _EPS <= p[0] <= max(a[0], b[0]) + _EPS
+        and min(a[1], b[1]) - _EPS <= p[1] <= max(a[1], b[1]) + _EPS
+    )
+
+
+def segments_intersect(a1: Coord, a2: Coord, b1: Coord, b2: Coord) -> bool:
+    """True when closed segments ``a1-a2`` and ``b1-b2`` share a point."""
+    o1 = orientation(a1, a2, b1)
+    o2 = orientation(a1, a2, b2)
+    o3 = orientation(b1, b2, a1)
+    o4 = orientation(b1, b2, a2)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    # Collinear overlap / endpoint-touch cases.
+    if o1 == 0 and on_segment(b1, a1, a2):
+        return True
+    if o2 == 0 and on_segment(b2, a1, a2):
+        return True
+    if o3 == 0 and on_segment(a1, b1, b2):
+        return True
+    if o4 == 0 and on_segment(a2, b1, b2):
+        return True
+    return False
+
+
+def segment_intersection_point(
+    a1: Coord, a2: Coord, b1: Coord, b2: Coord
+) -> Coord | None:
+    """The intersection point of two *properly* crossing segments.
+
+    Returns ``None`` for parallel or non-crossing segments; collinear
+    overlaps also return ``None`` (there is no single point).
+    """
+    d1x, d1y = a2[0] - a1[0], a2[1] - a1[1]
+    d2x, d2y = b2[0] - b1[0], b2[1] - b1[1]
+    denom = d1x * d2y - d1y * d2x
+    if abs(denom) <= _EPS:
+        return None
+    t = ((b1[0] - a1[0]) * d2y - (b1[1] - a1[1]) * d2x) / denom
+    u = ((b1[0] - a1[0]) * d1y - (b1[1] - a1[1]) * d1x) / denom
+    if -_EPS <= t <= 1 + _EPS and -_EPS <= u <= 1 + _EPS:
+        return (a1[0] + t * d1x, a1[1] + t * d1y)
+    return None
+
+
+def point_segment_distance(p: Coord, a: Coord, b: Coord) -> float:
+    """Euclidean distance from point *p* to the closed segment ``a-b``."""
+    ax, ay = a
+    bx, by = b
+    px, py = p
+    dx, dy = bx - ax, by - ay
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq <= _EPS:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
+    t = max(0.0, min(1.0, t))
+    cx, cy = ax + t * dx, ay + t * dy
+    return math.hypot(px - cx, py - cy)
+
+
+def segment_segment_distance(a1: Coord, a2: Coord, b1: Coord, b2: Coord) -> float:
+    """Minimum distance between two closed segments (0 when they intersect)."""
+    if segments_intersect(a1, a2, b1, b2):
+        return 0.0
+    return min(
+        point_segment_distance(a1, b1, b2),
+        point_segment_distance(a2, b1, b2),
+        point_segment_distance(b1, a1, a2),
+        point_segment_distance(b2, a1, a2),
+    )
+
+
+# Location of a point relative to a ring: interior / boundary / exterior.
+INTERIOR = 1
+BOUNDARY = 0
+EXTERIOR = -1
+
+
+def locate_point_in_ring(p: Coord, ring: Sequence[Coord]) -> int:
+    """Classify *p* against a closed ring given as a coordinate sequence.
+
+    The ring must be explicitly closed (``ring[0] == ring[-1]``).  Uses
+    the ray-crossing algorithm with a dedicated boundary pass so that
+    points exactly on an edge or vertex report :data:`BOUNDARY` rather
+    than an arbitrary side.
+    """
+    if len(ring) < 4:
+        raise ValueError("a closed ring needs at least 4 coordinates")
+    px, py = p
+    # Boundary pass first: crossing counts are unreliable on the boundary.
+    for i in range(len(ring) - 1):
+        if on_segment(p, ring[i], ring[i + 1]):
+            return BOUNDARY
+
+    crossings = 0
+    for i in range(len(ring) - 1):
+        x1, y1 = ring[i]
+        x2, y2 = ring[i + 1]
+        # Count edges crossed by the ray going in +x from p.  The
+        # half-open test (y1 <= py < y2 or y2 <= py < y1) ensures a
+        # vertex exactly at py is counted once.
+        if (y1 <= py < y2) or (y2 <= py < y1):
+            x_at = x1 + (py - y1) * (x2 - x1) / (y2 - y1)
+            if x_at > px:
+                crossings += 1
+    return INTERIOR if crossings % 2 == 1 else EXTERIOR
+
+
+def ring_signed_area(ring: Sequence[Coord]) -> float:
+    """Signed shoelace area; positive for counter-clockwise rings."""
+    total = 0.0
+    for i in range(len(ring) - 1):
+        x1, y1 = ring[i]
+        x2, y2 = ring[i + 1]
+        total += x1 * y2 - x2 * y1
+    return total / 2.0
+
+
+def ring_is_ccw(ring: Sequence[Coord]) -> bool:
+    """True when the closed ring winds counter-clockwise."""
+    return ring_signed_area(ring) > 0
+
+
+def ring_centroid(ring: Sequence[Coord]) -> Coord:
+    """Area centroid of a closed ring (falls back to vertex mean if degenerate)."""
+    area = ring_signed_area(ring)
+    if abs(area) <= _EPS:
+        xs = [c[0] for c in ring[:-1]]
+        ys = [c[1] for c in ring[:-1]]
+        return (sum(xs) / len(xs), sum(ys) / len(ys))
+    cx = cy = 0.0
+    for i in range(len(ring) - 1):
+        x1, y1 = ring[i]
+        x2, y2 = ring[i + 1]
+        cross = x1 * y2 - x2 * y1
+        cx += (x1 + x2) * cross
+        cy += (y1 + y2) * cross
+    factor = 1.0 / (6.0 * area)
+    return (cx * factor, cy * factor)
+
+
+def convex_hull(points: Sequence[Coord]) -> list[Coord]:
+    """Andrew's monotone chain convex hull.
+
+    Returns hull vertices in counter-clockwise order without repeating
+    the first point.  Degenerate inputs (all collinear) return the two
+    extreme points; a single point returns itself.
+    """
+    unique = sorted(set(points))
+    if len(unique) <= 2:
+        return unique
+
+    def build(half: list[Coord]) -> list[Coord]:
+        chain: list[Coord] = []
+        for p in half:
+            while len(chain) >= 2 and orientation(chain[-2], chain[-1], p) <= 0:
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = build(unique)
+    upper = build(list(reversed(unique)))
+    return lower[:-1] + upper[:-1]
+
+
+def polyline_length(coords: Sequence[Coord]) -> float:
+    """Total Euclidean length of a coordinate chain."""
+    return sum(
+        math.hypot(coords[i + 1][0] - coords[i][0], coords[i + 1][1] - coords[i][1])
+        for i in range(len(coords) - 1)
+    )
+
+
+def polyline_centroid(coords: Sequence[Coord]) -> Coord:
+    """Length-weighted centroid of a polyline (vertex mean when degenerate)."""
+    total_len = polyline_length(coords)
+    if total_len <= _EPS:
+        xs = [c[0] for c in coords]
+        ys = [c[1] for c in coords]
+        return (sum(xs) / len(xs), sum(ys) / len(ys))
+    cx = cy = 0.0
+    for i in range(len(coords) - 1):
+        x1, y1 = coords[i]
+        x2, y2 = coords[i + 1]
+        seg_len = math.hypot(x2 - x1, y2 - y1)
+        cx += (x1 + x2) / 2.0 * seg_len
+        cy += (y1 + y2) / 2.0 * seg_len
+    return (cx / total_len, cy / total_len)

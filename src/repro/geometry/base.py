@@ -1,0 +1,117 @@
+"""The abstract geometry type.
+
+Every concrete geometry implements the small protocol the rest of the
+system relies on: an :class:`~repro.geometry.envelope.Envelope`, a
+centroid (used by the spatial partitioners for single-partition
+assignment of extended geometries), and the binary predicates, which
+delegate to the double-dispatch implementations in
+:mod:`repro.geometry.predicates`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.geometry.envelope import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.geometry.point import Point
+
+
+class Geometry(ABC):
+    """Base class of all geometries.
+
+    Geometries are immutable; subclasses freeze their coordinate data at
+    construction and cache their envelope.  Equality and hashing are by
+    value so geometries can key dictionaries and be exchanged through the
+    shuffle machinery.
+    """
+
+    __slots__ = ("_envelope",)
+
+    _envelope: Envelope
+
+    @property
+    def envelope(self) -> Envelope:
+        """The cached minimum bounding rectangle."""
+        return self._envelope
+
+    @property
+    @abstractmethod
+    def geom_type(self) -> str:
+        """The WKT type tag, e.g. ``"POINT"``."""
+
+    @property
+    @abstractmethod
+    def is_empty(self) -> bool:
+        """True for geometries with no coordinates (e.g. ``POINT EMPTY``)."""
+
+    @abstractmethod
+    def centroid(self) -> "Point":
+        """The geometry's centroid.
+
+        STARK assigns non-point geometries to exactly one partition based
+        on this point (paper section 2.1).
+        """
+
+    @abstractmethod
+    def coordinates(self) -> list[tuple[float, float]]:
+        """A flat list of every vertex (used for envelope/extent updates)."""
+
+    # -- binary predicates (double dispatch into predicates module) ------
+
+    def intersects(self, other: "Geometry") -> bool:
+        """True when the two geometries share at least one point."""
+        from repro.geometry import predicates
+
+        return predicates.intersects(self, other)
+
+    def contains(self, other: "Geometry") -> bool:
+        """True when *other* lies completely within this geometry."""
+        from repro.geometry import predicates
+
+        return predicates.contains(self, other)
+
+    def within(self, other: "Geometry") -> bool:
+        """True when this geometry lies completely within *other*."""
+        from repro.geometry import predicates
+
+        return predicates.contains(other, self)
+
+    def disjoint(self, other: "Geometry") -> bool:
+        """True when the geometries share no point."""
+        return not self.intersects(other)
+
+    def touches(self, other: "Geometry") -> bool:
+        """True for boundary-only contact (interiors stay apart)."""
+        from repro.geometry import predicates_ext
+
+        return predicates_ext.touches(self, other)
+
+    def overlaps(self, other: "Geometry") -> bool:
+        """True for a partial same-dimension overlap."""
+        from repro.geometry import predicates_ext
+
+        return predicates_ext.overlaps(self, other)
+
+    def crosses(self, other: "Geometry") -> bool:
+        """True when interiors meet in a lower-dimensional set."""
+        from repro.geometry import predicates_ext
+
+        return predicates_ext.crosses(self, other)
+
+    def distance(self, other: "Geometry") -> float:
+        """Minimum Euclidean distance between the two geometries."""
+        from repro.geometry import predicates
+
+        return predicates.distance(self, other)
+
+    def wkt(self) -> str:
+        """This geometry's Well-Known Text representation."""
+        from repro.geometry.wkt import to_wkt
+
+        return to_wkt(self)
+
+    def __repr__(self) -> str:
+        return self.wkt()

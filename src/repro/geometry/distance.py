@@ -1,0 +1,94 @@
+"""Distance functions for ``withinDistance`` and kNN.
+
+STARK lets users pass their own distance function to ``withinDistance``
+(paper section 2.3); this module provides the out-of-the-box functions
+and the tiny protocol they follow: a callable taking two geometries and
+returning a non-negative float.
+
+The great-circle (haversine) function interprets coordinates as
+longitude/latitude degrees and works on centroids for non-point
+geometries -- the same pragmatic behaviour STARK inherits from its
+distance helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.geometry.base import Geometry
+from repro.geometry.point import Point
+
+DistanceFunction = Callable[[Geometry, Geometry], float]
+
+EARTH_RADIUS_METERS = 6_371_008.8
+
+
+def euclidean(a: Geometry, b: Geometry) -> float:
+    """Minimum Euclidean distance between the two geometries."""
+    return a.distance(b)
+
+
+def squared_euclidean(a: Geometry, b: Geometry) -> float:
+    """Squared Euclidean distance (monotone in :func:`euclidean`).
+
+    Cheaper when only the ordering matters, e.g. for kNN ranking.
+    """
+    d = a.distance(b)
+    return d * d
+
+
+def manhattan(a: Geometry, b: Geometry) -> float:
+    """L1 distance between centroids."""
+    ca, cb = _centroids(a, b)
+    return abs(ca.x - cb.x) + abs(ca.y - cb.y)
+
+
+def chebyshev(a: Geometry, b: Geometry) -> float:
+    """L-infinity distance between centroids."""
+    ca, cb = _centroids(a, b)
+    return max(abs(ca.x - cb.x), abs(ca.y - cb.y))
+
+
+def haversine(a: Geometry, b: Geometry) -> float:
+    """Great-circle distance in meters between centroids.
+
+    Coordinates are interpreted as ``(longitude, latitude)`` in degrees.
+    """
+    ca, cb = _centroids(a, b)
+    lon1, lat1 = math.radians(ca.x), math.radians(ca.y)
+    lon2, lat2 = math.radians(cb.x), math.radians(cb.y)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2) ** 2
+    return 2 * EARTH_RADIUS_METERS * math.asin(min(1.0, math.sqrt(h)))
+
+
+def _centroids(a: Geometry, b: Geometry) -> tuple[Point, Point]:
+    ca = a if isinstance(a, Point) else a.centroid()
+    cb = b if isinstance(b, Point) else b.centroid()
+    if ca.is_empty or cb.is_empty:
+        raise ValueError("distance undefined for empty geometries")
+    return ca, cb
+
+
+BUILTIN_DISTANCE_FUNCTIONS: dict[str, DistanceFunction] = {
+    "euclidean": euclidean,
+    "squared_euclidean": squared_euclidean,
+    "manhattan": manhattan,
+    "chebyshev": chebyshev,
+    "haversine": haversine,
+}
+
+
+def resolve(name_or_fn: str | DistanceFunction) -> DistanceFunction:
+    """Resolve a distance function from a name or pass a callable through."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return BUILTIN_DISTANCE_FUNCTIONS[name_or_fn]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_DISTANCE_FUNCTIONS))
+        raise ValueError(
+            f"unknown distance function {name_or_fn!r}; known: {known}"
+        ) from None

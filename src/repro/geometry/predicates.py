@@ -1,0 +1,448 @@
+"""Exact binary predicates over geometries.
+
+The functions here implement JTS-compatible semantics for the predicate
+set STARK exposes:
+
+- :func:`intersects` -- the geometries share at least one point,
+- :func:`contains`   -- ``b`` lies within ``a`` and touches ``a``'s
+  interior (JTS ``contains``: a polygon does *not* contain a point that
+  only lies on its boundary),
+- :func:`covers`     -- like contains but boundary contact suffices,
+- :func:`distance`   -- minimum Euclidean distance (0 when intersecting).
+
+Every function starts with an envelope test so callers can pass
+arbitrary geometries without pre-filtering.  Dispatch is by geometry
+type pair; collections distribute over their members.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.geometry import algorithms
+from repro.geometry.algorithms import BOUNDARY, EXTERIOR, INTERIOR
+from repro.geometry.base import Geometry
+from repro.geometry.linestring import LineString
+from repro.geometry.multi import _BaseCollection
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+Coord = tuple[float, float]
+
+
+# ---------------------------------------------------------------------------
+# intersects
+# ---------------------------------------------------------------------------
+
+
+def intersects(a: Geometry, b: Geometry) -> bool:
+    """True when *a* and *b* share at least one point."""
+    if a.is_empty or b.is_empty:
+        return False
+    if not a.envelope.intersects(b.envelope):
+        return False
+    return _dispatch_symmetric(a, b, _INTERSECTS_TABLE)
+
+
+def _point_point_intersects(a: Point, b: Point) -> bool:
+    return a.coord == b.coord
+
+
+def _point_line_intersects(p: Point, line: LineString) -> bool:
+    return any(algorithms.on_segment(p.coord, s, e) for s, e in line.segments())
+
+
+def _point_polygon_intersects(p: Point, poly: Polygon) -> bool:
+    return poly.locate(p.x, p.y) != EXTERIOR
+
+
+def _line_line_intersects(a: LineString, b: LineString) -> bool:
+    for s1, e1 in a.segments():
+        seg_env_min_x = min(s1[0], e1[0])
+        seg_env_max_x = max(s1[0], e1[0])
+        seg_env_min_y = min(s1[1], e1[1])
+        seg_env_max_y = max(s1[1], e1[1])
+        for s2, e2 in b.segments():
+            if (
+                max(s2[0], e2[0]) < seg_env_min_x
+                or min(s2[0], e2[0]) > seg_env_max_x
+                or max(s2[1], e2[1]) < seg_env_min_y
+                or min(s2[1], e2[1]) > seg_env_max_y
+            ):
+                continue
+            if algorithms.segments_intersect(s1, e1, s2, e2):
+                return True
+    return False
+
+
+def _line_polygon_intersects(line: LineString, poly: Polygon) -> bool:
+    # Any crossing with any ring means contact.
+    for ring in poly.rings():
+        if _line_line_intersects(line, ring):
+            return True
+    # No boundary contact: the line is entirely inside or entirely
+    # outside; one representative vertex decides.
+    x, y = line.coords[0]
+    return poly.locate(x, y) == INTERIOR
+
+
+def _polygon_polygon_intersects(a: Polygon, b: Polygon) -> bool:
+    for ring_a in a.rings():
+        for ring_b in b.rings():
+            if _line_line_intersects(ring_a, ring_b):
+                return True
+    # No boundary crossings: either disjoint or one fully inside the other
+    # (possibly inside a hole -- locate() accounts for holes).
+    ax, ay = a.shell.coords[0]
+    if b.locate(ax, ay) == INTERIOR:
+        return True
+    bx, by = b.shell.coords[0]
+    return a.locate(bx, by) == INTERIOR
+
+
+# ---------------------------------------------------------------------------
+# contains / covers
+# ---------------------------------------------------------------------------
+
+
+def contains(a: Geometry, b: Geometry) -> bool:
+    """JTS ``contains``: *b* within *a* and *b* touches *a*'s interior."""
+    if a.is_empty or b.is_empty:
+        return False
+    if not a.envelope.contains(b.envelope):
+        return False
+    return _dispatch(a, b, _CONTAINS_TABLE)
+
+
+def covers(a: Geometry, b: Geometry) -> bool:
+    """``covers``: every point of *b* is a point of *a* (boundary counts)."""
+    if a.is_empty or b.is_empty:
+        return False
+    if not a.envelope.contains(b.envelope):
+        return False
+    return _dispatch(a, b, _COVERS_TABLE)
+
+
+def _point_contains(a: Point, b: Geometry) -> bool:
+    if isinstance(b, Point):
+        return a.coord == b.coord
+    if isinstance(b, _BaseCollection):
+        members = [g for g in b.geoms if not g.is_empty]
+        return bool(members) and all(_point_contains(a, g) for g in members)
+    # A point cannot contain a 1- or 2-dimensional geometry unless the
+    # geometry is degenerate to that very point.
+    return all(c == a.coord for c in b.coordinates())
+
+
+def _line_contains_point(line: LineString, p: Point) -> bool:
+    # JTS contains() excludes the line's boundary (its two endpoints),
+    # but STARK's usage treats containment set-theoretically; we keep the
+    # simpler covers-style semantics for lines and document it.
+    return _point_line_intersects(p, line)
+
+
+def _sample_points(line: LineString) -> list[Coord]:
+    """Vertices plus segment midpoints -- the probe set for on-line tests."""
+    samples = list(line.coords)
+    for s, e in line.segments():
+        samples.append(((s[0] + e[0]) / 2.0, (s[1] + e[1]) / 2.0))
+    return samples
+
+
+def _line_contains_line(a: LineString, b: LineString) -> bool:
+    # Sampled test: every vertex and midpoint of b lies on a.  Exact for
+    # the straight-segment geometries used throughout the system.
+    return all(
+        any(algorithms.on_segment(pt, s, e) for s, e in a.segments())
+        for pt in _sample_points(b)
+    )
+
+
+def _polygon_covers_point(poly: Polygon, p: Point) -> bool:
+    return poly.locate(p.x, p.y) != EXTERIOR
+
+
+def _polygon_contains_point(poly: Polygon, p: Point) -> bool:
+    return poly.locate(p.x, p.y) == INTERIOR
+
+
+def _segment_properly_crosses_ring(s: Coord, e: Coord, ring: LineString) -> bool:
+    """True when segment s-e crosses a ring edge at a single interior point.
+
+    Touches at segment endpoints or collinear overlaps do not count: a
+    contained geometry may touch the boundary from inside.
+    """
+    for rs, re in ring.segments():
+        pt = algorithms.segment_intersection_point(s, e, rs, re)
+        if pt is None:
+            continue
+        # Ignore crossings at the probe segment's own endpoints.
+        if _close(pt, s) or _close(pt, e):
+            continue
+        return True
+    return False
+
+
+def _close(a: Coord, b: Coord) -> bool:
+    return math.isclose(a[0], b[0], abs_tol=1e-9) and math.isclose(
+        a[1], b[1], abs_tol=1e-9
+    )
+
+
+def _polygon_covers_line(poly: Polygon, line: LineString) -> bool:
+    for pt in _sample_points(line):
+        if poly.locate(pt[0], pt[1]) == EXTERIOR:
+            return False
+    # Sampled points inside is necessary but not sufficient: an edge can
+    # dip out of the polygon and return between samples only by crossing
+    # the boundary, which the proper-crossing test catches.
+    for s, e in line.segments():
+        for ring in poly.rings():
+            if _segment_properly_crosses_ring(s, e, ring):
+                return False
+    return True
+
+
+def _polygon_contains_line(poly: Polygon, line: LineString) -> bool:
+    if not _polygon_covers_line(poly, line):
+        return False
+    # contains additionally requires interior contact: at least one probe
+    # point strictly inside.
+    return any(
+        poly.locate(pt[0], pt[1]) == INTERIOR for pt in _sample_points(line)
+    )
+
+
+def _polygon_covers_polygon(a: Polygon, b: Polygon) -> bool:
+    for ring in b.rings():
+        if not _polygon_covers_line(a, ring):
+            return False
+    # Every hole of a must stay clear of b's interior: if a hole's
+    # representative interior point is strictly inside b, part of b falls
+    # into the hole (boundary-touching holes are fine and were already
+    # vetted by the crossing tests above).
+    for hole in a.holes:
+        probe = _ring_interior_point(hole)
+        if probe is not None and b.locate(*probe) == INTERIOR:
+            return False
+    return True
+
+
+def _polygon_contains_polygon(a: Polygon, b: Polygon) -> bool:
+    if not _polygon_covers_polygon(a, b):
+        return False
+    probe = _polygon_interior_point(b)
+    return probe is not None and a.locate(*probe) == INTERIOR
+
+
+def _ring_interior_point(ring: LineString) -> Coord | None:
+    """A point strictly inside a closed ring (ignoring any holes)."""
+    coords = ring.coords
+    if not coords:
+        return None
+    env = ring.envelope
+    if env.width == 0 or env.height == 0:
+        return None
+    # Scan a few horizontal lines; the midpoint between consecutive
+    # crossings lies inside for a simple ring.
+    for frac in (0.5, 0.25, 0.75, 0.125, 0.875):
+        y = env.min_y + env.height * frac
+        xs: list[float] = []
+        for i in range(len(coords) - 1):
+            x1, y1 = coords[i]
+            x2, y2 = coords[i + 1]
+            if (y1 <= y < y2) or (y2 <= y < y1):
+                xs.append(x1 + (y - y1) * (x2 - x1) / (y2 - y1))
+        xs.sort()
+        for j in range(0, len(xs) - 1, 2):
+            mid = ((xs[j] + xs[j + 1]) / 2.0, y)
+            if algorithms.locate_point_in_ring(mid, coords) == INTERIOR:
+                return mid
+    return None
+
+
+def _polygon_interior_point(poly: Polygon) -> Coord | None:
+    """A point strictly inside the polygon (holes respected)."""
+    c = poly.centroid()
+    if not c.is_empty and poly.locate(c.x, c.y) == INTERIOR:
+        return c.coord
+    env = poly.envelope
+    if env.is_empty:
+        return None
+    steps = 16
+    for iy in range(1, steps):
+        y = env.min_y + env.height * iy / steps
+        for ix in range(1, steps):
+            x = env.min_x + env.width * ix / steps
+            if poly.locate(x, y) == INTERIOR:
+                return (x, y)
+    return _ring_interior_point(poly.shell)
+
+
+# ---------------------------------------------------------------------------
+# distance
+# ---------------------------------------------------------------------------
+
+
+def distance(a: Geometry, b: Geometry) -> float:
+    """Minimum Euclidean distance between *a* and *b* (0 when intersecting)."""
+    if a.is_empty or b.is_empty:
+        raise ValueError("distance undefined for empty geometries")
+    return _dispatch_symmetric(a, b, _DISTANCE_TABLE)
+
+
+def _point_point_distance(a: Point, b: Point) -> float:
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def _point_line_distance(p: Point, line: LineString) -> float:
+    return min(
+        algorithms.point_segment_distance(p.coord, s, e) for s, e in line.segments()
+    )
+
+
+def _point_polygon_distance(p: Point, poly: Polygon) -> float:
+    if poly.locate(p.x, p.y) != EXTERIOR:
+        return 0.0
+    return min(_point_line_distance(p, ring) for ring in poly.rings())
+
+
+def _line_line_distance(a: LineString, b: LineString) -> float:
+    best = math.inf
+    for s1, e1 in a.segments():
+        for s2, e2 in b.segments():
+            best = min(best, algorithms.segment_segment_distance(s1, e1, s2, e2))
+            if best == 0.0:
+                return 0.0
+    return best
+
+
+def _line_polygon_distance(line: LineString, poly: Polygon) -> float:
+    if _line_polygon_intersects(line, poly):
+        return 0.0
+    return min(_line_line_distance(line, ring) for ring in poly.rings())
+
+
+def _polygon_polygon_distance(a: Polygon, b: Polygon) -> float:
+    if _polygon_polygon_intersects(a, b):
+        return 0.0
+    return min(
+        _line_line_distance(ring_a, ring_b)
+        for ring_a in a.rings()
+        for ring_b in b.rings()
+    )
+
+
+# ---------------------------------------------------------------------------
+# dispatch machinery
+# ---------------------------------------------------------------------------
+
+
+def _rank(g: Geometry) -> int:
+    """Order geometries by dimension for symmetric dispatch."""
+    if isinstance(g, Point):
+        return 0
+    if isinstance(g, LineString):  # includes LinearRing
+        return 1
+    if isinstance(g, Polygon):
+        return 2
+    return 3  # collections
+
+
+_INTERSECTS_TABLE: dict[tuple[int, int], Callable] = {
+    (0, 0): _point_point_intersects,
+    (0, 1): _point_line_intersects,
+    (0, 2): _point_polygon_intersects,
+    (1, 1): _line_line_intersects,
+    (1, 2): _line_polygon_intersects,
+    (2, 2): _polygon_polygon_intersects,
+}
+
+_DISTANCE_TABLE: dict[tuple[int, int], Callable] = {
+    (0, 0): _point_point_distance,
+    (0, 1): _point_line_distance,
+    (0, 2): _point_polygon_distance,
+    (1, 1): _line_line_distance,
+    (1, 2): _line_polygon_distance,
+    (2, 2): _polygon_polygon_distance,
+}
+
+
+def _dispatch_symmetric(a: Geometry, b: Geometry, table: dict) -> bool | float:
+    ra, rb = _rank(a), _rank(b)
+    if ra == 3 or rb == 3:
+        return _collection_symmetric(a, b, table)
+    if ra <= rb:
+        return table[(ra, rb)](a, b)
+    return table[(rb, ra)](b, a)
+
+
+def _collection_symmetric(a: Geometry, b: Geometry, table: dict) -> bool | float:
+    """Distribute a symmetric predicate over collection members."""
+    is_distance = table is _DISTANCE_TABLE
+    members_a = list(a.geoms) if isinstance(a, _BaseCollection) else [a]
+    members_b = list(b.geoms) if isinstance(b, _BaseCollection) else [b]
+    members_a = [g for g in members_a if not g.is_empty]
+    members_b = [g for g in members_b if not g.is_empty]
+    if is_distance:
+        if not members_a or not members_b:
+            raise ValueError("distance undefined for empty geometries")
+        return min(
+            _dispatch_symmetric(ga, gb, table) for ga in members_a for gb in members_b
+        )
+    return any(
+        _dispatch_symmetric(ga, gb, table) for ga in members_a for gb in members_b
+    )
+
+
+def _contains_dispatch(a: Geometry, b: Geometry, boundary_ok: bool) -> bool:
+    if isinstance(b, _BaseCollection):
+        members = [g for g in b.geoms if not g.is_empty]
+        return bool(members) and all(
+            _contains_dispatch(a, g, boundary_ok) for g in members
+        )
+    if isinstance(a, _BaseCollection):
+        # Sufficient (not complete) distribution: some single member
+        # covers b.  A union of polygons jointly covering b without one
+        # covering it alone reports False; STARK's operators only
+        # exercise simple geometries on the left.
+        return any(
+            _contains_dispatch(g, b, boundary_ok) for g in a.geoms if not g.is_empty
+        )
+    if isinstance(a, Point):
+        return _point_contains(a, b)
+    if isinstance(a, LineString):
+        if isinstance(b, Point):
+            return _line_contains_point(a, b)
+        if isinstance(b, LineString):
+            return _line_contains_line(a, b)
+        return False  # a line cannot contain an areal geometry
+    if isinstance(a, Polygon):
+        if isinstance(b, Point):
+            return (
+                _polygon_covers_point(a, b)
+                if boundary_ok
+                else _polygon_contains_point(a, b)
+            )
+        if isinstance(b, LineString):
+            return (
+                _polygon_covers_line(a, b)
+                if boundary_ok
+                else _polygon_contains_line(a, b)
+            )
+        if isinstance(b, Polygon):
+            return (
+                _polygon_covers_polygon(a, b)
+                if boundary_ok
+                else _polygon_contains_polygon(a, b)
+            )
+    raise TypeError(f"unsupported geometry types: {type(a)} contains {type(b)}")
+
+
+_CONTAINS_TABLE = object()  # sentinels; real dispatch below
+_COVERS_TABLE = object()
+
+
+def _dispatch(a: Geometry, b: Geometry, table: object) -> bool:
+    return _contains_dispatch(a, b, boundary_ok=table is _COVERS_TABLE)

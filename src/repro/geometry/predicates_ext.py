@@ -1,0 +1,284 @@
+"""Extended JTS predicates: touches, overlaps, crosses.
+
+These complete the DE-9IM-derived predicate family for the pairs that
+occur in spatio-temporal analytics.  Definitions (per OGC/JTS):
+
+- ``touches``  -- the geometries intersect, but their *interiors* do
+  not: contact happens only along boundaries.
+- ``overlaps`` -- same-dimension geometries whose interiors intersect,
+  where neither covers the other and the shared part has the same
+  dimension (two partially-overlapping polygons; two collinear,
+  partially-overlapping lines).
+- ``crosses``  -- the interiors intersect but the shared part has lower
+  dimension than the higher-dimensional operand (a line crossing a
+  polygon; two lines meeting at interior points).
+
+Line-in-polygon interior tests use the same vertex+midpoint sampling as
+the containment predicates; exact for the straight-edge geometries this
+engine represents.
+"""
+
+from __future__ import annotations
+
+from repro.geometry import algorithms
+from repro.geometry.algorithms import BOUNDARY, EXTERIOR, INTERIOR
+from repro.geometry.base import Geometry
+from repro.geometry.linestring import LinearRing, LineString
+from repro.geometry.multi import _BaseCollection
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import (
+    _line_line_intersects,
+    _sample_points,
+    contains,
+    covers,
+    intersects,
+)
+
+Coord = tuple[float, float]
+
+
+def _dimension(geom: Geometry) -> int:
+    if isinstance(geom, Point):
+        return 0
+    if isinstance(geom, LineString):
+        return 1
+    if isinstance(geom, Polygon):
+        return 2
+    if isinstance(geom, _BaseCollection):
+        members = [g for g in geom.geoms if not g.is_empty]
+        return max((_dimension(g) for g in members), default=-1)
+    raise TypeError(f"unknown geometry {type(geom).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# interior-interior intersection
+# ---------------------------------------------------------------------------
+
+
+def _point_is_line_interior(p: Coord, line: LineString) -> bool:
+    """On the line but not one of its (non-ring) endpoints."""
+    on_line = any(algorithms.on_segment(p, s, e) for s, e in line.segments())
+    if not on_line:
+        return False
+    if isinstance(line, LinearRing) or (line.coords and line.coords[0] == line.coords[-1]):
+        return True  # a ring has no boundary
+    return p != line.coords[0] and p != line.coords[-1]
+
+
+def _segments_cross_properly(a: LineString, b: LineString) -> bool:
+    """Some pair of segments shares a point interior to both."""
+    for s1, e1 in a.segments():
+        for s2, e2 in b.segments():
+            if algorithms.orientation(s1, e1, s2) * algorithms.orientation(s1, e1, e2) < 0 and (
+                algorithms.orientation(s2, e2, s1) * algorithms.orientation(s2, e2, e1) < 0
+            ):
+                return True
+    return False
+
+
+def _collinear_overlap_length(a: LineString, b: LineString) -> bool:
+    """Some collinear segment pair shares more than a single point."""
+    for s1, e1 in a.segments():
+        for s2, e2 in b.segments():
+            if algorithms.orientation(s1, e1, s2) != 0 or algorithms.orientation(s1, e1, e2) != 0:
+                continue
+            # project onto the dominant axis of (s1, e1)
+            axis = 0 if abs(e1[0] - s1[0]) >= abs(e1[1] - s1[1]) else 1
+            lo1, hi1 = sorted((s1[axis], e1[axis]))
+            lo2, hi2 = sorted((s2[axis], e2[axis]))
+            if min(hi1, hi2) - max(lo1, lo2) > 1e-12:
+                return True
+    return False
+
+
+def _line_line_interiors(a: LineString, b: LineString) -> bool:
+    if _segments_cross_properly(a, b):
+        return True
+    if _collinear_overlap_length(a, b):
+        return True
+    # Endpoint-free contact: a vertex of one lying in the other's
+    # interior only counts if it is also interior to its own line
+    # (shared endpoints and T-junctions at endpoints are boundary contact).
+    for p in a.coords[1:-1]:
+        if _point_is_line_interior(p, b):
+            return True
+    for p in b.coords[1:-1]:
+        if _point_is_line_interior(p, a):
+            return True
+    return False
+
+
+def _line_polygon_interiors(line: LineString, poly: Polygon) -> bool:
+    """Does the line's interior meet the polygon's open interior?"""
+    samples = _sample_points(line)
+    interior_samples = [
+        p for p in samples if poly.locate(p[0], p[1]) == INTERIOR
+    ]
+    if interior_samples:
+        # a sampled point strictly inside is interior to the line too,
+        # unless it is one of the line's endpoints sitting inside
+        for p in interior_samples:
+            if _point_is_line_interior(p, line) or poly.locate(p[0], p[1]) == INTERIOR:
+                return True
+    # A segment could cross the polygon between samples only by
+    # properly crossing a ring, which puts interior points inside.
+    for ring in poly.rings():
+        if _segments_cross_properly(line, ring):
+            return True
+    return False
+
+
+def _polygon_polygon_interiors(a: Polygon, b: Polygon) -> bool:
+    for ring_a in a.rings():
+        for ring_b in b.rings():
+            if _segments_cross_properly(ring_a, ring_b):
+                return True
+    from repro.geometry.predicates import _polygon_interior_point
+
+    probe_a = _polygon_interior_point(a)
+    if probe_a is not None and b.locate(*probe_a) == INTERIOR:
+        return True
+    probe_b = _polygon_interior_point(b)
+    return probe_b is not None and a.locate(*probe_b) == INTERIOR
+
+
+def _interiors_intersect(a: Geometry, b: Geometry) -> bool:
+    if isinstance(a, _BaseCollection) or isinstance(b, _BaseCollection):
+        members_a = list(a.geoms) if isinstance(a, _BaseCollection) else [a]
+        members_b = list(b.geoms) if isinstance(b, _BaseCollection) else [b]
+        return any(
+            _interiors_intersect(ga, gb)
+            for ga in members_a
+            if not ga.is_empty
+            for gb in members_b
+            if not gb.is_empty
+        )
+    pair = (_dimension(a), _dimension(b))
+    if pair == (0, 0):
+        return a.coord == b.coord  # type: ignore[union-attr]
+    if pair == (0, 1):
+        return _point_is_line_interior(a.coord, b)  # type: ignore[union-attr,arg-type]
+    if pair == (1, 0):
+        return _point_is_line_interior(b.coord, a)  # type: ignore[union-attr,arg-type]
+    if pair == (0, 2):
+        return b.locate(a.x, a.y) == INTERIOR  # type: ignore[union-attr]
+    if pair == (2, 0):
+        return a.locate(b.x, b.y) == INTERIOR  # type: ignore[union-attr]
+    if pair == (1, 1):
+        return _line_line_interiors(a, b)  # type: ignore[arg-type]
+    if pair == (1, 2):
+        return _line_polygon_interiors(a, b)  # type: ignore[arg-type]
+    if pair == (2, 1):
+        return _line_polygon_interiors(b, a)  # type: ignore[arg-type]
+    return _polygon_polygon_interiors(a, b)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# the predicates
+# ---------------------------------------------------------------------------
+
+
+def touches(a: Geometry, b: Geometry) -> bool:
+    """Boundary-only contact: they intersect, their interiors do not.
+
+    Two equal points do not touch (point interiors are the points).
+    """
+    if a.is_empty or b.is_empty:
+        return False
+    if not a.envelope.intersects(b.envelope):
+        return False
+    return intersects(a, b) and not _interiors_intersect(a, b)
+
+
+def overlaps(a: Geometry, b: Geometry) -> bool:
+    """Partial same-dimension overlap; neither side covers the other."""
+    if a.is_empty or b.is_empty:
+        return False
+    dim_a, dim_b = _dimension(a), _dimension(b)
+    if dim_a != dim_b:
+        return False
+    if not a.envelope.intersects(b.envelope):
+        return False
+    if covers(a, b) or covers(b, a):
+        return False
+    if dim_a == 0:
+        # multipoints overlap when they share some but not all members
+        coords_a = {c for c in a.coordinates()}
+        coords_b = {c for c in b.coordinates()}
+        shared = coords_a & coords_b
+        return bool(shared) and shared != coords_a and shared != coords_b
+    if dim_a == 1:
+        # lines overlap only along collinear runs (a proper crossing is
+        # a crosses relationship, not an overlap)
+        lines_a = _lines_of(a)
+        lines_b = _lines_of(b)
+        return any(
+            _collinear_overlap_length(la, lb) for la in lines_a for lb in lines_b
+        )
+    return _interiors_intersect(a, b)
+
+
+def crosses(a: Geometry, b: Geometry) -> bool:
+    """Interiors intersect with lower-dimensional contact.
+
+    Supported shapes: line/line (proper interior crossing, no collinear
+    overlap), line/polygon (the line has parts strictly inside and
+    strictly outside), and point-set/higher-dim (some points interior,
+    some disjoint).
+    """
+    if a.is_empty or b.is_empty:
+        return False
+    if not a.envelope.intersects(b.envelope):
+        return False
+    dim_a, dim_b = _dimension(a), _dimension(b)
+    if dim_a > dim_b:
+        return crosses(b, a)
+    if dim_a == 0 and dim_b > 0:
+        coords = a.coordinates()
+        inside = sum(1 for c in coords if _coord_in_interior(c, b))
+        outside = sum(1 for c in coords if not intersects(Point(*c), b))
+        return inside > 0 and outside > 0
+    if dim_a == 1 and dim_b == 1:
+        lines_a, lines_b = _lines_of(a), _lines_of(b)
+        properly = any(
+            _segments_cross_properly(la, lb) for la in lines_a for lb in lines_b
+        )
+        collinear = any(
+            _collinear_overlap_length(la, lb) for la in lines_a for lb in lines_b
+        )
+        return properly and not collinear
+    if dim_a == 1 and dim_b == 2:
+        inside = _interiors_intersect(a, b)
+        outside = any(
+            not covers(_polygons_as_collection(b), Point(*p))
+            for line in _lines_of(a)
+            for p in _sample_points(line)
+        )
+        return inside and outside
+    return False  # equal-dimension areal crossing does not exist
+
+
+def _coord_in_interior(c: Coord, geom: Geometry) -> bool:
+    if isinstance(geom, Polygon):
+        return geom.locate(*c) == INTERIOR
+    if isinstance(geom, LineString):
+        return _point_is_line_interior(c, geom)
+    if isinstance(geom, _BaseCollection):
+        return any(_coord_in_interior(c, g) for g in geom.geoms if not g.is_empty)
+    return False
+
+
+def _lines_of(geom: Geometry) -> list[LineString]:
+    if isinstance(geom, LineString):
+        return [geom]
+    if isinstance(geom, _BaseCollection):
+        out: list[LineString] = []
+        for g in geom.geoms:
+            out.extend(_lines_of(g))
+        return out
+    return []
+
+
+def _polygons_as_collection(geom: Geometry) -> Geometry:
+    return geom

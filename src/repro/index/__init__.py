@@ -1,0 +1,16 @@
+"""Spatial and temporal index structures.
+
+- :class:`~repro.index.rtree.STRTree` -- the Sort-Tile-Recursive bulk-
+  loaded R-tree, the reproduction of the JTS STRtree STARK uses for
+  partition-local indexing (paper section 2.2),
+- :class:`~repro.index.intervaltree.IntervalTree` -- a static interval
+  tree for temporal lookups (an extension point; STARK's live indexing
+  evaluates the temporal predicate during candidate refinement),
+- :mod:`~repro.index.persistence` -- save/load helpers implementing the
+  *persistent indexing* mode.
+"""
+
+from repro.index.intervaltree import IntervalTree
+from repro.index.rtree import STRTree
+
+__all__ = ["IntervalTree", "STRTree"]

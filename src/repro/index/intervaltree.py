@@ -1,0 +1,131 @@
+"""A static centered interval tree for temporal lookups.
+
+STARK evaluates temporal predicates during R-tree candidate refinement;
+this tree is the optional fast path for *temporal-first* workloads (an
+extension the benchmarks ablate): stab and range queries in
+``O(log n + m)``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Generic, Iterable, Iterator, TypeVar
+
+from repro.temporal.instant import Instant
+from repro.temporal.interval import Interval, TemporalExpression
+
+T = TypeVar("T")
+
+
+class _Node(Generic[T]):
+    __slots__ = ("center", "by_start", "by_end", "left", "right")
+
+    def __init__(self, center: float, spanning: list[tuple[float, float, T]]) -> None:
+        self.center = center
+        self.by_start = sorted(spanning, key=lambda row: row[0])
+        self.by_end = sorted(spanning, key=lambda row: row[1], reverse=True)
+        self.left: "_Node[T] | None" = None
+        self.right: "_Node[T] | None" = None
+
+
+class IntervalTree(Generic[T]):
+    """An immutable interval tree over ``(temporal, item)`` entries.
+
+    Instants participate as zero-length intervals.
+    """
+
+    def __init__(self, entries: Iterable[tuple[TemporalExpression, T]]) -> None:
+        rows: list[tuple[float, float, T]] = []
+        for temporal, item in entries:
+            if not isinstance(temporal, (Instant, Interval)):
+                raise TypeError(
+                    f"expected Instant or Interval, got {type(temporal).__name__}"
+                )
+            rows.append((temporal.start, temporal.end, item))
+        self._size = len(rows)
+        self._root = self._build(rows)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, rows: list[tuple[float, float, T]]) -> "_Node[T] | None":
+        if not rows:
+            return None
+        center = statistics.median(
+            [row[0] for row in rows] + [row[1] for row in rows]
+        )
+        left_rows = [row for row in rows if row[1] < center]
+        right_rows = [row for row in rows if row[0] > center]
+        spanning = [row for row in rows if row[0] <= center <= row[1]]
+        node = _Node(center, spanning)
+        node.left = self._build(left_rows)
+        node.right = self._build(right_rows)
+        return node
+
+    def stab(self, t: float) -> list[T]:
+        """Items whose interval contains timestamp *t* (closed bounds)."""
+        out: list[T] = []
+        node = self._root
+        while node is not None:
+            if t < node.center:
+                for start, _end, item in node.by_start:
+                    if start > t:
+                        break
+                    out.append(item)
+                node = node.left
+            elif t > node.center:
+                for _start, end, item in node.by_end:
+                    if end < t:
+                        break
+                    out.append(item)
+                node = node.right
+            else:
+                out.extend(item for _s, _e, item in node.by_start)
+                break
+        return out
+
+    def query(self, query: TemporalExpression) -> list[T]:
+        """Items whose interval intersects the query's extent."""
+        lo, hi = query.start, query.end
+        out: list[T] = []
+        self._query_range(self._root, lo, hi, out)
+        return out
+
+    def _query_range(
+        self, node: "_Node[T] | None", lo: float, hi: float, out: list[T]
+    ) -> None:
+        if node is None:
+            return
+        if hi < node.center:
+            # Only spanning intervals starting at or before hi can overlap.
+            for start, _end, item in node.by_start:
+                if start > hi:
+                    break
+                out.append(item)
+            self._query_range(node.left, lo, hi, out)
+        elif lo > node.center:
+            for _start, end, item in node.by_end:
+                if end < lo:
+                    break
+                out.append(item)
+            self._query_range(node.right, lo, hi, out)
+        else:
+            # The query straddles the center: every spanning interval hits.
+            out.extend(item for _s, _e, item in node.by_start)
+            self._query_range(node.left, lo, hi, out)
+            self._query_range(node.right, lo, hi, out)
+
+    def iter_entries(self) -> Iterator[tuple[Interval, T]]:
+        """Every entry as (Interval, item)."""
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            for start, end, item in node.by_start:
+                yield (Interval(start, end), item)
+            if node.left:
+                stack.append(node.left)
+            if node.right:
+                stack.append(node.right)
+
+    def __repr__(self) -> str:
+        return f"IntervalTree(size={self._size})"

@@ -1,0 +1,41 @@
+"""Persistent indexing: save and reload per-partition R-trees.
+
+Reproduces the paper's third indexing mode (section 2.2): an indexed
+RDD -- an RDD whose elements are partition-local STR-trees -- is written
+as binary objects ("using Spark's method to save binary objects") and
+can be loaded by the same or another program without rebuilding.
+
+The partitioner metadata is stored alongside the trees so a reloaded
+index keeps its partition-pruning ability.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import TYPE_CHECKING
+
+from repro.spark.rdd import RDD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.spark.context import SparkContext
+
+_META_FILE = "_index_meta.pkl"
+
+
+def save_index(indexed_rdd: RDD, path: str, partitioner=None) -> None:
+    """Persist an RDD of per-partition index trees plus its partitioner."""
+    indexed_rdd.save_as_object_file(path)
+    with open(os.path.join(path, _META_FILE), "wb") as f:
+        pickle.dump({"partitioner": partitioner}, f, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_index(context: "SparkContext", path: str) -> tuple[RDD, object]:
+    """Load a persisted index: (RDD of trees, partitioner-or-None)."""
+    rdd = context.object_file(path)
+    partitioner = None
+    meta_path = os.path.join(path, _META_FILE)
+    if os.path.exists(meta_path):
+        with open(meta_path, "rb") as f:
+            partitioner = pickle.load(f).get("partitioner")
+    return rdd, partitioner

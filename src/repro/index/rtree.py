@@ -1,0 +1,256 @@
+"""A Sort-Tile-Recursive (STR) bulk-loaded R-tree.
+
+This is the reproduction of the JTS ``STRtree`` STARK uses to index
+partition contents.  STR packing (Leutenegger et al.) sorts entries by
+x-center into vertical slices, sorts each slice by y-center, and packs
+runs of *node_capacity* entries into nodes, recursing until a single
+root remains.  The tree is build-once (like JTS): queries are available
+after construction, inserts are not.
+
+Supported queries:
+
+- :meth:`query` -- all items whose envelope intersects a query envelope
+  (returns *candidates*; exact predicates refine them, as in the
+  paper's live-indexing description),
+- :meth:`nearest` -- k nearest items to a point by branch-and-bound,
+  with an optional exact distance callback so refinement happens inside
+  the traversal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Generic, Iterable, Iterator, Sequence, TypeVar
+
+from repro.geometry.envelope import Envelope
+
+T = TypeVar("T")
+
+DEFAULT_NODE_CAPACITY = 10
+
+
+class _Node(Generic[T]):
+    __slots__ = ("envelope", "children", "entries")
+
+    def __init__(
+        self,
+        envelope: Envelope,
+        children: list["_Node[T]"] | None = None,
+        entries: list[tuple[Envelope, T]] | None = None,
+    ) -> None:
+        self.envelope = envelope
+        self.children = children
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+def _merge_envelopes(envelopes: Iterable[Envelope]) -> Envelope:
+    merged = Envelope.empty()
+    for env in envelopes:
+        merged = merged.merge(env)
+    return merged
+
+
+def _chunks(rows: Sequence, size: int) -> Iterator[Sequence]:
+    for start in range(0, len(rows), size):
+        yield rows[start : start + size]
+
+
+class STRTree(Generic[T]):
+    """An immutable STR-packed R-tree over (envelope, item) entries.
+
+    ``node_capacity`` is the paper's "order of the tree" parameter
+    (``liveIndex(order = 5)`` in the paper's example).
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[tuple[Envelope, T]],
+        node_capacity: int = DEFAULT_NODE_CAPACITY,
+    ) -> None:
+        if node_capacity < 2:
+            raise ValueError(f"node capacity must be >= 2, got {node_capacity}")
+        self.node_capacity = node_capacity
+        entry_list = [(env, item) for env, item in entries if not env.is_empty]
+        self._size = len(entry_list)
+        self._root = self._build(entry_list)
+
+    @staticmethod
+    def for_geometries(
+        items: Iterable[T],
+        envelope_of: Callable[[T], Envelope],
+        node_capacity: int = DEFAULT_NODE_CAPACITY,
+    ) -> "STRTree[T]":
+        """Build from items using *envelope_of* to extract bounds."""
+        return STRTree(
+            ((envelope_of(item), item) for item in items), node_capacity
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def envelope(self) -> Envelope:
+        """Bounds of the whole tree (empty for an empty tree)."""
+        return self._root.envelope if self._root is not None else Envelope.empty()
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves; 0 for an empty tree."""
+        levels = 0
+        node = self._root
+        while node is not None:
+            levels += 1
+            node = node.children[0] if node.children else None
+        return levels
+
+    # -- construction --------------------------------------------------------
+
+    def _build(self, entries: list[tuple[Envelope, T]]) -> _Node[T] | None:
+        if not entries:
+            return None
+        cap = self.node_capacity
+
+        # Leaf level: STR tiling of the raw entries.
+        leaves = [
+            _Node(_merge_envelopes(e for e, _ in chunk), entries=list(chunk))
+            for chunk in self._str_tiles(entries, lambda entry: entry[0], cap)
+        ]
+        level: list[_Node[T]] = leaves
+        while len(level) > 1:
+            level = [
+                _Node(
+                    _merge_envelopes(n.envelope for n in chunk),
+                    children=list(chunk),
+                )
+                for chunk in self._str_tiles(level, lambda node: node.envelope, cap)
+            ]
+        return level[0]
+
+    @staticmethod
+    def _str_tiles(rows: list, env_of: Callable, cap: int) -> Iterator[list]:
+        """Group rows into runs of *cap* using Sort-Tile-Recursive order."""
+        import math
+
+        n = len(rows)
+        leaf_count = math.ceil(n / cap)
+        slice_count = max(1, math.ceil(math.sqrt(leaf_count)))
+        by_x = sorted(rows, key=lambda r: env_of(r).center()[0])
+        slice_size = math.ceil(n / slice_count)
+        for vertical in _chunks(by_x, slice_size):
+            by_y = sorted(vertical, key=lambda r: env_of(r).center()[1])
+            yield from _chunks(by_y, cap)
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, envelope: Envelope) -> list[T]:
+        """All items whose envelope intersects *envelope* (candidates)."""
+        out: list[T] = []
+        if self._root is None or envelope.is_empty:
+            return out
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.envelope.intersects(envelope):
+                continue
+            if node.is_leaf:
+                out.extend(
+                    item for env, item in node.entries if env.intersects(envelope)
+                )
+            else:
+                stack.extend(node.children)
+        return out
+
+    def query_point(self, x: float, y: float) -> list[T]:
+        """Items whose envelope covers the point."""
+        return self.query(Envelope.of_point(x, y))
+
+    def iter_entries(self) -> Iterator[tuple[Envelope, T]]:
+        """Every (envelope, item) entry (arbitrary order)."""
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)
+
+    def nearest(
+        self,
+        x: float,
+        y: float,
+        k: int = 1,
+        exact_distance: Callable[[T], float] | None = None,
+        bound_slack: float = 0.0,
+    ) -> list[tuple[float, T]]:
+        """The *k* items nearest to ``(x, y)``, as (distance, item) ascending.
+
+        Branch-and-bound over node envelopes: a node is expanded only
+        when its envelope distance beats the current k-th best.  With
+        *exact_distance* the true geometry distance ranks items (the
+        envelope distance remains the admissible lower bound); without
+        it, envelope distance is the metric -- exact for points, a
+        candidate ranking for extended geometries.
+
+        ``bound_slack`` loosens every envelope lower bound by that
+        amount.  It exists for probes by *extended* geometries: when
+        ``(x, y)`` is the centroid of a geometry with "radius" r (max
+        centroid-to-boundary distance), the exact geometry distance can
+        undercut the envelope-to-centroid bound by at most r, so
+        passing ``bound_slack=r`` keeps pruning admissible.
+        """
+        if k < 1 or self._root is None:
+            return []
+
+        counter = itertools.count()  # tie-break, keeps heap entries comparable
+        frontier: list[tuple[float, int, object, T | None]] = [
+            (
+                self._root.envelope.distance_to_point(x, y) - bound_slack,
+                next(counter),
+                self._root,
+                None,
+            )
+        ]
+        best: list[tuple[float, T]] = []
+
+        def kth_best() -> float:
+            return best[-1][0] if len(best) == k else float("inf")
+
+        while frontier:
+            lower_bound, _tie, node_or_none, item = heapq.heappop(frontier)
+            if lower_bound > kth_best():
+                break
+            if node_or_none is None:
+                # A fully-resolved item: lower_bound is its final distance.
+                best.append((lower_bound, item))  # type: ignore[arg-type]
+                best.sort(key=lambda pair: pair[0])
+                if len(best) > k:
+                    best.pop()
+                continue
+            node: _Node[T] = node_or_none  # type: ignore[assignment]
+            if node.is_leaf:
+                for env, entry_item in node.entries:
+                    if exact_distance is not None:
+                        d = exact_distance(entry_item)
+                    else:
+                        d = env.distance_to_point(x, y) - bound_slack
+                    if d <= kth_best():
+                        heapq.heappush(frontier, (d, next(counter), None, entry_item))
+            else:
+                for child in node.children:
+                    d = child.envelope.distance_to_point(x, y) - bound_slack
+                    if d <= kth_best():
+                        heapq.heappush(frontier, (d, next(counter), child, None))
+        return best
+
+    def __repr__(self) -> str:
+        return (
+            f"STRTree(size={self._size}, capacity={self.node_capacity}, "
+            f"height={self.height})"
+        )

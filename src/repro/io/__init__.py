@@ -1,0 +1,29 @@
+"""Input/output and synthetic workload generation.
+
+- :mod:`repro.io.readers` parses event files with the paper's schema
+  ``(id, category, time, wkt)`` into STObject-keyed RDDs,
+- :mod:`repro.io.datagen` generates the seeded synthetic datasets the
+  benchmarks use: uniform, Gaussian-clustered ("events happen on land,
+  not on sea"), world-like landmass mixtures, polygon sets, temporal
+  event streams.
+"""
+
+from repro.io.datagen import (
+    clustered_points,
+    event_rows,
+    random_polygons,
+    uniform_points,
+    world_events,
+)
+from repro.io.readers import load_event_file, parse_event_line, write_event_file
+
+__all__ = [
+    "clustered_points",
+    "event_rows",
+    "load_event_file",
+    "parse_event_line",
+    "random_polygons",
+    "uniform_points",
+    "world_events",
+    "write_event_file",
+]

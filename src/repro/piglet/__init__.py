@@ -1,0 +1,44 @@
+"""Piglet: the Pig Latin derivative with spatio-temporal extensions.
+
+The paper (section 4, and [4] Hagedorn & Sattler, WWW 2016) offers an
+"easy to learn scripting language" route to STARK's operators: Pig
+Latin extended with the spatio-temporal data types and operators.  This
+package implements that language for the reproduction:
+
+- the classic Pig Latin core: ``LOAD``, ``FOREACH ... GENERATE``,
+  ``FILTER ... BY``, ``GROUP ... BY``, ``JOIN ... BY``, ``DISTINCT``,
+  ``LIMIT``, ``ORDER ... BY``, ``UNION``, ``DUMP``, ``STORE``,
+  ``DESCRIBE``, with an expression language (arithmetic, comparisons,
+  boolean logic, positional ``$0`` and named fields, function calls,
+  aggregates over grouped bags);
+- the spatio-temporal extension: the ``STOBJECT``/geometry constructors
+  and predicate functions usable in any expression, plus the dedicated
+  statements ``SPATIAL_JOIN``, ``SPATIAL_PARTITION`` (GRID / BSP),
+  ``LIVEINDEX``, ``CLUSTER ... USING DBSCAN`` and ``KNN``;
+- a small planner that recognizes ``FILTER rel BY <predicate>(key,
+  <constant query>)`` over spatially partitioned / indexed relations
+  and routes it through the pruned & indexed execution paths instead of
+  a row-by-row scan.
+
+Example::
+
+    ev  = LOAD 'events.csv' USING EventStorage();
+    st  = FOREACH ev GENERATE STOBJECT(wkt, time) AS obj, id, category;
+    prt = SPATIAL_PARTITION st BY obj USING BSP(200);
+    hit = FILTER prt BY CONTAINEDBY(obj, STOBJECT('POLYGON ((...))', 0, 1000));
+    grp = GROUP hit BY category;
+    cnt = FOREACH grp GENERATE group, COUNT(hit);
+    DUMP cnt;
+"""
+
+from repro.piglet.executor import PigletRuntime, run_script
+from repro.piglet.lexer import PigletSyntaxError, tokenize
+from repro.piglet.parser import parse
+
+__all__ = [
+    "PigletRuntime",
+    "PigletSyntaxError",
+    "parse",
+    "run_script",
+    "tokenize",
+]

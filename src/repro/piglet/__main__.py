@@ -1,0 +1,43 @@
+"""Piglet command-line runner.
+
+Execute a Piglet script file against a fresh engine context::
+
+    python -m repro.piglet path/to/script.pig [--parallelism N]
+
+DUMP/DESCRIBE output goes to stdout; STORE statements write relative to
+the current working directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.piglet.executor import PigletRuntime
+from repro.piglet.lexer import PigletSyntaxError
+from repro.spark.context import SparkContext
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.piglet", description=__doc__
+    )
+    parser.add_argument("script", help="path to a Piglet script file")
+    parser.add_argument("--parallelism", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    with open(args.script) as f:
+        text = f.read()
+
+    with SparkContext("piglet-cli", parallelism=args.parallelism) as sc:
+        runtime = PigletRuntime(sc)
+        try:
+            runtime.run(text)
+        except PigletSyntaxError as error:
+            print(f"syntax error: {error}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

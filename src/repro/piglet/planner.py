@@ -1,0 +1,112 @@
+"""The Piglet planner: routing filters through spatial execution paths.
+
+Pig Latin filters are row-wise by default.  When a relation has been
+spatially partitioned or live-indexed, a ``FILTER rel BY
+<predicate>(<spatial key>, <constant query>)`` can instead run through
+:mod:`repro.core.filter` -- gaining partition pruning and per-partition
+R-trees.  This module recognizes that pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.predicates import (
+    CONTAINED_BY,
+    CONTAINS,
+    INTERSECTS,
+    STPredicate,
+    within_distance_predicate,
+)
+from repro.core.stobject import STObject
+from repro.piglet import ast_nodes as ast
+from repro.piglet.builtins import SPATIAL_PREDICATE_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class SpatialFilterPlan:
+    """A filter rewritten to the spatial execution path."""
+
+    predicate: STPredicate
+    query: STObject
+
+
+def is_constant(expr: ast.Expr) -> bool:
+    """True when *expr* references no row fields (evaluable once)."""
+    if isinstance(expr, (ast.NumberLit, ast.StringLit)):
+        return True
+    if isinstance(expr, (ast.FieldRef, ast.PositionalRef, ast.DottedRef)):
+        return False
+    if isinstance(expr, ast.FuncCall):
+        return all(is_constant(a) for a in expr.args)
+    if isinstance(expr, ast.BinOp):
+        return is_constant(expr.left) and is_constant(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return is_constant(expr.operand)
+    return False
+
+
+#: predicate name -> (STPredicate when args are (item_field, query_const),
+#:                    STPredicate when args are (query_const, item_field))
+_DIRECT = {
+    "INTERSECTS": (INTERSECTS, INTERSECTS),
+    "CONTAINS": (CONTAINS, CONTAINED_BY),
+    "CONTAINEDBY": (CONTAINED_BY, CONTAINS),
+}
+
+
+def match_spatial_filter(
+    condition: ast.Expr,
+    spatial_key: Optional[str],
+    eval_constant,
+) -> Optional[SpatialFilterPlan]:
+    """Try to rewrite a filter condition into a spatial plan.
+
+    ``eval_constant`` evaluates a constant expression to its value.
+    Returns ``None`` when the pattern does not apply (the executor then
+    falls back to the row-wise filter, which is always correct).
+    """
+    if spatial_key is None or not isinstance(condition, ast.FuncCall):
+        return None
+    name = condition.name
+    if name not in SPATIAL_PREDICATE_FUNCTIONS:
+        return None
+
+    args = condition.args
+    if name == "WITHINDISTANCE":
+        if len(args) != 3 or not is_constant(args[2]):
+            return None
+        key_arg, query_arg, distance_arg = args
+        distance = float(eval_constant(distance_arg))
+        # withinDistance is symmetric: either argument order matches.
+        for item, query in ((key_arg, query_arg), (query_arg, key_arg)):
+            if _is_key(item, spatial_key) and is_constant(query):
+                return SpatialFilterPlan(
+                    within_distance_predicate(distance),
+                    _as_query(eval_constant(query)),
+                )
+        return None
+
+    if len(args) != 2:
+        return None
+    first, second = args
+    if _is_key(first, spatial_key) and is_constant(second):
+        return SpatialFilterPlan(
+            _DIRECT[name][0], _as_query(eval_constant(second))
+        )
+    if _is_key(second, spatial_key) and is_constant(first):
+        return SpatialFilterPlan(
+            _DIRECT[name][1], _as_query(eval_constant(first))
+        )
+    return None
+
+
+def _is_key(expr: ast.Expr, spatial_key: str) -> bool:
+    return isinstance(expr, ast.FieldRef) and expr.name == spatial_key
+
+
+def _as_query(value) -> STObject:
+    if isinstance(value, STObject):
+        return value
+    return STObject(value)

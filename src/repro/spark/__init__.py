@@ -1,0 +1,41 @@
+"""A from-scratch, single-process reproduction of the Spark RDD engine.
+
+This package is the execution substrate the STARK reproduction runs on,
+standing in for Apache Spark.  It implements the parts of the RDD model
+STARK's algorithms are built against:
+
+- lazy, immutable :class:`~repro.spark.rdd.RDD` lineage graphs with
+  narrow (map/filter/mapPartitions/...) and wide
+  (groupByKey/reduceByKey/join/partitionBy) transformations,
+- the :class:`~repro.spark.partitioner.Partitioner` contract --
+  STARK's spatial partitioners plug in exactly like on the JVM,
+- a hash shuffle with materialized map outputs,
+- partition-level caching (``persist``/``cache``),
+- object files (the stand-in for HDFS binary storage used by persistent
+  indexing),
+- broadcast variables and accumulators,
+- a task scheduler executing one task per partition, with metrics
+  (tasks launched, records read, shuffle volume) that the test-suite and
+  benchmarks use to verify pruning behaviour.
+
+The engine runs tasks in the driver process (optionally on a thread
+pool).  The *algorithmic* costs -- how many partitions a query touches,
+how many candidate pairs a join evaluates -- are identical to a
+distributed deployment, which is what the paper's evaluation shapes
+depend on.
+"""
+
+from repro.spark.accumulator import Accumulator
+from repro.spark.broadcast import Broadcast
+from repro.spark.context import SparkContext
+from repro.spark.partitioner import HashPartitioner, Partitioner
+from repro.spark.rdd import RDD
+
+__all__ = [
+    "Accumulator",
+    "Broadcast",
+    "HashPartitioner",
+    "Partitioner",
+    "RDD",
+    "SparkContext",
+]

@@ -1,0 +1,301 @@
+"""The driver context: entry point, scheduler, caches, metrics."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, TypeVar
+
+from repro.spark.accumulator import Accumulator
+from repro.spark.broadcast import Broadcast
+from repro.spark.partitioner import Partitioner
+from repro.spark.rdd import RDD, ParallelCollectionRDD, _Aggregator
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+
+@dataclass
+class Metrics:
+    """Execution counters the tests and benchmarks assert against.
+
+    ``partitions_pruned`` in particular verifies the paper's claim that
+    partition bounds/extents let queries skip partitions entirely.
+    """
+
+    tasks_launched: int = 0
+    jobs_run: int = 0
+    shuffles_executed: int = 0
+    shuffle_records_written: int = 0
+    cache_hits: int = 0
+    partitions_pruned: int = 0
+
+    def reset(self) -> None:
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+class _CacheManager:
+    """Per-(rdd, partition) in-memory block store."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[tuple[int, int], list] = {}
+        self._lock = threading.Lock()
+
+    def get(self, rdd_id: int, split: int) -> list | None:
+        with self._lock:
+            return self._blocks.get((rdd_id, split))
+
+    def put(self, rdd_id: int, split: int, data: list) -> None:
+        with self._lock:
+            self._blocks[(rdd_id, split)] = data
+
+    def evict_rdd(self, rdd_id: int) -> None:
+        with self._lock:
+            for key in [k for k in self._blocks if k[0] == rdd_id]:
+                del self._blocks[key]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._blocks.clear()
+
+
+class _ShuffleManager:
+    """Materializes and serves map outputs for shuffles.
+
+    Each registered shuffle runs its map side exactly once (on first
+    fetch), bucketing every parent partition's records by the target
+    partitioner.  With an aggregator, map-side combining happens here --
+    the reproduction of Spark's ``mapSideCombine``.
+    """
+
+    def __init__(self, context: "SparkContext") -> None:
+        self._context = context
+        self._ids = itertools.count()
+        self._registered: dict[int, tuple[RDD, Partitioner, _Aggregator | None]] = {}
+        self._outputs: dict[int, list[list[list]]] = {}
+        # Reentrant: a reduce task of one shuffle may trigger the map
+        # side of an upstream shuffle on the same thread (nested jobs run
+        # inline), so the lock must allow recursion.
+        self._lock = threading.RLock()
+
+    def register(
+        self, parent: RDD, partitioner: Partitioner, aggregator: _Aggregator | None
+    ) -> int:
+        shuffle_id = next(self._ids)
+        self._registered[shuffle_id] = (parent, partitioner, aggregator)
+        return shuffle_id
+
+    def fetch(self, shuffle_id: int, reduce_split: int) -> Iterator[tuple]:
+        outputs = self._ensure_map_outputs(shuffle_id)
+        if self._context.shuffle_serialization:
+            import pickle
+
+            return itertools.chain.from_iterable(
+                pickle.loads(map_out[reduce_split])
+                for map_out in outputs
+                if reduce_split in map_out
+            )
+        return itertools.chain.from_iterable(
+            map_out.get(reduce_split, ()) for map_out in outputs
+        )
+
+    def _ensure_map_outputs(self, shuffle_id: int) -> list[list[list]]:
+        # Double-checked locking: reduce tasks may arrive concurrently
+        # from the thread pool; only one runs the map side.
+        ready = self._outputs.get(shuffle_id)
+        if ready is not None:
+            return ready
+        with self._lock:
+            ready = self._outputs.get(shuffle_id)
+            if ready is not None:
+                return ready
+            parent, partitioner, aggregator = self._registered[shuffle_id]
+            outputs = self._run_map_side(parent, partitioner, aggregator)
+            self._outputs[shuffle_id] = outputs
+            self._context.metrics.shuffles_executed += 1
+            return outputs
+
+    def _run_map_side(
+        self, parent: RDD, partitioner: Partitioner, aggregator: _Aggregator | None
+    ) -> list[dict[int, list]]:
+        metrics = self._context.metrics
+
+        def map_task(it: Iterator[tuple]) -> dict[int, list]:
+            # Buckets are sparse (dict keyed by reduce partition): a map
+            # task touching few of the reduce partitions must not pay
+            # for the rest, or high-partition-count shuffles (e.g. fine
+            # tile grids) would go quadratic.
+            buckets: dict[int, list] = {}
+            if aggregator is None:
+                for kv in it:
+                    buckets.setdefault(partitioner.get_partition(kv[0]), []).append(kv)
+            else:
+                combined: dict[int, dict] = {}
+                for k, v in it:
+                    bucket = combined.setdefault(partitioner.get_partition(k), {})
+                    if k in bucket:
+                        bucket[k] = aggregator.merge_value(bucket[k], v)
+                    else:
+                        bucket[k] = aggregator.create_combiner(v)
+                buckets = {pid: list(d.items()) for pid, d in combined.items()}
+            metrics.shuffle_records_written += sum(len(b) for b in buckets.values())
+            if self._context.shuffle_serialization:
+                # Spill through pickle: a real shuffle serializes every
+                # record to disk/network.  Reference-passing would hide
+                # the very cost that separates replication-based join
+                # strategies from STARK's single-assignment design.
+                import pickle
+
+                return {
+                    pid: pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
+                    for pid, rows in buckets.items()
+                }
+            return buckets
+
+        # The map side is itself a job over the parent RDD.  run_job must
+        # not recurse into the pool (deadlock risk), so the context runs
+        # nested jobs inline.
+        return self._context.run_job(parent, map_task)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._outputs.clear()
+            self._registered.clear()
+
+
+class SparkContext:
+    """The driver: creates RDDs, runs jobs, owns caches and metrics.
+
+    ``parallelism`` controls both the default slice count of
+    :meth:`parallelize` and the size of the task thread pool.  With
+    ``executor="sequential"`` tasks run inline in deterministic order,
+    which the test-suite uses.
+    """
+
+    def __init__(
+        self,
+        app_name: str = "repro",
+        parallelism: int = 4,
+        executor: str = "threads",
+        shuffle_serialization: bool = True,
+    ) -> None:
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if executor not in ("threads", "sequential"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.app_name = app_name
+        self.default_parallelism = parallelism
+        self._executor_mode = executor
+        #: Serialize shuffled records through pickle (like a real Spark
+        #: shuffle).  Keeps the engine's cost model faithful; disable
+        #: only for micro-tests where shuffle cost is irrelevant.
+        self.shuffle_serialization = shuffle_serialization
+        self._rdd_ids = itertools.count()
+        self._cache = _CacheManager()
+        self._shuffle = _ShuffleManager(self)
+        self.metrics = Metrics()
+        self._pool: ThreadPoolExecutor | None = None
+        self._in_job = threading.local()
+
+    # -- RDD creation --------------------------------------------------------
+
+    def parallelize(self, data: Iterable[T], num_slices: int | None = None) -> RDD[T]:
+        """Create an RDD from an in-memory collection."""
+        return ParallelCollectionRDD(self, data, num_slices or self.default_parallelism)
+
+    def empty_rdd(self) -> RDD[Any]:
+        return ParallelCollectionRDD(self, [], 1)
+
+    def text_file(self, path: str, num_slices: int | None = None) -> RDD[str]:
+        """Read a text file (or directory of part-files) as an RDD of lines."""
+        from repro.spark import storage
+
+        return storage.text_file_rdd(self, path, num_slices or self.default_parallelism)
+
+    def object_file(self, path: str) -> RDD[Any]:
+        """Read a directory written by ``save_as_object_file``.
+
+        Partitioning is preserved: one part-file, one partition.
+        """
+        from repro.spark import storage
+
+        return storage.object_file_rdd(self, path)
+
+    def broadcast(self, value: T) -> Broadcast[T]:
+        """Wrap a read-only value shared by every task."""
+        return Broadcast(value)
+
+    def accumulator(self, initial: U, op: Callable[[U, U], U] | None = None) -> Accumulator[U]:
+        """A write-only aggregation variable tasks can add to."""
+        return Accumulator(initial, op)
+
+    # -- execution -----------------------------------------------------------
+
+    def run_job(
+        self,
+        rdd: RDD[T],
+        fn: Callable[[Iterator[T]], U],
+        partitions: Iterable[int] | None = None,
+    ) -> list[U]:
+        """Run ``fn`` over each requested partition and gather the results.
+
+        The backbone of every action.  Nested jobs (e.g. a shuffle map
+        side triggered from inside a reduce task) run inline on the
+        calling thread to avoid pool starvation.
+        """
+        splits = list(partitions) if partitions is not None else list(range(rdd.num_partitions))
+        self.metrics.jobs_run += 1
+        self.metrics.tasks_launched += len(splits)
+
+        def task(split: int) -> U:
+            # Mark this *worker thread* as inside a task so any nested
+            # job it triggers (e.g. a shuffle map side) runs inline
+            # instead of re-entering the pool and starving it.
+            previous = getattr(self._in_job, "active", False)
+            self._in_job.active = True
+            try:
+                return fn(rdd.iterator(split))
+            finally:
+                self._in_job.active = previous
+
+        nested = getattr(self._in_job, "active", False)
+        if self._executor_mode == "sequential" or nested or len(splits) <= 1:
+            return [task(s) for s in splits]
+        pool = self._ensure_pool()
+        return list(pool.map(task, splits))
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.default_parallelism,
+                thread_name_prefix=f"{self.app_name}-task",
+            )
+        return self._pool
+
+    def _next_rdd_id(self) -> int:
+        return next(self._rdd_ids)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Release the thread pool and drop all cached blocks."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._cache.clear()
+        self._shuffle.clear()
+
+    def __enter__(self) -> "SparkContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return f"SparkContext({self.app_name!r}, parallelism={self.default_parallelism})"

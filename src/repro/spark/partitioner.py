@@ -1,0 +1,58 @@
+"""The partitioner contract.
+
+A partitioner maps a record *key* to a partition id.  STARK's central
+integration point with Spark is exactly this interface (paper section
+2.1): its spatial partitioners "implement Spark's Partitioner interface
+and can be used to spatially partition an RDD with the RDD's
+partitionBy method".  The reproduction keeps that shape.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Hashable
+
+
+class Partitioner(ABC):
+    """Maps keys to partition ids in ``range(num_partitions)``."""
+
+    @property
+    @abstractmethod
+    def num_partitions(self) -> int:
+        """Total number of partitions this partitioner produces."""
+
+    @abstractmethod
+    def get_partition(self, key: Any) -> int:
+        """The partition id for *key* (must be in ``range(num_partitions)``)."""
+
+    def __eq__(self, other: object) -> bool:
+        """Partitioners compare by behaviour class + partition count.
+
+        Two equal partitioners are guaranteed to co-locate equal keys,
+        which lets the engine skip a shuffle when an RDD is already
+        partitioned compatibly (same optimisation Spark applies).
+        Subclasses with parameters must extend this.
+        """
+        return type(other) is type(self) and other.num_partitions == self.num_partitions  # type: ignore[union-attr]
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default partitioner: ``hash(key) mod n``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError(f"need at least 1 partition, got {num_partitions}")
+        self._num_partitions = num_partitions
+
+    @property
+    def num_partitions(self) -> int:
+        return self._num_partitions
+
+    def get_partition(self, key: Hashable) -> int:
+        return hash(key) % self._num_partitions
+
+    def __repr__(self) -> str:
+        return f"HashPartitioner({self._num_partitions})"

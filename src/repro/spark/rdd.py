@@ -1,0 +1,970 @@
+"""The RDD abstraction: lazy, partitioned, immutable collections.
+
+An :class:`RDD` is a node in a lineage DAG.  Transformations build new
+nodes without computing anything; actions walk the lineage and execute
+one task per partition through the context's scheduler.  The subset
+implemented here is the one STARK's operators are written against,
+plus the usual conveniences (``sortBy``, ``takeOrdered``, ``sample``,
+``zipWithIndex``) that the examples and benchmarks use.
+
+Key-value functionality (``reduceByKey``, ``join``, ``partitionBy``,
+...) is available on any RDD whose elements are 2-tuples, mirroring
+Spark's implicit ``PairRDDFunctions`` conversion.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import itertools
+import random
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import (
+    Any,
+    Callable,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    Optional,
+    TypeVar,
+)
+
+from repro.spark.partitioner import HashPartitioner, Partitioner
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class RDD(ABC, Generic[T]):
+    """Base class for all RDDs.
+
+    Subclasses implement :meth:`compute` (produce one partition's
+    elements) and :attr:`num_partitions`.  Everything else -- the full
+    transformation/action API, caching, lineage bookkeeping -- lives
+    here.
+    """
+
+    def __init__(
+        self,
+        context: "SparkContext",
+        parents: Iterable["RDD"] = (),
+        partitioner: Optional[Partitioner] = None,
+    ) -> None:
+        from repro.spark.context import SparkContext  # cycle guard
+
+        assert isinstance(context, SparkContext)
+        self.context = context
+        self.id = context._next_rdd_id()
+        self.parents = tuple(parents)
+        #: The partitioner that co-locates this RDD's keys, if any.
+        #: Set for shuffled RDDs and preserved through ``mapValues`` &co.
+        self.partitioner = partitioner
+        self._cached = False
+        self.name: str | None = None
+
+    # -- subclass contract -------------------------------------------------
+
+    @property
+    @abstractmethod
+    def num_partitions(self) -> int:
+        """Number of partitions (a.k.a. splits)."""
+
+    @abstractmethod
+    def compute(self, split: int) -> Iterator[T]:
+        """Produce the elements of partition *split*."""
+
+    # -- caching -----------------------------------------------------------
+
+    def persist(self) -> "RDD[T]":
+        """Mark this RDD's partitions for in-memory caching.
+
+        The first computation of each partition materializes it; later
+        computations reuse the cached list.  Matches Spark's
+        ``MEMORY_ONLY`` level (the only one a single process needs).
+        """
+        self._cached = True
+        return self
+
+    cache = persist
+
+    def unpersist(self) -> "RDD[T]":
+        """Drop this RDD's cached partitions."""
+        self._cached = False
+        self.context._cache.evict_rdd(self.id)
+        return self
+
+    def iterator(self, split: int) -> Iterator[T]:
+        """Compute a partition, transparently consulting the cache."""
+        if not self._cached:
+            return self.compute(split)
+        cache = self.context._cache
+        hit = cache.get(self.id, split)
+        if hit is not None:
+            self.context.metrics.cache_hits += 1
+            return iter(hit)
+        data = list(self.compute(split))
+        cache.put(self.id, split, data)
+        return iter(data)
+
+    def set_name(self, name: str) -> "RDD[T]":
+        """Attach a debug name (shown in ``toDebugString``)."""
+        self.name = name
+        return self
+
+    # -- narrow transformations ---------------------------------------------
+
+    def map(self, fn: Callable[[T], U]) -> "RDD[U]":
+        """Apply *fn* to every element."""
+        return MapPartitionsRDD(self, lambda _split, it: map(fn, it))
+
+    def filter(self, pred: Callable[[T], bool]) -> "RDD[T]":
+        """Keep elements for which *pred* is true."""
+        return MapPartitionsRDD(
+            self, lambda _split, it: filter(pred, it), preserves_partitioning=True
+        )
+
+    def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "RDD[U]":
+        """Apply *fn* and flatten the results."""
+        return MapPartitionsRDD(
+            self, lambda _split, it: itertools.chain.from_iterable(map(fn, it))
+        )
+
+    def map_partitions(
+        self,
+        fn: Callable[[Iterator[T]], Iterable[U]],
+        preserves_partitioning: bool = False,
+    ) -> "RDD[U]":
+        """Apply *fn* once per partition."""
+        return MapPartitionsRDD(
+            self, lambda _split, it: fn(it), preserves_partitioning
+        )
+
+    def map_partitions_with_index(
+        self,
+        fn: Callable[[int, Iterator[T]], Iterable[U]],
+        preserves_partitioning: bool = False,
+    ) -> "RDD[U]":
+        """Like :meth:`map_partitions` but *fn* also receives the split id."""
+        return MapPartitionsRDD(self, fn, preserves_partitioning)
+
+    def glom(self) -> "RDD[list[T]]":
+        """Turn each partition into a single list element."""
+        return MapPartitionsRDD(self, lambda _split, it: iter([list(it)]))
+
+    def key_by(self, fn: Callable[[T], K]) -> "RDD[tuple[K, T]]":
+        """Pair every element with ``fn(element)`` as its key."""
+        return self.map(lambda x: (fn(x), x))
+
+    def zip_with_index(self) -> "RDD[tuple[T, int]]":
+        """Pair every element with its global index (stable order)."""
+        counts = self.context.run_job(self, lambda it: sum(1 for _ in it))
+        offsets = [0]
+        for c in counts[:-1]:
+            offsets.append(offsets[-1] + c)
+
+        def attach(split: int, it: Iterator[T]) -> Iterator[tuple[T, int]]:
+            return ((x, offsets[split] + i) for i, x in enumerate(it))
+
+        return MapPartitionsRDD(self, attach)
+
+    def union(self, other: "RDD[T]") -> "RDD[T]":
+        """Concatenate two RDDs (duplicates preserved, like Spark)."""
+        return UnionRDD(self.context, [self, other])
+
+    def cartesian(self, other: "RDD[U]") -> "RDD[tuple[T, U]]":
+        """All pairs of elements from the two RDDs."""
+        return CartesianRDD(self, other)
+
+    def sample(
+        self, fraction: float, seed: int = 17, with_replacement: bool = False
+    ) -> "RDD[T]":
+        """Bernoulli (or Poisson-ish) sample of roughly ``fraction`` of rows."""
+        if fraction < 0:
+            raise ValueError("fraction must be non-negative")
+
+        def sampler(split: int, it: Iterator[T]) -> Iterator[T]:
+            rng = random.Random(seed * 1_000_003 + split)
+            if with_replacement:
+                whole, rest = int(fraction), fraction - int(fraction)
+                for x in it:
+                    copies = whole + (1 if rng.random() < rest else 0)
+                    for _ in range(copies):
+                        yield x
+            else:
+                for x in it:
+                    if rng.random() < fraction:
+                        yield x
+
+        return MapPartitionsRDD(self, sampler, preserves_partitioning=True)
+
+    def coalesce(self, num_partitions: int) -> "RDD[T]":
+        """Reduce partition count without a shuffle (grouping adjacent splits)."""
+        if num_partitions < 1:
+            raise ValueError("need at least 1 partition")
+        return CoalescedRDD(self, num_partitions)
+
+    def repartition(self, num_partitions: int) -> "RDD[T]":
+        """Change partition count via a full shuffle (round-robin)."""
+        indexed = self.map_partitions_with_index(
+            lambda split, it: (((split + i) % num_partitions, x) for i, x in enumerate(it))
+        )
+        shuffled = ShuffledRDD(indexed, _IdentityPartitioner(num_partitions))
+        return shuffled.values()
+
+    def distinct(self) -> "RDD[T]":
+        """Remove duplicates (requires hashable elements)."""
+        paired = self.map(lambda x: (x, None))
+        return paired.reduce_by_key(lambda a, _b: a).keys()
+
+    def subtract(self, other: "RDD[T]") -> "RDD[T]":
+        """Elements of this RDD absent from *other* (duplicates preserved)."""
+        tagged = self.map(lambda x: (x, True)).cogroup(
+            other.map(lambda x: (x, True))
+        )
+
+        def keep(kv: tuple[T, tuple[list, list]]) -> list[T]:
+            own_copies, in_other = kv[1]
+            if in_other:
+                return []
+            return [kv[0]] * len(own_copies)
+
+        return tagged.flat_map(keep)
+
+    def intersection(self, other: "RDD[T]") -> "RDD[T]":
+        """Distinct elements present in both RDDs."""
+        grouped = self.map(lambda x: (x, True)).cogroup(
+            other.map(lambda x: (x, True))
+        )
+        return grouped.flat_map(
+            lambda kv: [kv[0]] if kv[1][0] and kv[1][1] else []
+        )
+
+    def zip(self, other: "RDD[U]") -> "RDD[tuple[T, U]]":
+        """Pair elements positionally; both sides must align exactly.
+
+        Like Spark, requires the same partition count and the same
+        number of elements per partition (checked lazily per task).
+        """
+        if self.num_partitions != other.num_partitions:
+            raise ValueError(
+                f"cannot zip RDDs with {self.num_partitions} and "
+                f"{other.num_partitions} partitions"
+            )
+        return _ZippedRDD(self, other)
+
+    def sort_by(
+        self,
+        key_fn: Callable[[T], Any],
+        ascending: bool = True,
+        num_partitions: int | None = None,
+    ) -> "RDD[T]":
+        """Globally sort by ``key_fn`` using sampled range boundaries."""
+        n_out = num_partitions or max(1, self.num_partitions)
+        sample = self.map(key_fn).collect_sample(max(n_out * 20, 100))
+        sample.sort()
+        bounds = [
+            sample[int(len(sample) * i / n_out)]
+            for i in range(1, n_out)
+        ] if sample else []
+
+        part = _RangePartitioner(bounds, ascending)
+        keyed = self.map(lambda x: (key_fn(x), x))
+        shuffled = ShuffledRDD(keyed, part)
+
+        def sort_partition(it: Iterator[tuple[Any, T]]) -> Iterator[tuple[Any, T]]:
+            rows = sorted(it, key=lambda kv: kv[0], reverse=not ascending)
+            return iter(rows)
+
+        return shuffled.map_partitions(sort_partition, True).values()
+
+    def collect_sample(self, target: int) -> list[T]:
+        """A cheap sample of up to roughly *target* elements (internal)."""
+        total = self.count()
+        if total == 0:
+            return []
+        fraction = min(1.0, target / total)
+        sampled = self.sample(fraction).collect()
+        return sampled if sampled else self.take(min(total, target))
+
+    # -- pair-RDD transformations -------------------------------------------
+
+    def keys(self) -> "RDD[Any]":
+        return self.map(lambda kv: kv[0])
+
+    def values(self) -> "RDD[Any]":
+        return MapPartitionsRDD(
+            self, lambda _split, it: (kv[1] for kv in it), preserves_partitioning=False
+        )
+
+    def map_values(self, fn: Callable[[V], U]) -> "RDD[tuple[K, U]]":
+        """Transform values only; key partitioning is preserved."""
+        return MapPartitionsRDD(
+            self,
+            lambda _split, it: ((k, fn(v)) for k, v in it),
+            preserves_partitioning=True,
+        )
+
+    def flat_map_values(self, fn: Callable[[V], Iterable[U]]) -> "RDD[tuple[K, U]]":
+        return MapPartitionsRDD(
+            self,
+            lambda _split, it: ((k, u) for k, v in it for u in fn(v)),
+            preserves_partitioning=True,
+        )
+
+    def partition_by(self, partitioner: Partitioner) -> "RDD[tuple[K, V]]":
+        """Redistribute (key, value) pairs according to *partitioner*.
+
+        This is the method STARK's spatial partitioners are applied
+        through.  A no-op (no shuffle) when the RDD already carries an
+        equal partitioner.
+        """
+        if self.partitioner is not None and self.partitioner == partitioner:
+            return self
+        return ShuffledRDD(self, partitioner)
+
+    def combine_by_key(
+        self,
+        create_combiner: Callable[[V], U],
+        merge_value: Callable[[U, V], U],
+        merge_combiners: Callable[[U, U], U],
+        partitioner: Partitioner | None = None,
+    ) -> "RDD[tuple[K, U]]":
+        """The general shuffle-based aggregation all others reduce to."""
+        # Default reduce-side width follows the context's parallelism
+        # (Spark's spark.default.parallelism), NOT the parent's partition
+        # count: a fine-grained parent (e.g. a 64x64 tile join) must not
+        # force thousands of reduce tasks on every downstream shuffle.
+        part = partitioner or HashPartitioner(self.context.default_parallelism)
+        return ShuffledRDD(
+            self,
+            part,
+            aggregator=_Aggregator(create_combiner, merge_value, merge_combiners),
+        )
+
+    def reduce_by_key(
+        self, fn: Callable[[V, V], V], partitioner: Partitioner | None = None
+    ) -> "RDD[tuple[K, V]]":
+        return self.combine_by_key(lambda v: v, fn, fn, partitioner)
+
+    def aggregate_by_key(
+        self,
+        zero: U,
+        seq_fn: Callable[[U, V], U],
+        comb_fn: Callable[[U, U], U],
+        partitioner: Partitioner | None = None,
+    ) -> "RDD[tuple[K, U]]":
+        import copy
+
+        return self.combine_by_key(
+            lambda v: seq_fn(copy.deepcopy(zero), v), seq_fn, comb_fn, partitioner
+        )
+
+    def group_by_key(
+        self, partitioner: Partitioner | None = None
+    ) -> "RDD[tuple[K, list[V]]]":
+        return self.combine_by_key(
+            lambda v: [v],
+            lambda acc, v: acc + [v],
+            lambda a, b: a + b,
+            partitioner,
+        )
+
+    def group_by(
+        self, key_fn: Callable[[T], K], partitioner: Partitioner | None = None
+    ) -> "RDD[tuple[K, list[T]]]":
+        return self.map(lambda x: (key_fn(x), x)).group_by_key(partitioner)
+
+    def join(
+        self, other: "RDD[tuple[K, U]]", partitioner: Partitioner | None = None
+    ) -> "RDD[tuple[K, tuple[V, U]]]":
+        """Inner equi-join on keys."""
+        return self.cogroup(other, partitioner).flat_map_values(
+            lambda pair: [(v, u) for v in pair[0] for u in pair[1]]
+        )
+
+    def left_outer_join(
+        self, other: "RDD[tuple[K, U]]", partitioner: Partitioner | None = None
+    ) -> "RDD[tuple[K, tuple[V, U | None]]]":
+        def expand(pair: tuple[list, list]) -> list:
+            left, right = pair
+            if not right:
+                return [(v, None) for v in left]
+            return [(v, u) for v in left for u in right]
+
+        return self.cogroup(other, partitioner).flat_map_values(expand)
+
+    def right_outer_join(
+        self, other: "RDD[tuple[K, U]]", partitioner: Partitioner | None = None
+    ) -> "RDD[tuple[K, tuple[V | None, U]]]":
+        def expand(pair: tuple[list, list]) -> list:
+            left, right = pair
+            if not left:
+                return [(None, u) for u in right]
+            return [(v, u) for v in left for u in right]
+
+        return self.cogroup(other, partitioner).flat_map_values(expand)
+
+    def full_outer_join(
+        self, other: "RDD[tuple[K, U]]", partitioner: Partitioner | None = None
+    ) -> "RDD[tuple[K, tuple[V | None, U | None]]]":
+        def expand(pair: tuple[list, list]) -> list:
+            left, right = pair
+            if not left:
+                return [(None, u) for u in right]
+            if not right:
+                return [(v, None) for v in left]
+            return [(v, u) for v in left for u in right]
+
+        return self.cogroup(other, partitioner).flat_map_values(expand)
+
+    def cogroup(
+        self, other: "RDD[tuple[K, U]]", partitioner: Partitioner | None = None
+    ) -> "RDD[tuple[K, tuple[list[V], list[U]]]]":
+        """Group both RDDs' values per key into a pair of lists."""
+        part = partitioner or HashPartitioner(self.context.default_parallelism)
+        left = self.map_values(lambda v: (0, v))
+        right = other.map_values(lambda u: (1, u))
+        tagged = left.union(right)
+
+        def create(v: tuple[int, Any]) -> tuple[list, list]:
+            groups: tuple[list, list] = ([], [])
+            groups[v[0]].append(v[1])
+            return groups
+
+        def merge_value(acc: tuple[list, list], v: tuple[int, Any]):
+            acc[v[0]].append(v[1])
+            return acc
+
+        def merge_combiners(a: tuple[list, list], b: tuple[list, list]):
+            a[0].extend(b[0])
+            a[1].extend(b[1])
+            return a
+
+        return tagged.combine_by_key(create, merge_value, merge_combiners, part)
+
+    # -- actions -------------------------------------------------------------
+
+    def collect(self) -> list[T]:
+        """Materialize every element in partition order."""
+        chunks = self.context.run_job(self, list)
+        return [x for chunk in chunks for x in chunk]
+
+    def count(self) -> int:
+        """Number of elements."""
+        return sum(self.context.run_job(self, lambda it: sum(1 for _ in it)))
+
+    def is_empty(self) -> bool:
+        return not self.take(1)
+
+    def first(self) -> T:
+        rows = self.take(1)
+        if not rows:
+            raise ValueError("RDD is empty")
+        return rows[0]
+
+    def take(self, n: int) -> list[T]:
+        """The first *n* elements, computing as few partitions as possible."""
+        if n <= 0:
+            return []
+        out: list[T] = []
+        for split in range(self.num_partitions):
+            self.context.metrics.tasks_launched += 1
+            for x in self.iterator(split):
+                out.append(x)
+                if len(out) == n:
+                    return out
+        return out
+
+    def top(self, n: int, key: Callable[[T], Any] | None = None) -> list[T]:
+        """The *n* largest elements, descending."""
+        per_part = self.context.run_job(
+            self, lambda it: heapq.nlargest(n, it, key=key)
+        )
+        return heapq.nlargest(n, itertools.chain.from_iterable(per_part), key=key)
+
+    def take_ordered(self, n: int, key: Callable[[T], Any] | None = None) -> list[T]:
+        """The *n* smallest elements, ascending."""
+        per_part = self.context.run_job(
+            self, lambda it: heapq.nsmallest(n, it, key=key)
+        )
+        return heapq.nsmallest(n, itertools.chain.from_iterable(per_part), key=key)
+
+    def reduce(self, fn: Callable[[T, T], T]) -> T:
+        """Fold the RDD with an associative *fn*; raises on empty RDDs."""
+        def reduce_partition(it: Iterator[T]) -> list[T]:
+            it = iter(it)
+            try:
+                acc = next(it)
+            except StopIteration:
+                return []
+            for x in it:
+                acc = fn(acc, x)
+            return [acc]
+
+        partials = [
+            x for chunk in self.context.run_job(self, reduce_partition) for x in chunk
+        ]
+        if not partials:
+            raise ValueError("reduce of empty RDD")
+        acc = partials[0]
+        for x in partials[1:]:
+            acc = fn(acc, x)
+        return acc
+
+    def fold(self, zero: T, fn: Callable[[T, T], T]) -> T:
+        import copy
+
+        def fold_partition(it: Iterator[T]) -> T:
+            acc = copy.deepcopy(zero)
+            for x in it:
+                acc = fn(acc, x)
+            return acc
+
+        acc = copy.deepcopy(zero)
+        for part in self.context.run_job(self, fold_partition):
+            acc = fn(acc, part)
+        return acc
+
+    def aggregate(
+        self, zero: U, seq_fn: Callable[[U, T], U], comb_fn: Callable[[U, U], U]
+    ) -> U:
+        import copy
+
+        def agg_partition(it: Iterator[T]) -> U:
+            acc = copy.deepcopy(zero)
+            for x in it:
+                acc = seq_fn(acc, x)
+            return acc
+
+        acc = copy.deepcopy(zero)
+        for part in self.context.run_job(self, agg_partition):
+            acc = comb_fn(acc, part)
+        return acc
+
+    def sum(self) -> Any:
+        return self.aggregate(0, lambda a, x: a + x, lambda a, b: a + b)
+
+    def stats(self) -> "StatCounter":
+        """Count / mean / stdev / min / max of a numeric RDD, one pass."""
+        def seq(acc: StatCounter, x) -> StatCounter:
+            acc.merge_value(x)
+            return acc
+
+        def comb(a: StatCounter, b: StatCounter) -> StatCounter:
+            a.merge_counter(b)
+            return a
+
+        return self.aggregate(StatCounter(), seq, comb)
+
+    def mean(self) -> float:
+        return self.stats().mean
+
+    def stdev(self) -> float:
+        return self.stats().stdev
+
+    def min(self, key: Callable[[T], Any] | None = None) -> T:
+        rows = self.take_ordered(1, key=key)
+        if not rows:
+            raise ValueError("min of empty RDD")
+        return rows[0]
+
+    def max(self, key: Callable[[T], Any] | None = None) -> T:
+        rows = self.top(1, key=key)
+        if not rows:
+            raise ValueError("max of empty RDD")
+        return rows[0]
+
+    def count_by_key(self) -> dict[K, int]:
+        def count_partition(it: Iterator[tuple[K, V]]) -> dict[K, int]:
+            counts: dict[K, int] = defaultdict(int)
+            for k, _v in it:
+                counts[k] += 1
+            return dict(counts)
+
+        totals: dict[K, int] = defaultdict(int)
+        for partial in self.context.run_job(self, count_partition):
+            for k, c in partial.items():
+                totals[k] += c
+        return dict(totals)
+
+    def count_by_value(self) -> dict[T, int]:
+        return self.map(lambda x: (x, None)).count_by_key()
+
+    def foreach(self, fn: Callable[[T], None]) -> None:
+        self.context.run_job(self, lambda it: [fn(x) for x in it] and None)
+
+    def foreach_partition(self, fn: Callable[[Iterator[T]], None]) -> None:
+        self.context.run_job(self, lambda it: fn(it))
+
+    def save_as_object_file(self, path: str) -> None:
+        """Write each partition as a pickle part-file under *path*.
+
+        The stand-in for ``saveAsObjectFile`` to HDFS that STARK's
+        persistent indexing relies on (paper section 2.2).
+        """
+        from repro.spark import storage
+
+        storage.save_object_file(self, path)
+
+    def save_as_text_file(self, path: str) -> None:
+        """Write ``str(element)`` lines, one part-file per partition."""
+        from repro.spark import storage
+
+        storage.save_text_file(self, path)
+
+    # -- introspection -------------------------------------------------------
+
+    def to_debug_string(self, _indent: int = 0) -> str:
+        """Render the lineage tree, one node per line."""
+        label = f"({self.num_partitions}) {type(self).__name__}[{self.id}]"
+        if self.name:
+            label += f" {self.name}"
+        lines = [" " * _indent + label]
+        for parent in self.parents:
+            lines.append(parent.to_debug_string(_indent + 2))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}[{self.id}] ({self.num_partitions} partitions)"
+
+
+math_inf = float("inf")
+
+
+class StatCounter:
+    """Welford-style running statistics, mergeable across partitions."""
+
+    __slots__ = ("count", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math_inf
+        self._max = -math_inf
+
+    def merge_value(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def merge_counter(self, other: "StatCounter") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            return
+        delta = other._mean - self._mean
+        total = self.count + other.count
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of empty RDD")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count == 0:
+            raise ValueError("variance of empty RDD")
+        return self._m2 / self.count
+
+    @property
+    def stdev(self) -> float:
+        return self.variance ** 0.5
+
+    @property
+    def minimum(self) -> float:
+        if self.count == 0:
+            raise ValueError("min of empty RDD")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self.count == 0:
+            raise ValueError("max of empty RDD")
+        return self._max
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "StatCounter(empty)"
+        return (
+            f"StatCounter(count={self.count}, mean={self._mean:g}, "
+            f"stdev={self.stdev:g}, min={self._min:g}, max={self._max:g})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# concrete RDDs
+# ---------------------------------------------------------------------------
+
+
+class ParallelCollectionRDD(RDD[T]):
+    """An RDD over an in-memory sequence, sliced into N partitions."""
+
+    def __init__(self, context, data: Iterable[T], num_slices: int) -> None:
+        super().__init__(context)
+        items = list(data)
+        if num_slices < 1:
+            raise ValueError("need at least 1 slice")
+        self._slices: list[list[T]] = [[] for _ in range(num_slices)]
+        # Contiguous slicing (like Spark) keeps input order stable.
+        n = len(items)
+        for i in range(num_slices):
+            start = i * n // num_slices
+            end = (i + 1) * n // num_slices
+            self._slices[i] = items[start:end]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._slices)
+
+    def compute(self, split: int) -> Iterator[T]:
+        return iter(self._slices[split])
+
+
+class MapPartitionsRDD(RDD[U]):
+    """Applies a function to each parent partition (narrow dependency)."""
+
+    def __init__(
+        self,
+        parent: RDD[T],
+        fn: Callable[[int, Iterator[T]], Iterable[U]],
+        preserves_partitioning: bool = False,
+    ) -> None:
+        super().__init__(
+            parent.context,
+            [parent],
+            partitioner=parent.partitioner if preserves_partitioning else None,
+        )
+        self._fn = fn
+
+    @property
+    def num_partitions(self) -> int:
+        return self.parents[0].num_partitions
+
+    def compute(self, split: int) -> Iterator[U]:
+        return iter(self._fn(split, self.parents[0].iterator(split)))
+
+
+class UnionRDD(RDD[T]):
+    """Concatenation of several RDDs; partitions are stacked in order."""
+
+    def __init__(self, context, rdds: list[RDD[T]]) -> None:
+        super().__init__(context, rdds)
+        self._offsets: list[tuple[RDD[T], int]] = [
+            (rdd, split) for rdd in rdds for split in range(rdd.num_partitions)
+        ]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._offsets)
+
+    def compute(self, split: int) -> Iterator[T]:
+        rdd, parent_split = self._offsets[split]
+        return rdd.iterator(parent_split)
+
+
+class CartesianRDD(RDD[tuple]):
+    """All (left, right) element pairs; one task per partition pair."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(left.context, [left, right])
+        self._left = left
+        self._right = right
+
+    @property
+    def num_partitions(self) -> int:
+        return self._left.num_partitions * self._right.num_partitions
+
+    def compute(self, split: int) -> Iterator[tuple]:
+        right_n = self._right.num_partitions
+        left_split, right_split = divmod(split, right_n)
+        left_rows = list(self._left.iterator(left_split))
+        for right_row in self._right.iterator(right_split):
+            for left_row in left_rows:
+                yield (left_row, right_row)
+
+
+class _ZippedRDD(RDD[tuple]):
+    """Positional zip of two equally-partitioned RDDs."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(left.context, [left, right])
+        self._left = left
+        self._right = right
+
+    @property
+    def num_partitions(self) -> int:
+        return self._left.num_partitions
+
+    def compute(self, split: int) -> Iterator[tuple]:
+        left_it = self._left.iterator(split)
+        right_it = self._right.iterator(split)
+        sentinel = object()
+        while True:
+            left_value = next(left_it, sentinel)
+            right_value = next(right_it, sentinel)
+            if left_value is sentinel and right_value is sentinel:
+                return
+            if left_value is sentinel or right_value is sentinel:
+                raise ValueError(
+                    f"cannot zip: partition {split} has unequal element counts"
+                )
+            yield (left_value, right_value)
+
+
+class CoalescedRDD(RDD[T]):
+    """Groups adjacent parent partitions without shuffling."""
+
+    def __init__(self, parent: RDD[T], num_partitions: int) -> None:
+        super().__init__(parent.context, [parent])
+        self._groups: list[list[int]] = [[] for _ in range(min(num_partitions, max(1, parent.num_partitions)))]
+        for split in range(parent.num_partitions):
+            self._groups[split * len(self._groups) // max(1, parent.num_partitions)].append(split)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._groups)
+
+    def compute(self, split: int) -> Iterator[T]:
+        parent = self.parents[0]
+        return itertools.chain.from_iterable(
+            parent.iterator(s) for s in self._groups[split]
+        )
+
+
+class PartitionPruningRDD(RDD[T]):
+    """Exposes only a subset of the parent's partitions.
+
+    This is how STARK's operators skip partitions whose bounds/extent
+    cannot contribute to a query: the pruned partitions are never
+    computed at all.
+    """
+
+    def __init__(self, parent: RDD[T], partition_ids: Iterable[int]) -> None:
+        super().__init__(parent.context, [parent])
+        self._ids = sorted(set(partition_ids))
+        for pid in self._ids:
+            if not 0 <= pid < parent.num_partitions:
+                raise IndexError(
+                    f"partition {pid} out of range 0..{parent.num_partitions - 1}"
+                )
+        self.context.metrics.partitions_pruned += parent.num_partitions - len(self._ids)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._ids)
+
+    def compute(self, split: int) -> Iterator[T]:
+        return self.parents[0].iterator(self._ids[split])
+
+
+class _Aggregator:
+    """Map-side + reduce-side combine logic for :class:`ShuffledRDD`."""
+
+    __slots__ = ("create_combiner", "merge_value", "merge_combiners")
+
+    def __init__(self, create_combiner, merge_value, merge_combiners) -> None:
+        self.create_combiner = create_combiner
+        self.merge_value = merge_value
+        self.merge_combiners = merge_combiners
+
+
+class ShuffledRDD(RDD[tuple]):
+    """A wide dependency: repartition (key, value) pairs by a partitioner.
+
+    Map outputs are materialized once per shuffle through the context's
+    shuffle manager and then served to reduce tasks, mirroring Spark's
+    hash shuffle.  With an aggregator, values are combined map-side and
+    merged reduce-side (``reduceByKey`` semantics); without one, raw
+    pairs pass through (``partitionBy`` semantics).
+    """
+
+    def __init__(
+        self,
+        parent: RDD[tuple],
+        partitioner: Partitioner,
+        aggregator: _Aggregator | None = None,
+    ) -> None:
+        super().__init__(parent.context, [parent], partitioner=partitioner)
+        self._aggregator = aggregator
+        self._shuffle_id = parent.context._shuffle.register(
+            parent, partitioner, aggregator
+        )
+
+    @property
+    def num_partitions(self) -> int:
+        assert self.partitioner is not None
+        return self.partitioner.num_partitions
+
+    def compute(self, split: int) -> Iterator[tuple]:
+        rows = self.context._shuffle.fetch(self._shuffle_id, split)
+        if self._aggregator is None:
+            return iter(rows)
+        merged: dict = {}
+        agg = self._aggregator
+        for k, combined in rows:
+            if k in merged:
+                merged[k] = agg.merge_combiners(merged[k], combined)
+            else:
+                merged[k] = combined
+        return iter(merged.items())
+
+
+class _IdentityPartitioner(Partitioner):
+    """Routes integer keys directly to partitions (internal)."""
+
+    def __init__(self, num_partitions: int) -> None:
+        self._n = num_partitions
+
+    @property
+    def num_partitions(self) -> int:
+        return self._n
+
+    def get_partition(self, key: int) -> int:
+        return key % self._n
+
+
+class _RangePartitioner(Partitioner):
+    """Routes ordered keys to partitions by sampled boundaries (sortBy)."""
+
+    def __init__(self, bounds: list, ascending: bool) -> None:
+        self._bounds = bounds
+        self._ascending = ascending
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._bounds) + 1
+
+    def get_partition(self, key) -> int:
+        idx = bisect.bisect_right(self._bounds, key)
+        if not self._ascending:
+            idx = len(self._bounds) - idx
+        return idx
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(other) is _RangePartitioner
+            and other._bounds == self._bounds
+            and other._ascending == self._ascending
+        )
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._bounds), self._ascending))

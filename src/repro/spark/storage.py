@@ -1,0 +1,157 @@
+"""Object and text file storage -- the HDFS stand-in.
+
+The paper's workflow (Fig. 2) stores partitioned/indexed RDDs as binary
+objects on HDFS and reloads them in later programs.  Here a "file" is a
+directory of ``part-NNNNN`` files, one per partition, written with
+pickle.  Reading an object file restores the exact partitioning, which
+is what makes persisted spatial indexes reusable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+from typing import Any, Iterator, TypeVar
+
+from repro.spark.rdd import RDD
+
+T = TypeVar("T")
+
+_PART_RE = re.compile(r"^part-(\d{5})(\.pkl|\.txt)$")
+_SUCCESS_MARKER = "_SUCCESS"
+
+
+class StorageError(IOError):
+    """Raised for malformed or incomplete stored RDD directories."""
+
+
+def _part_name(split: int, suffix: str) -> str:
+    return f"part-{split:05d}{suffix}"
+
+
+def _list_parts(path: str, suffix: str) -> list[str]:
+    if not os.path.isdir(path):
+        raise StorageError(f"{path!r} is not a stored-RDD directory")
+    if not os.path.exists(os.path.join(path, _SUCCESS_MARKER)):
+        raise StorageError(f"{path!r} has no _SUCCESS marker (incomplete write?)")
+    parts = sorted(
+        name for name in os.listdir(path)
+        if (m := _PART_RE.match(name)) and m.group(2) == suffix
+    )
+    if not parts:
+        raise StorageError(f"{path!r} contains no {suffix} part-files")
+    return parts
+
+
+def save_object_file(rdd: RDD[T], path: str) -> None:
+    """Write one pickle part-file per partition, then a success marker.
+
+    Refuses to overwrite an existing directory, like Hadoop output
+    committers do.
+    """
+    if os.path.exists(path):
+        raise StorageError(f"output path {path!r} already exists")
+    os.makedirs(path)
+
+    def write_partition(split: int, it: Iterator[T]):
+        with open(os.path.join(path, _part_name(split, ".pkl")), "wb") as f:
+            pickle.dump(list(it), f, protocol=pickle.HIGHEST_PROTOCOL)
+        return iter(())
+
+    # Drain through a job so every partition is written exactly once.
+    rdd.map_partitions_with_index(write_partition).count()
+    with open(os.path.join(path, _SUCCESS_MARKER), "w") as f:
+        f.write("")
+
+
+def save_text_file(rdd: RDD[T], path: str) -> None:
+    """Write ``str(element)`` lines, one part-file per partition."""
+    if os.path.exists(path):
+        raise StorageError(f"output path {path!r} already exists")
+    os.makedirs(path)
+
+    def write_partition(split: int, it: Iterator[T]):
+        with open(os.path.join(path, _part_name(split, ".txt")), "w") as f:
+            for row in it:
+                f.write(str(row))
+                f.write("\n")
+        return iter(())
+
+    rdd.map_partitions_with_index(write_partition).count()
+    with open(os.path.join(path, _SUCCESS_MARKER), "w") as f:
+        f.write("")
+
+
+class ObjectFileRDD(RDD[Any]):
+    """Reads a ``save_object_file`` directory; one part-file per partition."""
+
+    def __init__(self, context, path: str) -> None:
+        super().__init__(context)
+        self._path = path
+        self._parts = _list_parts(path, ".pkl")
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._parts)
+
+    def compute(self, split: int) -> Iterator[Any]:
+        with open(os.path.join(self._path, self._parts[split]), "rb") as f:
+            return iter(pickle.load(f))
+
+
+class TextFileRDD(RDD[str]):
+    """Reads a plain text file (or part-file directory) as lines.
+
+    A single file is sliced into ``num_slices`` byte ranges aligned to
+    line boundaries; a directory contributes one partition per part.
+    """
+
+    def __init__(self, context, path: str, num_slices: int) -> None:
+        super().__init__(context)
+        self._splits: list[tuple[str, int, int]] = []
+        if os.path.isdir(path):
+            for name in _list_parts(path, ".txt"):
+                full = os.path.join(path, name)
+                self._splits.append((full, 0, os.path.getsize(full)))
+        else:
+            size = os.path.getsize(path)
+            num_slices = max(1, num_slices)
+            step = max(1, size // num_slices)
+            offsets = list(range(0, size, step))[:num_slices]
+            for i, start in enumerate(offsets):
+                end = offsets[i + 1] if i + 1 < len(offsets) else size
+                self._splits.append((path, start, end))
+
+    @property
+    def num_partitions(self) -> int:
+        return max(1, len(self._splits))
+
+    def compute(self, split: int) -> Iterator[str]:
+        if not self._splits:
+            return iter(())
+        path, start, end = self._splits[split]
+        return self._read_range(path, start, end)
+
+    @staticmethod
+    def _read_range(path: str, start: int, end: int) -> Iterator[str]:
+        # Hadoop-style split semantics: a split owns every line that
+        # *starts* within [start, end); the first split also owns the
+        # file's first line.
+        with open(path, "rb") as f:
+            if start > 0:
+                f.seek(start - 1)
+                f.readline()  # skip the partial line owned by the previous split
+            while f.tell() < end:
+                line = f.readline()
+                if not line:
+                    break
+                yield line.decode("utf-8").rstrip("\n")
+
+
+def object_file_rdd(context, path: str) -> RDD[Any]:
+    return ObjectFileRDD(context, path)
+
+
+def text_file_rdd(context, path: str, num_slices: int) -> RDD[str]:
+    return TextFileRDD(context, path, num_slices)

@@ -1,0 +1,33 @@
+"""Temporal types and predicates.
+
+STARK's ``STObject`` carries an optional temporal component which is
+either an instant (a single timestamp) or an interval.  This package
+provides both types plus the temporal predicates used by the combined
+spatio-temporal predicate semantics (paper eqs. (1)-(3)) and the full
+set of Allen interval relations as an extension.
+
+Timestamps are plain numbers (the paper uses ``Long`` epoch values);
+any totally ordered numeric type works.
+"""
+
+from repro.temporal.instant import Instant
+from repro.temporal.interval import Interval, TemporalExpression, make_temporal
+from repro.temporal.predicates import (
+    AllenRelation,
+    allen_relation,
+    t_contains,
+    t_contained_by,
+    t_intersects,
+)
+
+__all__ = [
+    "AllenRelation",
+    "Instant",
+    "Interval",
+    "TemporalExpression",
+    "allen_relation",
+    "make_temporal",
+    "t_contained_by",
+    "t_contains",
+    "t_intersects",
+]

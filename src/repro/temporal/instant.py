@@ -1,0 +1,39 @@
+"""The instant temporal type: a single point in time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Real
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Instant:
+    """An immutable point in time.
+
+    The value is any real number; STARK uses epoch milliseconds
+    (``Long``).  Instants order and compare by value.
+    """
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, Real):
+            raise TypeError(f"instant value must be a number, got {type(self.value).__name__}")
+        if self.value != self.value:  # NaN
+            raise ValueError("instant value must not be NaN")
+
+    @property
+    def start(self) -> float:
+        """Uniform accessor shared with :class:`~repro.temporal.interval.Interval`."""
+        return self.value
+
+    @property
+    def end(self) -> float:
+        return self.value
+
+    @property
+    def length(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"Instant({self.value!r})"

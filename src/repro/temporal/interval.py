@@ -1,0 +1,84 @@
+"""The interval temporal type and temporal-value coercion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Real
+from typing import Union
+
+from repro.temporal.instant import Instant
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """An immutable closed time interval ``[start, end]``.
+
+    Intervals are never empty: ``start <= end`` is enforced.  A
+    zero-length interval is a valid value distinct from an
+    :class:`Instant` only in type; the predicates treat them alike.
+    """
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        for bound in (self.start, self.end):
+            if not isinstance(bound, Real):
+                raise TypeError(f"interval bounds must be numbers, got {type(bound).__name__}")
+            if bound != bound:  # NaN
+                raise ValueError("interval bounds must not be NaN")
+        if self.start > self.end:
+            raise ValueError(f"interval start {self.start} after end {self.end}")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def contains_value(self, t: float) -> bool:
+        """Closed containment of a timestamp."""
+        return self.start <= t <= self.end
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlapping interval, or ``None`` when disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def merge(self, other: "Interval") -> "Interval":
+        """The smallest interval covering both operands."""
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def buffer(self, margin: float) -> "Interval":
+        """Grow by *margin* on both sides (must not invert the interval)."""
+        return Interval(self.start - margin, self.end + margin)
+
+    def __repr__(self) -> str:
+        return f"Interval({self.start!r}, {self.end!r})"
+
+
+TemporalExpression = Union[Instant, Interval]
+
+
+def make_temporal(value) -> TemporalExpression | None:
+    """Coerce a user-supplied value into a temporal expression.
+
+    Accepts ``None`` (no temporal component), an existing
+    :class:`Instant`/:class:`Interval`, a bare number (an instant) or a
+    ``(start, end)`` pair (an interval).  This is the coercion the
+    ``STObject`` constructor applies so users can write
+    ``STObject(wkt, time)`` exactly as in the paper's example.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (Instant, Interval)):
+        return value
+    if isinstance(value, Real):
+        return Instant(value)
+    if isinstance(value, (tuple, list)) and len(value) == 2:
+        return Interval(float(value[0]), float(value[1]))
+    raise TypeError(
+        "temporal component must be None, a number, an (start, end) pair, "
+        f"an Instant or an Interval; got {type(value).__name__}"
+    )

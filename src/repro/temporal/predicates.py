@@ -1,0 +1,91 @@
+"""Temporal predicates, including the full Allen relation set.
+
+The three predicates STARK's operators need (``t_intersects``,
+``t_contains``, ``t_contained_by``) treat instants as zero-length closed
+intervals, so every combination of instant/interval operands is defined.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.temporal.instant import Instant
+from repro.temporal.interval import Interval, TemporalExpression
+
+
+def _bounds(t: TemporalExpression) -> tuple[float, float]:
+    if not isinstance(t, (Instant, Interval)):
+        raise TypeError(f"expected a temporal expression, got {type(t).__name__}")
+    return (t.start, t.end)
+
+
+def t_intersects(a: TemporalExpression, b: TemporalExpression) -> bool:
+    """True when the two (closed) temporal extents share a moment."""
+    a_start, a_end = _bounds(a)
+    b_start, b_end = _bounds(b)
+    return a_start <= b_end and b_start <= a_end
+
+
+def t_contains(a: TemporalExpression, b: TemporalExpression) -> bool:
+    """True when *b*'s extent lies fully within *a*'s (closed semantics)."""
+    a_start, a_end = _bounds(a)
+    b_start, b_end = _bounds(b)
+    return a_start <= b_start and b_end <= a_end
+
+
+def t_contained_by(a: TemporalExpression, b: TemporalExpression) -> bool:
+    """The reverse of :func:`t_contains`, mirroring ``STObject.containedBy``."""
+    return t_contains(b, a)
+
+
+class AllenRelation(enum.Enum):
+    """The thirteen Allen interval relations."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    MEETS = "meets"
+    MET_BY = "met_by"
+    OVERLAPS = "overlaps"
+    OVERLAPPED_BY = "overlapped_by"
+    STARTS = "starts"
+    STARTED_BY = "started_by"
+    DURING = "during"
+    CONTAINS = "contains"
+    FINISHES = "finishes"
+    FINISHED_BY = "finished_by"
+    EQUALS = "equals"
+
+
+def allen_relation(a: TemporalExpression, b: TemporalExpression) -> AllenRelation:
+    """Classify the relation of *a* to *b* per Allen's interval algebra.
+
+    Instants participate as zero-length intervals, which collapses some
+    of the thirteen relations (e.g. an instant can never strictly
+    ``OVERLAPS`` anything); the classification below resolves ties in
+    the canonical order equals > starts/finishes > during/contains >
+    meets > overlaps > before/after.
+    """
+    a_start, a_end = _bounds(a)
+    b_start, b_end = _bounds(b)
+
+    if a_start == b_start and a_end == b_end:
+        return AllenRelation.EQUALS
+    if a_start == b_start:
+        return AllenRelation.STARTS if a_end < b_end else AllenRelation.STARTED_BY
+    if a_end == b_end:
+        return AllenRelation.FINISHES if a_start > b_start else AllenRelation.FINISHED_BY
+    if b_start < a_start and a_end < b_end:
+        return AllenRelation.DURING
+    if a_start < b_start and b_end < a_end:
+        return AllenRelation.CONTAINS
+    if a_end == b_start:
+        return AllenRelation.MEETS
+    if b_end == a_start:
+        return AllenRelation.MET_BY
+    if a_end < b_start:
+        return AllenRelation.BEFORE
+    if b_end < a_start:
+        return AllenRelation.AFTER
+    if a_start < b_start:
+        return AllenRelation.OVERLAPS
+    return AllenRelation.OVERLAPPED_BY

@@ -1,0 +1,160 @@
+"""Baseline engines: result equivalence with STARK, N/A and bug-class behaviour."""
+
+import pytest
+
+from repro.baselines import GeoSparkStyle, SpatialSparkStyle
+from repro.baselines.common import grid_cells, replicate_into_cells, voronoi_cells
+from repro.baselines.geospark import UnsupportedOperation
+from repro.core.join import spatial_join
+from repro.core.predicates import CONTAINED_BY, INTERSECTS
+from repro.core.stobject import STObject
+from repro.geometry.envelope import Envelope
+from repro.io.datagen import clustered_points, random_polygons
+
+
+@pytest.fixture
+def points_rdd(sc):
+    pts = clustered_points(250, seed=71)
+    return sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 5)
+
+
+@pytest.fixture
+def polys_rdd(sc):
+    polys = random_polygons(60, seed=72, mean_radius_fraction=0.05)
+    return sc.parallelize([(STObject(p), 100 + i) for i, p in enumerate(polys)], 3)
+
+
+def pairs_of(join_rdd):
+    return sorted((l[1], r[1]) for l, r in join_rdd.collect())
+
+
+class TestReplicationMachinery:
+    def test_grid_cells_tile_universe(self):
+        cells = grid_cells(Envelope(0, 0, 100, 100), 4)
+        assert len(cells) == 16
+        assert sum(c.area for c in cells) == pytest.approx(10_000)
+
+    def test_replicate_copies_spanning_geometry(self, sc):
+        cells = grid_cells(Envelope(0, 0, 100, 100), 2)
+        big = STObject("POLYGON ((10 10, 90 10, 90 90, 10 90, 10 10))")
+        rdd = sc.parallelize([(big, "big")], 1)
+        routed = replicate_into_cells(rdd, cells)
+        assert routed.count() == 4  # copied into every cell
+
+    def test_replicate_point_single_copy(self, sc):
+        cells = grid_cells(Envelope(0, 0, 100, 100), 2)
+        rdd = sc.parallelize([(STObject("POINT (10 10)"), "p")], 1)
+        assert replicate_into_cells(rdd, cells).count() == 1
+
+    def test_out_of_cells_item_routed_to_nearest(self, sc):
+        cells = grid_cells(Envelope(0, 0, 100, 100), 2)
+        rdd = sc.parallelize([(STObject("POINT (500 500)"), "far")], 1)
+        routed = replicate_into_cells(rdd, cells).collect()
+        assert len(routed) == 1
+        assert routed[0][0] == 3  # top-right cell is nearest
+
+    def test_voronoi_cells_cover_sample(self):
+        sample = [STObject(p) for p in clustered_points(200, seed=73)]
+        cells = voronoi_cells(sample, 8, seed=73)
+        assert 1 <= len(cells) <= 8
+        for st in sample:
+            assert any(c.intersects(st.geo.envelope) for c in cells)
+
+    def test_voronoi_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            voronoi_cells([], 4, seed=1)
+
+
+class TestGeoSparkStyle:
+    def test_grid_join_matches_stark(self, points_rdd, polys_rdd):
+        stark = pairs_of(spatial_join(points_rdd, polys_rdd, CONTAINED_BY))
+        geo = pairs_of(
+            GeoSparkStyle().spatial_join(
+                points_rdd, polys_rdd, CONTAINED_BY, "grid", num_cells=16
+            )
+        )
+        assert geo == stark
+
+    def test_voronoi_join_matches_stark(self, points_rdd):
+        stark = pairs_of(spatial_join(points_rdd, points_rdd, INTERSECTS))
+        geo = pairs_of(
+            GeoSparkStyle().spatial_join(
+                points_rdd, points_rdd, INTERSECTS, "voronoi", num_cells=10
+            )
+        )
+        assert geo == stark
+
+    def test_unpartitioned_is_not_available(self, points_rdd):
+        # Figure 4 marks GeoSpark without partitioning "N/A".
+        with pytest.raises(UnsupportedOperation):
+            GeoSparkStyle().spatial_join(points_rdd, points_rdd, INTERSECTS, None)
+
+    def test_unknown_partitioning_rejected(self, points_rdd):
+        with pytest.raises(ValueError):
+            GeoSparkStyle().spatial_join(points_rdd, points_rdd, INTERSECTS, "quadtree")
+
+    def test_buggy_duplicates_inflate_polygon_join(self, sc, polys_rdd):
+        """The paper's 'different result counts' bug class: without exact
+        dedup, cell-spanning polygons produce duplicate pairs, and the
+        count varies with the partitioning layout."""
+        geo = GeoSparkStyle()
+        correct = geo.spatial_join(
+            polys_rdd, polys_rdd, INTERSECTS, "grid", num_cells=16
+        ).count()
+        buggy_16 = geo.spatial_join(
+            polys_rdd, polys_rdd, INTERSECTS, "grid", num_cells=16,
+            buggy_duplicates=True,
+        ).count()
+        buggy_36 = geo.spatial_join(
+            polys_rdd, polys_rdd, INTERSECTS, "grid", num_cells=36,
+            buggy_duplicates=True,
+        ).count()
+        assert buggy_16 > correct
+        assert buggy_16 != buggy_36  # result count depends on the layout
+
+
+class TestSpatialSparkStyle:
+    def test_broadcast_join_matches_stark(self, points_rdd, polys_rdd):
+        stark = pairs_of(spatial_join(points_rdd, polys_rdd, CONTAINED_BY))
+        broadcast = pairs_of(
+            SpatialSparkStyle().broadcast_join(points_rdd, polys_rdd, CONTAINED_BY)
+        )
+        assert broadcast == stark
+
+    def test_tile_join_matches_stark(self, points_rdd):
+        stark = pairs_of(spatial_join(points_rdd, points_rdd, INTERSECTS))
+        tile = pairs_of(
+            SpatialSparkStyle().tile_join(points_rdd, points_rdd, INTERSECTS, 6)
+        )
+        assert tile == stark
+
+    def test_tile_join_polygons(self, polys_rdd):
+        stark = pairs_of(spatial_join(polys_rdd, polys_rdd, INTERSECTS))
+        tile = pairs_of(
+            SpatialSparkStyle().tile_join(polys_rdd, polys_rdd, INTERSECTS, 5)
+        )
+        assert tile == stark
+
+    def test_tile_join_replication_cost_grows_with_tiles(self, sc, polys_rdd):
+        """The mechanism behind Figure 4's SpatialSpark anomaly: more
+        tiles means more replicas and more dedup shuffle volume."""
+        ss = SpatialSparkStyle()
+        sc.metrics.reset()
+        ss.tile_join(polys_rdd, polys_rdd, INTERSECTS, 4).count()
+        few = sc.metrics.shuffle_records_written
+        sc.metrics.reset()
+        ss.tile_join(polys_rdd, polys_rdd, INTERSECTS, 16).count()
+        many = sc.metrics.shuffle_records_written
+        assert many > few
+
+    def test_tile_join_shuffles_more_than_broadcast(self, sc, polys_rdd):
+        """Broadcast pays only the ID-reattachment shuffles; the tile
+        join additionally shuffles every replica plus the dedup pass."""
+        ss = SpatialSparkStyle()
+        sc.metrics.reset()
+        ss.broadcast_join(polys_rdd, polys_rdd, INTERSECTS).count()
+        broadcast_volume = sc.metrics.shuffle_records_written
+        sc.metrics.reset()
+        ss.tile_join(polys_rdd, polys_rdd, INTERSECTS, 8).count()
+        tile_volume = sc.metrics.shuffle_records_written
+        assert tile_volume > broadcast_volume

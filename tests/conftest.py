@@ -1,0 +1,23 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spark.context import SparkContext
+
+
+@pytest.fixture
+def sc():
+    """A deterministic, sequential SparkContext."""
+    context = SparkContext(app_name="test", parallelism=4, executor="sequential")
+    yield context
+    context.stop()
+
+
+@pytest.fixture
+def threaded_sc():
+    """A thread-pool SparkContext (for concurrency-sensitive tests)."""
+    context = SparkContext(app_name="test-threads", parallelism=4, executor="threads")
+    yield context
+    context.stop()

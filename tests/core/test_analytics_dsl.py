@@ -1,0 +1,38 @@
+"""Skyline and co-location through the DSL / RDD integration."""
+
+from repro.core.spatial_rdd import spatial
+from repro.core.stobject import STObject
+from repro.geometry.point import Point
+
+
+class TestAnalyticsViaDsl:
+    def test_skyline_via_wrapper_and_rdd(self, sc):
+        rows = [
+            (STObject(Point(i * 10.0, 0), 1000.0 - 100.0 * (4 - i)), i)
+            for i in range(5)
+        ]
+        rdd = sc.parallelize(rows, 2)
+        query = STObject("POINT (0 0)", 1000)
+        via_wrapper = {e.value for e in spatial(rdd).skyline(query)}
+        via_rdd = {e.value for e in rdd.skyline(query)}
+        assert via_wrapper == via_rdd == {0, 1, 2, 3, 4}
+
+    def test_colocation_via_rdd(self, sc):
+        rows = []
+        for i in range(6):
+            rows.append((STObject(Point(i * 100.0, 0)), "cafe"))
+            rows.append((STObject(Point(i * 100.0 + 1, 0)), "bakery"))
+        rdd = sc.parallelize(rows, 3)
+        patterns = rdd.colocation(distance=5.0)
+        assert len(patterns) == 1
+        assert patterns[0].participation_index == 1.0
+
+    def test_colocation_min_participation_via_wrapper(self, sc):
+        rows = [
+            (STObject(Point(0, 0)), "a"),
+            (STObject(Point(1, 0)), "b"),
+            (STObject(Point(500, 0)), "b"),
+        ]
+        rdd = sc.parallelize(rows, 2)
+        assert spatial(rdd).colocation(5.0, min_participation=0.9) == []
+        assert len(spatial(rdd).colocation(5.0)) == 1

@@ -1,0 +1,99 @@
+"""Co-location pattern mining."""
+
+import pytest
+
+from repro.core.colocation import ColocationPattern, colocation_patterns
+from repro.core.stobject import STObject
+from repro.geometry.point import Point
+
+
+def events(sc, rows, slices=3):
+    return sc.parallelize(
+        [(STObject(Point(x, y), t), cat) for x, y, t, cat in rows], slices
+    )
+
+
+class TestColocation:
+    def test_perfectly_colocated_pair(self, sc):
+        # every cafe has a bakery right next to it
+        rows = []
+        for i in range(10):
+            rows.append((i * 100.0, 0.0, 0.0, "cafe"))
+            rows.append((i * 100.0 + 1.0, 0.0, 0.0, "bakery"))
+        patterns = colocation_patterns(events(sc, rows), distance=5.0)
+        assert len(patterns) == 1
+        p = patterns[0]
+        assert {p.category_a, p.category_b} == {"cafe", "bakery"}
+        assert p.participation_index == 1.0
+        assert p.pair_count == 10
+
+    def test_unrelated_categories_score_zero_patterns(self, sc):
+        rows = [(0.0, 0.0, 0.0, "a"), (1000.0, 1000.0, 0.0, "b")]
+        assert colocation_patterns(events(sc, rows), distance=5.0) == []
+
+    def test_partial_participation(self, sc):
+        # 4 of 8 "a" events have a "b" neighbour; all 4 "b"s participate
+        rows = []
+        for i in range(8):
+            rows.append((i * 100.0, 0.0, 0.0, "a"))
+        for i in range(4):
+            rows.append((i * 100.0 + 1.0, 0.0, 0.0, "b"))
+        patterns = colocation_patterns(events(sc, rows), distance=5.0)
+        assert len(patterns) == 1
+        p = patterns[0]
+        pr = {p.category_a: p.participation_a, p.category_b: p.participation_b}
+        assert pr["a"] == pytest.approx(0.5)
+        assert pr["b"] == pytest.approx(1.0)
+        assert p.participation_index == pytest.approx(0.5)
+
+    def test_same_category_pairs_excluded(self, sc):
+        rows = [(0.0, 0.0, 0.0, "a"), (1.0, 0.0, 0.0, "a")]
+        assert colocation_patterns(events(sc, rows), distance=5.0) == []
+
+    def test_min_participation_filters(self, sc):
+        rows = []
+        for i in range(10):
+            rows.append((i * 100.0, 0.0, 0.0, "common"))
+        rows.append((1.0, 0.0, 0.0, "rare"))  # near one "common" only
+        patterns = colocation_patterns(events(sc, rows), distance=5.0)
+        assert len(patterns) == 1
+        assert patterns[0].participation_index == pytest.approx(0.1)
+        assert (
+            colocation_patterns(events(sc, rows), distance=5.0, min_participation=0.5)
+            == []
+        )
+
+    def test_temporal_component_respected(self, sc):
+        # spatially adjacent but temporally disjoint events never pair
+        rows = [
+            (0.0, 0.0, 0.0, "a"),
+            (1.0, 0.0, 999_999.0, "b"),
+        ]
+        assert colocation_patterns(events(sc, rows), distance=5.0) == []
+
+    def test_three_categories_ranked(self, sc):
+        rows = []
+        for i in range(6):
+            rows.append((i * 100.0, 0.0, 0.0, "x"))
+            rows.append((i * 100.0 + 1, 0.0, 0.0, "y"))
+            if i < 2:
+                rows.append((i * 100.0 + 2, 0.0, 0.0, "z"))
+        patterns = colocation_patterns(events(sc, rows), distance=5.0)
+        indices = [p.participation_index for p in patterns]
+        assert indices == sorted(indices, reverse=True)
+        top = patterns[0]
+        assert {top.category_a, top.category_b} == {"x", "y"}
+
+    def test_pair_count_symmetric_dedup(self, sc):
+        # one a-b pair must count once, not twice (mirror suppressed)
+        rows = [(0.0, 0.0, 0.0, "a"), (1.0, 0.0, 0.0, "b")]
+        patterns = colocation_patterns(events(sc, rows), distance=5.0)
+        assert patterns[0].pair_count == 1
+
+    def test_invalid_distance(self, sc):
+        with pytest.raises(ValueError):
+            colocation_patterns(events(sc, [(0, 0, 0, "a")]), distance=0.0)
+
+    def test_pattern_repr(self):
+        p = ColocationPattern("a", "b", 0.5, 0.75, 3)
+        assert "pi=0.500" in repr(p)

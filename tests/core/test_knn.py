@@ -1,0 +1,131 @@
+"""k-nearest-neighbour search: scan, two-phase pruned, indexed variants."""
+
+import math
+
+import pytest
+
+from repro.core.knn import knn, knn_indexed
+from repro.core.spatial_rdd import spatial
+from repro.core.stobject import STObject
+from repro.geometry.distance import manhattan
+from repro.io.datagen import clustered_points, uniform_points
+from repro.partitioners.bsp import BSPartitioner
+from repro.partitioners.grid import GridPartitioner
+
+QUERY = STObject("POINT (500 500)")
+
+
+def brute_knn(rows, query, k, fn=None):
+    import heapq
+
+    fn = fn or (lambda g1, g2: g1.distance(g2))
+    scored = [(fn(key.geo, query.geo), value) for key, value in rows]
+    return heapq.nsmallest(k, scored, key=lambda p: p[0])
+
+
+@pytest.fixture
+def rdd(sc):
+    pts = uniform_points(500, seed=41)
+    return sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8)
+
+
+class TestScan:
+    @pytest.mark.parametrize("k", [1, 5, 50])
+    def test_matches_brute_force(self, rdd, k):
+        got = knn(rdd, QUERY, k)
+        want = brute_knn(rdd.collect(), QUERY, k)
+        assert [v for _d, (_k, v) in got] == [v for _d, v in want]
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_distances_ascending(self, rdd):
+        distances = [d for d, _ in knn(rdd, QUERY, 20)]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_dataset(self, sc):
+        small = sc.parallelize([(STObject("POINT (0 0)"), 1)], 2)
+        assert len(knn(small, QUERY, 10)) == 1
+
+    def test_k_zero_rejected(self, rdd):
+        with pytest.raises(ValueError):
+            knn(rdd, QUERY, 0)
+
+    def test_custom_distance_function(self, rdd):
+        got = knn(rdd, QUERY, 5, distance_fn=manhattan)
+        want = brute_knn(rdd.collect(), QUERY, 5, fn=manhattan)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_named_distance_function(self, rdd):
+        assert [d for d, _ in knn(rdd, QUERY, 3, distance_fn="manhattan")] == [
+            d for d, _ in knn(rdd, QUERY, 3, distance_fn=manhattan)
+        ]
+
+
+class TestTwoPhasePruned:
+    @pytest.fixture
+    def partitioned(self, sc):
+        pts = clustered_points(800, seed=42)
+        rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8)
+        grid = GridPartitioner.from_rdd(rdd, 4)
+        return rdd.partition_by(grid).persist()
+
+    @pytest.mark.parametrize("k", [1, 10, 30])
+    def test_matches_full_scan(self, partitioned, k):
+        got = knn(partitioned, QUERY, k)
+        want = brute_knn(partitioned.collect(), QUERY, k)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_query_far_outside_universe(self, partitioned):
+        far = STObject("POINT (10000 10000)")
+        got = knn(partitioned, far, 5)
+        want = brute_knn(partitioned.collect(), far, 5)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_bsp_partitioner(self, sc):
+        pts = clustered_points(600, seed=43)
+        rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8)
+        bsp = BSPartitioner.from_rdd(rdd, max_cost_per_partition=120)
+        partitioned = rdd.partition_by(bsp).persist()
+        got = knn(partitioned, QUERY, 15)
+        want = brute_knn(partitioned.collect(), QUERY, 15)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_custom_metric_falls_back_to_scan(self, partitioned):
+        # envelope bounds are not admissible for manhattan: must still be exact
+        got = knn(partitioned, QUERY, 10, distance_fn=manhattan)
+        want = brute_knn(partitioned.collect(), QUERY, 10, fn=manhattan)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+
+class TestIndexedKnn:
+    def test_matches_scan(self, sc, rdd):
+        indexed = spatial(rdd).index(order=8)
+        got = knn_indexed(indexed.tree_rdd, QUERY, 10, indexed.partitioner)
+        want = brute_knn(rdd.collect(), QUERY, 10)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_with_partitioner(self, sc):
+        pts = clustered_points(500, seed=44)
+        rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8)
+        grid = GridPartitioner.from_rdd(rdd, 3)
+        indexed = spatial(rdd).index(order=8, partitioner=grid)
+        got = indexed.knn(QUERY, 10)
+        want = brute_knn(rdd.collect(), QUERY, 10)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_k_zero_rejected(self, sc, rdd):
+        indexed = spatial(rdd).index(order=8)
+        with pytest.raises(ValueError):
+            indexed.knn(QUERY, 0)
+
+    def test_polygon_query_uses_exact_geometry_distance(self, sc):
+        rows = [
+            (STObject("POINT (10 0)"), "near-in-envelope"),
+            (STObject("POINT (0 11)"), "near-exact"),
+        ]
+        rdd = sc.parallelize(rows, 1)
+        # Query polygon stretches toward (0, 10): exact distance to the
+        # second point is 1, to the first is 10.
+        query = STObject("POLYGON ((0 0, -10 0, -10 10, 0 10, 0 0))")
+        indexed = spatial(rdd).index(order=4)
+        result = indexed.knn(query, 1)
+        assert result[0][1][1] == "near-exact"

@@ -1,0 +1,100 @@
+"""The kNN join operator vs brute force."""
+
+import heapq
+
+import pytest
+
+from repro.core.knn_join import knn_join
+from repro.core.stobject import STObject
+from repro.io.datagen import clustered_points, random_polygons, uniform_points
+from repro.partitioners.bsp import BSPartitioner
+
+
+def brute(left_rows, right_rows, k):
+    out = {}
+    for lk, lv in left_rows:
+        scored = [(rk.geo.distance(lk.geo), rv) for rk, rv in right_rows]
+        out[lv] = heapq.nsmallest(k, scored, key=lambda p: p[0])
+    return out
+
+
+@pytest.fixture
+def left_rdd(sc):
+    pts = uniform_points(150, seed=71)
+    return sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 4)
+
+
+@pytest.fixture
+def right_rdd(sc):
+    pts = clustered_points(400, seed=72)
+    return sc.parallelize([(STObject(p), 1000 + i) for i, p in enumerate(pts)], 6)
+
+
+class TestKnnJoin:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_matches_brute_force(self, left_rdd, right_rdd, k):
+        result = knn_join(left_rdd, right_rdd, k).collect()
+        expected = brute(left_rdd.collect(), right_rdd.collect(), k)
+        assert len(result) == left_rdd.count()
+        for (lk, lv), nearest in result:
+            want = expected[lv]
+            assert [d for d, _ in nearest] == pytest.approx([d for d, _ in want])
+
+    def test_every_left_row_appears_once(self, left_rdd, right_rdd):
+        result = knn_join(left_rdd, right_rdd, 2).collect()
+        assert sorted(lv for (_lk, lv), _n in result) == list(range(150))
+
+    def test_result_lists_sorted(self, left_rdd, right_rdd):
+        for _left, nearest in knn_join(left_rdd, right_rdd, 5).collect():
+            distances = [d for d, _ in nearest]
+            assert distances == sorted(distances)
+
+    def test_k_larger_than_right_side(self, sc, left_rdd):
+        tiny = sc.parallelize([(STObject("POINT (0 0)"), "only")], 2)
+        result = knn_join(left_rdd, tiny, 5).collect()
+        for _left, nearest in result:
+            assert len(nearest) == 1
+
+    def test_self_join_includes_identity(self, left_rdd):
+        for (lk, lv), nearest in knn_join(left_rdd, left_rdd, 1).collect():
+            distance, (rk, rv) = nearest[0]
+            assert distance == 0.0
+            assert rv == lv
+
+    def test_partitioned_right_side(self, sc, left_rdd, right_rdd):
+        bsp = BSPartitioner.from_rdd(right_rdd, max_cost_per_partition=80)
+        partitioned = right_rdd.partition_by(bsp).persist()
+        result = dict(
+            (lv, nearest)
+            for (_lk, lv), nearest in knn_join(left_rdd, partitioned, 3).collect()
+        )
+        expected = brute(left_rdd.collect(), right_rdd.collect(), 3)
+        for lv, nearest in result.items():
+            assert [d for d, _ in nearest] == pytest.approx(
+                [d for d, _ in expected[lv]]
+            )
+
+    def test_polygon_probes_are_exact(self, sc, right_rdd):
+        """Extended probe geometries: the bound-slack keeps results exact."""
+        polys = random_polygons(20, seed=73, mean_radius_fraction=0.08)
+        left = sc.parallelize([(STObject(p), i) for i, p in enumerate(polys)], 2)
+        result = knn_join(left, right_rdd, 3).collect()
+        expected = brute(left.collect(), right_rdd.collect(), 3)
+        for (_lk, lv), nearest in result:
+            assert [d for d, _ in nearest] == pytest.approx(
+                [d for d, _ in expected[lv]]
+            )
+
+    def test_k_zero_rejected(self, left_rdd, right_rdd):
+        with pytest.raises(ValueError):
+            knn_join(left_rdd, right_rdd, 0)
+
+    def test_dsl_integration(self, left_rdd, right_rdd):
+        via_dsl = left_rdd.kNNJoin(right_rdd, 2).collect()
+        direct = knn_join(left_rdd, right_rdd, 2).collect()
+        assert len(via_dsl) == len(direct)
+
+    def test_empty_right_side(self, sc, left_rdd):
+        empty = sc.parallelize([], 2)
+        for _left, nearest in knn_join(left_rdd, empty, 3).collect():
+            assert nearest == []

@@ -1,0 +1,140 @@
+"""Property-based tests for the distributed operators (hypothesis).
+
+Each property compares a distributed operator against a brute-force
+evaluation on randomly generated spatio-temporal datasets, partition
+layouts and queries -- the invariants the whole system rests on.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import filter as filter_ops
+from repro.core.join import spatial_join
+from repro.core.knn import knn
+from repro.core.predicates import CONTAINED_BY, INTERSECTS, within_distance_predicate
+from repro.core.stobject import STObject
+from repro.partitioners.grid import GridPartitioner
+from repro.spark.context import SparkContext
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+times = st.one_of(st.none(), st.floats(min_value=0, max_value=1000, allow_nan=False))
+
+
+@st.composite
+def event_datasets(draw):
+    rows = draw(
+        st.lists(st.tuples(coords, coords, times), min_size=1, max_size=40)
+    )
+    # Combined semantics make mixed timed/untimed sets legal; keep both.
+    return [
+        (STObject(f"POINT ({x} {y})", t), i) for i, (x, y, t) in enumerate(rows)
+    ]
+
+
+@st.composite
+def queries(draw):
+    x = draw(st.floats(min_value=0, max_value=80, allow_nan=False))
+    y = draw(st.floats(min_value=0, max_value=80, allow_nan=False))
+    w = draw(st.floats(min_value=1, max_value=50, allow_nan=False))
+    t = draw(times)
+    wkt = f"POLYGON (({x} {y}, {x + w} {y}, {x + w} {y + w}, {x} {y + w}, {x} {y}))"
+    if t is None:
+        return STObject(wkt)
+    return STObject(wkt, t, t + draw(st.floats(min_value=0, max_value=500)))
+
+
+_sc = SparkContext("hypothesis", parallelism=2, executor="sequential")
+
+
+class TestFilterProperties:
+    @given(event_datasets(), queries(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_filter_modes_equal_brute_force(self, rows, query, slices):
+        rdd = _sc.parallelize(rows, slices)
+        expected = sorted(i for k, i in rows if CONTAINED_BY.evaluate(k, query))
+        plain = sorted(
+            v for _k, v in filter_ops.filter_no_index(rdd, query, CONTAINED_BY).collect()
+        )
+        live = sorted(
+            v
+            for _k, v in filter_ops.filter_live_index(
+                rdd, query, CONTAINED_BY, order=3
+            ).collect()
+        )
+        assert plain == expected
+        assert live == expected
+
+    @given(event_datasets(), queries(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_partitioned_filter_lossless(self, rows, query, ppd):
+        rdd = _sc.parallelize(rows, 3)
+        grid = GridPartitioner([k for k, _i in rows], ppd)
+        partitioned = rdd.partition_by(grid)
+        expected = sorted(i for k, i in rows if INTERSECTS.evaluate(k, query))
+        got = sorted(
+            v
+            for _k, v in filter_ops.filter_no_index(
+                partitioned, query, INTERSECTS
+            ).collect()
+        )
+        assert got == expected
+
+
+class TestJoinProperties:
+    @given(event_datasets(), event_datasets())
+    @settings(max_examples=30, deadline=None)
+    def test_join_equals_brute_force(self, left_rows, right_rows):
+        left = _sc.parallelize(left_rows, 2)
+        right = _sc.parallelize(
+            [(k, 1000 + i) for k, i in right_rows], 3
+        )
+        expected = sorted(
+            (lv, 1000 + rv)
+            for lk, lv in left_rows
+            for rk, rv in right_rows
+            if INTERSECTS.evaluate(lk, rk)
+        )
+        got = sorted(
+            (l[1], r[1]) for l, r in spatial_join(left, right, INTERSECTS).collect()
+        )
+        assert got == expected
+
+    @given(event_datasets(), st.floats(min_value=0.5, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_within_distance_join_symmetric_counts(self, rows, distance):
+        rdd = _sc.parallelize(rows, 2)
+        predicate = within_distance_predicate(distance)
+        pairs = [
+            (l[1], r[1]) for l, r in spatial_join(rdd, rdd, predicate).collect()
+        ]
+        pair_set = set(pairs)
+        assert len(pairs) == len(pair_set)  # single assignment: no duplicates
+        for a, b in pair_set:
+            assert (b, a) in pair_set  # symmetric predicate, symmetric result
+
+
+class TestKnnProperties:
+    @given(event_datasets(), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_knn_matches_brute_force(self, rows, k):
+        rdd = _sc.parallelize(rows, 2)
+        query = STObject("POINT (50 50)")
+        got = knn(rdd, query, k)
+        expected = heapq.nsmallest(
+            k, ((key.geo.distance(query.geo), i) for key, i in rows),
+            key=lambda p: p[0],
+        )
+        assert [d for d, _ in got] == [d for d, _ in expected]
+
+    @given(event_datasets(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_partitioned_knn_distances_match_scan(self, rows, ppd):
+        rdd = _sc.parallelize(rows, 2)
+        grid = GridPartitioner([k for k, _i in rows], ppd)
+        partitioned = rdd.partition_by(grid)
+        query = STObject("POINT (50 50)")
+        scan = [d for d, _ in knn(rdd, query, 3)]
+        pruned = [d for d, _ in knn(partitioned, query, 3)]
+        assert pruned == scan

@@ -1,0 +1,159 @@
+"""Skyline queries: dominance invariants vs brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.skyline import SkylineEntry, skyline
+from repro.core.stobject import STObject
+from repro.geometry.point import Point
+from repro.spark.context import SparkContext
+
+
+def brute_skyline(entries):
+    return [
+        e
+        for e in entries
+        if not any(other.dominates(e) for other in entries)
+    ]
+
+
+class TestDominance:
+    def test_strictly_better_both(self):
+        a = SkylineEntry(1.0, 1.0, None, None)
+        b = SkylineEntry(2.0, 2.0, None, None)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_entries_do_not_dominate(self):
+        a = SkylineEntry(1.0, 1.0, None, None)
+        b = SkylineEntry(1.0, 1.0, None, None)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_tradeoff_no_dominance(self):
+        a = SkylineEntry(1.0, 5.0, None, None)
+        b = SkylineEntry(5.0, 1.0, None, None)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_one_better_other(self):
+        a = SkylineEntry(1.0, 1.0, None, None)
+        b = SkylineEntry(1.0, 2.0, None, None)
+        assert a.dominates(b)
+
+
+class TestSkylineOperator:
+    def test_simple_tradeoff_front(self, sc):
+        # event i: spatial distance 10*i (worse with i), temporal gap
+        # 100*(4-i) (better with i) -- a pure trade-off front of 5
+        rows = [
+            (STObject(Point(i * 10.0, 0), 1000.0 - 100.0 * (4 - i)), i)
+            for i in range(5)
+        ]
+        result = skyline(sc.parallelize(rows, 2), STObject("POINT (0 0)", 1000))
+        assert len(result) == 5
+
+    def test_dominated_events_excluded(self, sc):
+        rows = [
+            (STObject(Point(1.0, 0), 1000), "good"),
+            (STObject(Point(5.0, 0), 900), "dominated"),  # farther AND older
+        ]
+        result = skyline(sc.parallelize(rows, 2), STObject("POINT (0 0)", 1000))
+        assert [e.value for e in result] == ["good"]
+
+    def test_sorted_by_spatial_distance(self, sc):
+        rows = [
+            (STObject(Point(float(i), 0), 1000.0 - i), i) for i in range(10)
+        ]
+        result = skyline(sc.parallelize(rows, 3), STObject("POINT (0 0)", 2000))
+        distances = [e.spatial_distance for e in result]
+        assert distances == sorted(distances)
+
+    def test_duplicates_both_kept(self, sc):
+        rows = [
+            (STObject(Point(1, 0), 500), "a"),
+            (STObject(Point(1, 0), 500), "b"),
+        ]
+        result = skyline(sc.parallelize(rows, 2), STObject("POINT (0 0)", 500))
+        assert sorted(e.value for e in result) == ["a", "b"]
+
+    def test_untimed_events_with_untimed_query(self, sc):
+        rows = [(STObject(Point(float(i), 0)), i) for i in range(5)]
+        result = skyline(sc.parallelize(rows, 2), STObject("POINT (0 0)"))
+        # temporal criterion identical (0): only the nearest survives
+        assert [e.value for e in result] == [0]
+
+    def test_mixed_timedness_is_worst_temporal(self, sc):
+        rows = [
+            (STObject(Point(5, 0), 100), "timed"),
+            (STObject(Point(1, 0)), "untimed-near"),
+        ]
+        result = skyline(sc.parallelize(rows, 2), STObject("POINT (0 0)", 100))
+        # untimed event: inf temporal distance but best spatial -> trade-off
+        assert sorted(e.value for e in result) == ["timed", "untimed-near"]
+
+    def test_empty_rdd(self, sc):
+        assert skyline(sc.parallelize([], 2), STObject("POINT (0 0)")) == []
+
+    def test_partitioning_invariant(self, sc):
+        rows = [
+            (STObject(Point(i % 7 * 3.0, i % 5 * 2.0), float(i * 13 % 101)), i)
+            for i in range(60)
+        ]
+        query = STObject("POINT (10 5)", 50)
+        reference = {e.value for e in skyline(sc.parallelize(rows, 1), query)}
+        for slices in (2, 4, 9):
+            got = {e.value for e in skyline(sc.parallelize(rows, slices), query)}
+            assert got == reference
+
+
+coords = st.floats(min_value=0, max_value=100, allow_nan=False)
+times = st.floats(min_value=0, max_value=1000, allow_nan=False)
+
+_sc = SparkContext("skyline-prop", parallelism=2, executor="sequential")
+
+
+class TestSkylineProperties:
+    @given(
+        st.lists(st.tuples(coords, coords, times), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_skyline_equals_brute_force(self, rows, slices):
+        data = [
+            (STObject(Point(x, y), t), i) for i, (x, y, t) in enumerate(rows)
+        ]
+        query = STObject("POINT (50 50)", 500)
+        result = skyline(_sc.parallelize(data, slices), query)
+        # invariant 1: no member dominates another
+        for a in result:
+            for b in result:
+                assert not a.dominates(b) or (
+                    a.spatial_distance == b.spatial_distance
+                    and a.temporal_distance == b.temporal_distance
+                )
+        # invariant 2: matches the brute-force skyline value set
+        all_entries = skyline(_sc.parallelize(data, 1), query)
+        brute_values = {
+            e.value
+            for e in brute_skyline(
+                [
+                    type(e)(e.spatial_distance, e.temporal_distance, e.key, e.value)
+                    for e in _score_all(data, query)
+                ]
+            )
+        }
+        assert {e.value for e in result} == brute_values
+        assert {e.value for e in all_entries} == brute_values
+
+
+def _score_all(data, query):
+    from repro.core.skyline import SkylineEntry, _temporal_distance
+
+    return [
+        SkylineEntry(
+            k.geo.distance(query.geo), _temporal_distance(k, query), k, v
+        )
+        for k, v in data
+    ]

@@ -1,0 +1,182 @@
+"""The STARK DSL: seamless RDD integration and the three indexing modes."""
+
+import pytest
+
+from repro.core.predicates import INTERSECTS
+from repro.core.spatial_rdd import (
+    IndexedSpatialRDD,
+    LiveIndexedSpatialRDDFunctions,
+    SpatialRDDFunctions,
+    spatial,
+)
+from repro.core.stobject import STObject
+from repro.io.datagen import timed_stobjects, uniform_points
+from repro.partitioners.grid import GridPartitioner
+
+QUERY = STObject("POLYGON ((200 200, 700 200, 700 700, 200 700, 200 200))", 0, 10**9)
+
+
+@pytest.fixture
+def events(sc):
+    objs = list(timed_stobjects(uniform_points(400, seed=61), seed=61))
+    return sc.parallelize([(o, (i, f"cat{i % 3}")) for i, o in enumerate(objs)], 8)
+
+
+def ids(rdd):
+    return sorted(v[0] for _k, v in rdd.collect())
+
+
+class TestPaperExample:
+    """The usage example from paper section 2.3, translated literally."""
+
+    def test_full_listing(self, sc):
+        raw_input = sc.parallelize(
+            [
+                (1, "accident", 100, "POINT (10 10)"),
+                (2, "concert", 500, "POINT (50 50)"),
+                (3, "protest", 900, "POINT (90 90)"),
+            ],
+            2,
+        )
+        events = raw_input.map(
+            lambda r: (STObject(r[3], r[2]), (r[0], r[1]))
+        )
+        qry = STObject("POLYGON ((0 0, 60 0, 60 60, 0 60, 0 0))", 0, 600)
+        contain = events.containedBy(qry)
+        assert ids(contain) == [1, 2]
+        intersect = events.liveIndex(order=5).intersect(qry)
+        assert ids(intersect) == [1, 2]
+
+
+class TestImplicitIntegration:
+    """Operators available directly on RDDs (the implicit-conversion stand-in)."""
+
+    @pytest.mark.parametrize(
+        "method", ["intersect", "intersects", "contains", "containedBy",
+                   "withinDistance", "kNN", "liveIndex", "index", "cluster"]
+    )
+    def test_methods_installed_on_rdd(self, sc, method):
+        rdd = sc.parallelize([1], 1)
+        assert hasattr(rdd, method)
+
+    def test_rdd_methods_equal_wrapper(self, events):
+        via_rdd = ids(events.intersect(QUERY))
+        via_wrapper = ids(spatial(events).intersects(QUERY))
+        assert via_rdd == via_wrapper
+
+    def test_string_query_accepted(self, sc):
+        rdd = sc.parallelize([(STObject("POINT (5 5)"), (1, "x"))], 1)
+        assert ids(rdd.containedBy("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")) == [1]
+
+    def test_join_dispatch(self, events):
+        result = spatial(events).join(events, "intersects")
+        assert result.count() == 400  # distinct points: identity pairs only
+
+
+class TestIndexModeEquivalence:
+    def test_all_three_modes_agree(self, events):
+        plain = ids(spatial(events).intersects(QUERY))
+        live = ids(spatial(events).live_index(order=6).intersects(QUERY))
+        persistent = ids(spatial(events).index(order=6).intersects(QUERY))
+        assert plain == live == persistent
+        assert len(plain) > 0
+
+    @pytest.mark.parametrize("method", ["contains", "contained_by", "within_distance"])
+    def test_mode_equivalence_other_predicates(self, events, method):
+        wrapper = spatial(events)
+        live = wrapper.live_index(order=6)
+        indexed = wrapper.index(order=6)
+        if method == "within_distance":
+            args = (STObject("POINT (500 500)", (0, 10**9)), 100.0)
+        else:
+            args = (QUERY,)
+        assert ids(getattr(wrapper, method)(*args)) == ids(
+            getattr(live, method)(*args)
+        ) == ids(getattr(indexed, method)(*args))
+
+    def test_live_index_with_partitioner_repartitions(self, events):
+        grid = GridPartitioner.from_rdd(events, 3)
+        live = spatial(events).live_index(order=5, partitioner=grid)
+        assert live.rdd.partitioner is grid
+        assert ids(live.intersects(QUERY)) == ids(spatial(events).intersects(QUERY))
+
+    def test_bad_order_rejected(self, events):
+        with pytest.raises(ValueError):
+            spatial(events).live_index(order=1)
+
+
+class TestPersistentIndex:
+    def test_save_and_load_across_contexts(self, sc, events, tmp_path):
+        from repro.spark.context import SparkContext
+
+        path = str(tmp_path / "index")
+        grid = GridPartitioner.from_rdd(events, 3)
+        indexed = spatial(events).index(order=6, partitioner=grid)
+        expected = ids(indexed.intersects(QUERY))
+        indexed.save(path)
+
+        with SparkContext("other-program", executor="sequential") as other:
+            reloaded = IndexedSpatialRDD.load(other, path)
+            assert ids(reloaded.intersects(QUERY)) == expected
+            assert reloaded.partitioner is not None
+            assert reloaded.partitioner.num_partitions == grid.num_partitions
+
+    def test_query_before_and_after_save(self, events, tmp_path):
+        # "users don't need to do an extra run to just persist the index"
+        indexed = spatial(events).index(order=6)
+        before = ids(indexed.intersects(QUERY))
+        indexed.save(str(tmp_path / "idx"))
+        after = ids(indexed.intersects(QUERY))
+        assert before == after
+
+    def test_entries_roundtrip(self, events):
+        indexed = spatial(events).index(order=6)
+        assert sorted(v[0] for _k, v in indexed.entries().collect()) == list(range(400))
+
+    def test_tree_rdd_one_tree_per_partition(self, events):
+        indexed = spatial(events).index(order=6)
+        trees = indexed.tree_rdd.collect()
+        assert len(trees) == events.num_partitions
+        assert sum(len(t) for t in trees) == 400
+
+
+class TestClusterViaDSL:
+    def test_cluster_returns_labels(self, sc):
+        from repro.io.datagen import clustered_points
+
+        pts = clustered_points(200, num_clusters=3, seed=62, noise_fraction=0.0)
+        rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 4)
+        labelled = rdd.cluster(eps=25.0, min_pts=4)
+        labels = {label for _st, (_i, label) in labelled.collect()}
+        assert len(labels - {-1}) >= 2
+
+
+class TestKnnViaDSL:
+    def test_knn_from_rdd(self, events):
+        result = events.kNN(STObject("POINT (500 500)"), 7)
+        assert len(result) == 7
+        distances = [d for d, _ in result]
+        assert distances == sorted(distances)
+
+
+class TestWrapperHygiene:
+    def test_spatial_returns_wrapper(self, events):
+        wrapper = spatial(events)
+        assert isinstance(wrapper, SpatialRDDFunctions)
+        assert wrapper.rdd is events
+
+    def test_partition_by_returns_wrapper(self, events):
+        grid = GridPartitioner.from_rdd(events, 2)
+        wrapper = spatial(events).partition_by(grid)
+        assert isinstance(wrapper, SpatialRDDFunctions)
+        assert wrapper.rdd.partitioner is grid
+
+    def test_live_index_returns_handle(self, events):
+        assert isinstance(
+            spatial(events).live_index(order=4), LiveIndexedSpatialRDDFunctions
+        )
+
+    def test_filter_by_name(self, events):
+        assert ids(spatial(events).filter(QUERY, "containedby")) == ids(
+            spatial(events).contained_by(QUERY)
+        )

@@ -1,0 +1,99 @@
+"""The STObject data type and its constructor forms."""
+
+import pickle
+
+import pytest
+
+from repro.core.stobject import STObject
+from repro.geometry import Point, parse_wkt
+from repro.temporal import Instant, Interval
+
+
+class TestConstruction:
+    def test_from_wkt_spatial_only(self):
+        st = STObject("POINT (1 2)")
+        assert st.geo == Point(1, 2)
+        assert st.time is None
+        assert not st.has_time
+
+    def test_from_geometry(self):
+        st = STObject(Point(1, 2))
+        assert st.geo == Point(1, 2)
+
+    def test_with_instant(self):
+        st = STObject("POINT (1 2)", 1000)
+        assert st.time == Instant(1000)
+
+    def test_with_interval_pair(self):
+        st = STObject("POINT (1 2)", (10, 20))
+        assert st.time == Interval(10, 20)
+
+    def test_paper_begin_end_form(self):
+        # STObject("POLYGON((...))", begin, end) from the paper's example
+        st = STObject("POLYGON ((0 0, 1 0, 1 1, 0 0))", 10, 20)
+        assert st.time == Interval(10, 20)
+
+    def test_with_temporal_objects(self):
+        assert STObject("POINT (0 0)", Instant(5)).time == Instant(5)
+        assert STObject("POINT (0 0)", Interval(1, 2)).time == Interval(1, 2)
+
+    def test_bad_geometry_type_rejected(self):
+        with pytest.raises(TypeError):
+            STObject(42)  # type: ignore[arg-type]
+
+    def test_empty_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            STObject("POINT EMPTY")
+
+    def test_malformed_wkt_rejected(self):
+        from repro.geometry import WKTParseError
+
+        with pytest.raises(WKTParseError):
+            STObject("POINT (1")
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert STObject("POINT (1 2)", 5) == STObject("POINT (1 2)", 5)
+        assert STObject("POINT (1 2)", 5) != STObject("POINT (1 2)", 6)
+        assert STObject("POINT (1 2)", 5) != STObject("POINT (1 2)")
+
+    def test_hashable(self):
+        st = STObject("POINT (1 2)", 5)
+        assert hash(st) == hash(STObject("POINT (1 2)", 5))
+        assert st in {st}
+
+    def test_pickle_roundtrip(self):
+        st = STObject("POLYGON ((0 0, 1 0, 1 1, 0 0))", 10, 20)
+        assert pickle.loads(pickle.dumps(st)) == st
+
+    def test_repr_contains_wkt(self):
+        assert "POINT (1 2)" in repr(STObject("POINT (1 2)"))
+
+
+class TestRelationMethods:
+    def test_intersects_spatial_only(self):
+        poly = STObject("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+        assert STObject("POINT (5 5)").intersects(poly)
+        assert not STObject("POINT (50 50)").intersects(poly)
+
+    def test_contains_and_containedby_are_reverse(self):
+        poly = STObject("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+        point = STObject("POINT (5 5)")
+        assert poly.contains(point)
+        assert point.contained_by(poly)
+        assert point.containedBy(poly)  # paper's camelCase alias
+        assert not point.contains(poly)
+
+    def test_temporal_component_gates_match(self):
+        poly_timed = STObject("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))", 0, 100)
+        inside_in_time = STObject("POINT (5 5)", 50)
+        inside_out_of_time = STObject("POINT (5 5)", 500)
+        assert inside_in_time.intersects(poly_timed)
+        assert not inside_out_of_time.intersects(poly_timed)
+
+    def test_mixed_timed_untimed_never_matches(self):
+        poly_untimed = STObject("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+        point_timed = STObject("POINT (5 5)", 50)
+        assert not point_timed.intersects(poly_untimed)
+        assert not poly_untimed.contains(point_timed)

@@ -1,0 +1,71 @@
+"""The feature matrix (paper section 3) must match the implementation."""
+
+from repro.evaluation.features import (
+    FEATURES,
+    SYSTEMS,
+    feature_matrix,
+    render_feature_table,
+    verify_stark_claims,
+)
+
+
+class TestFeatureMatrix:
+    def test_every_feature_covers_every_system(self):
+        for feature, row in FEATURES.items():
+            assert set(row) == set(SYSTEMS), feature
+
+    def test_stark_claims_verified_by_introspection(self):
+        checks = verify_stark_claims()
+        # every claimed capability must actually exist in the code
+        for feature, verified in checks.items():
+            assert verified, f"claimed but unverified: {feature}"
+
+    def test_claims_and_checks_cover_same_features(self):
+        assert set(verify_stark_claims()) == set(FEATURES)
+
+    def test_stark_is_the_only_spatio_temporal_system(self):
+        row = FEATURES["spatio-temporal data"]
+        assert row["STARK"]
+        assert not row["GeoSpark"]
+        assert not row["SpatialSpark"]
+
+    def test_geospark_unpartitioned_join_marked_unsupported(self):
+        assert not FEATURES["join without spatial partitioning"]["GeoSpark"]
+
+    def test_matrix_copy_is_independent(self):
+        copy = feature_matrix()
+        copy["spatial data types"]["STARK"] = False
+        assert FEATURES["spatial data types"]["STARK"]
+
+    def test_render_table(self):
+        table = render_feature_table()
+        assert "STARK" in table
+        assert "spatio-temporal data" in table
+        assert table.count("\n") >= len(FEATURES)
+
+
+class TestHarness:
+    def test_time_call(self):
+        from repro.evaluation.harness import time_call
+
+        result = time_call(lambda: 42, repeats=3, warmup=1, label="x")
+        assert result.payload == 42
+        assert len(result.seconds) == 3
+        assert result.best <= result.mean
+        assert result.label == "x"
+
+    def test_time_call_rejects_zero_repeats(self):
+        import pytest
+
+        from repro.evaluation.harness import time_call
+
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeats=0)
+
+    def test_render_table_alignment(self):
+        from repro.evaluation.harness import render_table
+
+        text = render_table(["a", "bb"], [["x", "y"], ["long", "z"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all("|" in line for line in lines[1:] if "-" not in line)

@@ -1,0 +1,35 @@
+"""The evaluation report generator (structure checks; timing lives in
+benchmarks/)."""
+
+import pytest
+
+from repro.evaluation import report
+
+
+class TestReportPieces:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            report.generate_report("huge")
+
+    def test_scales_are_ordered(self):
+        assert (
+            report.SCALES["small"]["join"]
+            < report.SCALES["medium"]["join"]
+            < report.SCALES["large"]["join"]
+        )
+
+    def test_partitioning_ablation_section(self, sc):
+        text = report._partitioning_ablation(sc, 2_000)
+        assert "grid 4x4" in text
+        assert "cost-based BSP" in text
+        assert "imbalance" in text
+
+    def test_filter_section_runs(self, sc):
+        text = report._filter_suite(sc, 1_000, repeats=1)
+        assert "persistent index" in text
+        assert text.count("s") > 0
+
+    def test_knn_section_runs(self, sc):
+        text = report._knn_suite(sc, 1_000, repeats=1)
+        assert "full scan" in text
+        assert "two-phase" in text

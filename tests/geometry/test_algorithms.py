@@ -1,0 +1,179 @@
+"""Low-level computational-geometry primitives."""
+
+import math
+
+import pytest
+
+from repro.geometry import algorithms as alg
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert alg.orientation((0, 0), (1, 0), (1, 1)) == 1
+
+    def test_clockwise(self):
+        assert alg.orientation((0, 0), (1, 1), (1, 0)) == -1
+
+    def test_collinear(self):
+        assert alg.orientation((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_collinear_with_large_coordinates(self):
+        assert alg.orientation((1e9, 1e9), (2e9, 2e9), (3e9, 3e9)) == 0
+
+
+class TestOnSegment:
+    def test_midpoint(self):
+        assert alg.on_segment((1, 1), (0, 0), (2, 2))
+
+    def test_endpoint(self):
+        assert alg.on_segment((0, 0), (0, 0), (2, 2))
+
+    def test_collinear_but_outside(self):
+        assert not alg.on_segment((3, 3), (0, 0), (2, 2))
+
+    def test_off_line(self):
+        assert not alg.on_segment((1, 0), (0, 0), (2, 2))
+
+
+class TestSegmentsIntersect:
+    def test_proper_crossing(self):
+        assert alg.segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_shared_endpoint(self):
+        assert alg.segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_t_junction(self):
+        assert alg.segments_intersect((0, 0), (2, 0), (1, -1), (1, 0))
+
+    def test_collinear_overlap(self):
+        assert alg.segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not alg.segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_parallel_disjoint(self):
+        assert not alg.segments_intersect((0, 0), (2, 0), (0, 1), (2, 1))
+
+    def test_near_miss(self):
+        assert not alg.segments_intersect((0, 0), (1, 1), (1.01, 1.0), (2, 0.5))
+
+
+class TestIntersectionPoint:
+    def test_proper_crossing_point(self):
+        pt = alg.segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert pt == pytest.approx((1, 1))
+
+    def test_parallel_returns_none(self):
+        assert alg.segment_intersection_point((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+    def test_non_crossing_returns_none(self):
+        assert alg.segment_intersection_point((0, 0), (1, 1), (3, 0), (4, 1)) is None
+
+
+class TestDistances:
+    def test_point_segment_perpendicular(self):
+        assert alg.point_segment_distance((1, 1), (0, 0), (2, 0)) == 1.0
+
+    def test_point_segment_beyond_endpoint(self):
+        assert alg.point_segment_distance((5, 0), (0, 0), (2, 0)) == 3.0
+
+    def test_point_degenerate_segment(self):
+        assert alg.point_segment_distance((3, 4), (0, 0), (0, 0)) == 5.0
+
+    def test_segment_segment_crossing_is_zero(self):
+        assert alg.segment_segment_distance((0, 0), (2, 2), (0, 2), (2, 0)) == 0.0
+
+    def test_segment_segment_parallel(self):
+        assert alg.segment_segment_distance((0, 0), (2, 0), (0, 3), (2, 3)) == 3.0
+
+
+RING = [(0, 0), (4, 0), (4, 4), (0, 4), (0, 0)]
+
+
+class TestPointInRing:
+    def test_interior(self):
+        assert alg.locate_point_in_ring((2, 2), RING) == alg.INTERIOR
+
+    def test_exterior(self):
+        assert alg.locate_point_in_ring((5, 2), RING) == alg.EXTERIOR
+
+    def test_boundary_edge(self):
+        assert alg.locate_point_in_ring((2, 0), RING) == alg.BOUNDARY
+
+    def test_boundary_vertex(self):
+        assert alg.locate_point_in_ring((4, 4), RING) == alg.BOUNDARY
+
+    def test_ray_through_vertex_counted_once(self):
+        # Point whose +x ray passes exactly through ring vertices.
+        diamond = [(0, 0), (2, 2), (4, 0), (2, -2), (0, 0)]
+        assert alg.locate_point_in_ring((1, 0), diamond) == alg.INTERIOR
+        assert alg.locate_point_in_ring((-1, 0), diamond) == alg.EXTERIOR
+
+    def test_concave_ring(self):
+        # U-shape: the notch is exterior.
+        u_shape = [(0, 0), (6, 0), (6, 4), (4, 4), (4, 2), (2, 2), (2, 4), (0, 4), (0, 0)]
+        assert alg.locate_point_in_ring((3, 3), u_shape) == alg.EXTERIOR
+        assert alg.locate_point_in_ring((1, 3), u_shape) == alg.INTERIOR
+        assert alg.locate_point_in_ring((3, 1), u_shape) == alg.INTERIOR
+
+    def test_too_short_ring_raises(self):
+        with pytest.raises(ValueError):
+            alg.locate_point_in_ring((0, 0), [(0, 0), (1, 1), (0, 0)])
+
+
+class TestRingMetrics:
+    def test_signed_area_ccw_positive(self):
+        assert alg.ring_signed_area(RING) == 16.0
+
+    def test_signed_area_cw_negative(self):
+        assert alg.ring_signed_area(list(reversed(RING))) == -16.0
+
+    def test_is_ccw(self):
+        assert alg.ring_is_ccw(RING)
+        assert not alg.ring_is_ccw(list(reversed(RING)))
+
+    def test_centroid_of_square(self):
+        assert alg.ring_centroid(RING) == pytest.approx((2, 2))
+
+    def test_centroid_of_degenerate_ring_falls_back_to_mean(self):
+        line_ring = [(0, 0), (2, 0), (1, 0), (0, 0)]
+        cx, cy = alg.ring_centroid(line_ring)
+        assert cy == 0.0
+        assert 0 <= cx <= 2
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        pts = [(0, 0), (4, 0), (4, 4), (0, 4), (2, 2), (1, 3)]
+        hull = alg.convex_hull(pts)
+        assert sorted(hull) == [(0, 0), (0, 4), (4, 0), (4, 4)]
+
+    def test_hull_is_ccw(self):
+        pts = [(0, 0), (4, 0), (4, 4), (0, 4), (2, 2)]
+        hull = alg.convex_hull(pts)
+        closed = hull + [hull[0]]
+        assert alg.ring_signed_area(closed) > 0
+
+    def test_collinear_points(self):
+        assert alg.convex_hull([(0, 0), (1, 1), (2, 2)]) == [(0, 0), (2, 2)]
+
+    def test_single_point(self):
+        assert alg.convex_hull([(1, 2)]) == [(1, 2)]
+
+    def test_duplicates_ignored(self):
+        assert sorted(alg.convex_hull([(0, 0), (0, 0), (1, 0), (0, 1)])) == [
+            (0, 0), (0, 1), (1, 0),
+        ]
+
+
+class TestPolyline:
+    def test_length(self):
+        assert alg.polyline_length([(0, 0), (3, 4), (3, 10)]) == 11.0
+
+    def test_centroid_weighted_by_length(self):
+        # Two segments: long one dominates.
+        cx, cy = alg.polyline_centroid([(0, 0), (10, 0), (10, 1)])
+        assert cx == pytest.approx((5 * 10 + 10 * 1) / 11)
+
+    def test_centroid_degenerate(self):
+        assert alg.polyline_centroid([(1, 1), (1, 1)]) == (1, 1)

@@ -1,0 +1,92 @@
+"""Pluggable distance functions."""
+
+import math
+
+import pytest
+
+from repro.geometry.distance import (
+    BUILTIN_DISTANCE_FUNCTIONS,
+    chebyshev,
+    euclidean,
+    haversine,
+    manhattan,
+    resolve,
+    squared_euclidean,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+class TestEuclidean:
+    def test_points(self):
+        assert euclidean(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_polygon_boundary_distance(self):
+        square = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert euclidean(Point(13, 14), square) == 5.0
+
+    def test_squared_is_square(self):
+        assert squared_euclidean(Point(0, 0), Point(3, 4)) == 25.0
+
+
+class TestCentroidMetrics:
+    def test_manhattan(self):
+        assert manhattan(Point(0, 0), Point(3, 4)) == 7.0
+
+    def test_chebyshev(self):
+        assert chebyshev(Point(0, 0), Point(3, 4)) == 4.0
+
+    def test_non_point_uses_centroid(self):
+        square = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])  # centroid (1,1)
+        assert manhattan(square, Point(4, 5)) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            manhattan(Point(), Point(0, 0))
+
+
+class TestHaversine:
+    def test_zero_for_same_point(self):
+        assert haversine(Point(13.4, 52.5), Point(13.4, 52.5)) == 0.0
+
+    def test_equator_degree(self):
+        # One degree of longitude on the equator is about 111.2 km.
+        d = haversine(Point(0, 0), Point(1, 0))
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_berlin_to_munich(self):
+        # Berlin (13.40, 52.52) to Munich (11.58, 48.14): about 504 km.
+        d = haversine(Point(13.40, 52.52), Point(11.58, 48.14))
+        assert d == pytest.approx(504_000, rel=0.02)
+
+    def test_symmetric(self):
+        a, b = Point(13.4, 52.5), Point(2.35, 48.85)
+        assert haversine(a, b) == pytest.approx(haversine(b, a))
+
+
+class TestResolve:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_DISTANCE_FUNCTIONS))
+    def test_known_names(self, name):
+        fn = resolve(name)
+        assert fn(Point(0, 0), Point(1, 0)) >= 0
+
+    def test_callable_passthrough(self):
+        fn = lambda a, b: 42.0
+        assert resolve(fn) is fn
+
+    def test_unknown_name_raises_with_list(self):
+        with pytest.raises(ValueError, match="euclidean"):
+            resolve("nope")
+
+
+class TestMetricProperties:
+    @pytest.mark.parametrize("fn", [euclidean, manhattan, chebyshev])
+    def test_identity_and_symmetry(self, fn):
+        a, b = Point(1, 2), Point(4, 6)
+        assert fn(a, a) == 0.0
+        assert fn(a, b) == fn(b, a)
+
+    @pytest.mark.parametrize("fn", [euclidean, manhattan, chebyshev])
+    def test_triangle_inequality(self, fn):
+        a, b, c = Point(0, 0), Point(3, 1), Point(5, 5)
+        assert fn(a, c) <= fn(a, b) + fn(b, c) + 1e-12

@@ -1,0 +1,188 @@
+"""Envelope semantics: emptiness, merge/intersection algebra, distances."""
+
+import math
+
+import pytest
+
+from repro.geometry.envelope import Envelope
+
+
+class TestConstruction:
+    def test_of_point_is_degenerate(self):
+        env = Envelope.of_point(3.0, 4.0)
+        assert env.min_x == env.max_x == 3.0
+        assert env.min_y == env.max_y == 4.0
+        assert env.width == env.height == 0.0
+        assert not env.is_empty
+
+    def test_of_points_covers_all(self):
+        env = Envelope.of_points([(0, 0), (5, -2), (3, 7)])
+        assert env == Envelope(0, -2, 5, 7)
+
+    def test_of_points_empty_input_is_empty(self):
+        assert Envelope.of_points([]).is_empty
+
+    def test_empty_is_empty(self):
+        assert Envelope.empty().is_empty
+
+    def test_inverted_coordinates_mean_empty(self):
+        assert Envelope(1, 0, 0, 1).is_empty
+        assert Envelope(0, 1, 1, 0).is_empty
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Envelope(math.nan, 0, 1, 1)
+
+
+class TestGeometryProperties:
+    def test_dimensions(self):
+        env = Envelope(1, 2, 4, 6)
+        assert env.width == 3
+        assert env.height == 4
+        assert env.area == 12
+        assert env.perimeter == 14
+
+    def test_empty_dimensions_are_zero(self):
+        empty = Envelope.empty()
+        assert empty.width == 0
+        assert empty.height == 0
+        assert empty.area == 0
+
+    def test_center(self):
+        assert Envelope(0, 0, 4, 2).center() == (2, 1)
+
+    def test_empty_center_raises(self):
+        with pytest.raises(ValueError):
+            Envelope.empty().center()
+
+    def test_corners_ccw(self):
+        assert list(Envelope(0, 0, 1, 2).corners()) == [
+            (0, 0), (1, 0), (1, 2), (0, 2),
+        ]
+
+
+class TestContainsIntersects:
+    def test_contains_point_closed(self):
+        env = Envelope(0, 0, 10, 10)
+        assert env.contains_point(0, 0)  # corner counts
+        assert env.contains_point(10, 10)
+        assert env.contains_point(5, 5)
+        assert not env.contains_point(10.001, 5)
+
+    def test_contains_envelope(self):
+        outer = Envelope(0, 0, 10, 10)
+        assert outer.contains(Envelope(2, 2, 8, 8))
+        assert outer.contains(outer)  # closed: contains itself
+        assert not outer.contains(Envelope(5, 5, 11, 8))
+
+    def test_empty_contains_nothing_and_is_contained_nowhere(self):
+        env = Envelope(0, 0, 1, 1)
+        assert not env.contains(Envelope.empty())
+        assert not Envelope.empty().contains(env)
+
+    def test_intersects_overlap(self):
+        assert Envelope(0, 0, 5, 5).intersects(Envelope(3, 3, 8, 8))
+
+    def test_intersects_shared_edge(self):
+        assert Envelope(0, 0, 5, 5).intersects(Envelope(5, 0, 8, 5))
+
+    def test_intersects_shared_corner(self):
+        assert Envelope(0, 0, 5, 5).intersects(Envelope(5, 5, 8, 8))
+
+    def test_disjoint(self):
+        assert not Envelope(0, 0, 1, 1).intersects(Envelope(2, 2, 3, 3))
+
+    def test_empty_never_intersects(self):
+        assert not Envelope.empty().intersects(Envelope(0, 0, 1, 1))
+        assert not Envelope(0, 0, 1, 1).intersects(Envelope.empty())
+
+
+class TestAlgebra:
+    def test_merge_covers_both(self):
+        merged = Envelope(0, 0, 1, 1).merge(Envelope(5, -2, 6, 0.5))
+        assert merged == Envelope(0, -2, 6, 1)
+
+    def test_merge_with_empty_is_identity(self):
+        env = Envelope(0, 0, 1, 1)
+        assert env.merge(Envelope.empty()) == env
+        assert Envelope.empty().merge(env) == env
+
+    def test_intersection(self):
+        result = Envelope(0, 0, 5, 5).intersection(Envelope(3, 3, 8, 8))
+        assert result == Envelope(3, 3, 5, 5)
+
+    def test_intersection_disjoint_is_empty(self):
+        assert Envelope(0, 0, 1, 1).intersection(Envelope(5, 5, 6, 6)).is_empty
+
+    def test_expand_to_point(self):
+        assert Envelope(0, 0, 1, 1).expand_to_point(5, -1) == Envelope(0, -1, 5, 1)
+
+    def test_buffer_grows(self):
+        assert Envelope(0, 0, 2, 2).buffer(1) == Envelope(-1, -1, 3, 3)
+
+    def test_negative_buffer_can_empty(self):
+        assert Envelope(0, 0, 2, 2).buffer(-2).is_empty
+
+    def test_buffer_of_empty_stays_empty(self):
+        assert Envelope.empty().buffer(10).is_empty
+
+
+class TestDistances:
+    def test_distance_zero_when_touching(self):
+        assert Envelope(0, 0, 1, 1).distance(Envelope(1, 1, 2, 2)) == 0.0
+
+    def test_distance_axis_aligned_gap(self):
+        assert Envelope(0, 0, 1, 1).distance(Envelope(4, 0, 5, 1)) == 3.0
+
+    def test_distance_diagonal_gap(self):
+        assert Envelope(0, 0, 1, 1).distance(Envelope(4, 5, 6, 7)) == 5.0
+
+    def test_distance_to_point_inside_is_zero(self):
+        assert Envelope(0, 0, 2, 2).distance_to_point(1, 1) == 0.0
+
+    def test_distance_to_point_outside(self):
+        assert Envelope(0, 0, 1, 1).distance_to_point(4, 5) == 5.0
+
+    def test_max_distance_to_point(self):
+        # farthest corner of [0,1]x[0,1] from (0,0) is (1,1)
+        assert Envelope(0, 0, 1, 1).max_distance_to_point(0, 0) == pytest.approx(
+            math.sqrt(2)
+        )
+
+    def test_max_distance_bounds_all_inner_points(self):
+        env = Envelope(2, 3, 7, 9)
+        bound = env.max_distance_to_point(0, 0)
+        for cx, cy in env.corners():
+            assert math.hypot(cx, cy) <= bound + 1e-12
+
+    def test_empty_distance_raises(self):
+        with pytest.raises(ValueError):
+            Envelope.empty().distance(Envelope(0, 0, 1, 1))
+
+
+class TestSplit:
+    def test_split_x(self):
+        low, high = Envelope(0, 0, 10, 4).split_at(3, axis=0)
+        assert low == Envelope(0, 0, 3, 4)
+        assert high == Envelope(3, 0, 10, 4)
+
+    def test_split_y(self):
+        low, high = Envelope(0, 0, 10, 4).split_at(1, axis=1)
+        assert low == Envelope(0, 0, 10, 1)
+        assert high == Envelope(0, 1, 10, 4)
+
+    def test_split_halves_share_cut_line(self):
+        low, high = Envelope(0, 0, 10, 10).split_at(5, axis=0)
+        assert low.intersects(high)
+
+    def test_split_outside_raises(self):
+        with pytest.raises(ValueError):
+            Envelope(0, 0, 1, 1).split_at(5, axis=0)
+
+    def test_split_bad_axis_raises(self):
+        with pytest.raises(ValueError):
+            Envelope(0, 0, 1, 1).split_at(0.5, axis=2)
+
+    def test_split_empty_raises(self):
+        with pytest.raises(ValueError):
+            Envelope.empty().split_at(0, axis=0)

@@ -1,0 +1,288 @@
+"""Constructive operations: clipping, simplification, hulls, transforms."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    parse_wkt,
+)
+from repro.geometry.envelope import Envelope
+from repro.geometry.ops import (
+    clip_to_envelope,
+    convex_hull_of,
+    rotate,
+    scale,
+    simplify,
+    translate,
+)
+
+WINDOW = Envelope(0, 0, 10, 10)
+
+
+class TestClipPolygon:
+    def test_fully_inside_unchanged_area(self):
+        poly = Polygon([(2, 2), (8, 2), (8, 8), (2, 8)])
+        clipped = clip_to_envelope(poly, WINDOW)
+        assert clipped.area == pytest.approx(poly.area)
+
+    def test_fully_outside_is_empty(self):
+        poly = Polygon([(20, 20), (30, 20), (30, 30), (20, 30)])
+        assert clip_to_envelope(poly, WINDOW).is_empty
+
+    def test_half_overlap(self):
+        poly = Polygon([(5, 0), (15, 0), (15, 10), (5, 10)])
+        clipped = clip_to_envelope(poly, WINDOW)
+        assert clipped.area == pytest.approx(50.0)
+        assert clipped.envelope == Envelope(5, 0, 10, 10)
+
+    def test_window_inside_polygon_yields_window(self):
+        poly = Polygon([(-10, -10), (20, -10), (20, 20), (-10, 20)])
+        clipped = clip_to_envelope(poly, WINDOW)
+        assert clipped.area == pytest.approx(100.0)
+
+    def test_triangle_corner_cut(self):
+        # hypotenuse x+y=22 never enters the window: the clip is the
+        # full [8,10]^2 square
+        poly = Polygon([(8, 8), (14, 8), (8, 14)])
+        clipped = clip_to_envelope(poly, WINDOW)
+        assert clipped.area == pytest.approx(4.0)
+
+    def test_triangle_hypotenuse_cut(self):
+        # hypotenuse x+y=18 cuts through the window: the clip is the
+        # [6,10]^2 square (16) minus the corner triangle beyond the
+        # hypotenuse (legs 2 -> area 2)
+        poly = Polygon([(6, 6), (12, 6), (6, 12)])
+        clipped = clip_to_envelope(poly, WINDOW)
+        assert clipped.area == pytest.approx(14.0)
+
+    def test_edge_touch_is_empty(self):
+        # triangle touching the window only along the x=0 edge
+        poly = Polygon([(0, 0), (0, 1), (-1, 0)])
+        assert clip_to_envelope(poly, WINDOW).is_empty
+
+    def test_hole_survives_when_inside(self):
+        poly = Polygon(
+            [(-5, -5), (15, -5), (15, 15), (-5, 15)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        )
+        clipped = clip_to_envelope(poly, WINDOW)
+        assert clipped.area == pytest.approx(100.0 - 4.0)
+
+    def test_hole_outside_window_dropped(self):
+        poly = Polygon(
+            [(-5, -5), (15, -5), (15, 15), (-5, 15)],
+            holes=[[(12, 12), (13, 12), (13, 13), (12, 13)]],
+        )
+        clipped = clip_to_envelope(poly, WINDOW)
+        assert clipped.area == pytest.approx(100.0)
+
+    def test_clipped_stays_within_window(self):
+        poly = Polygon([(-3, 5), (5, -3), (13, 5), (5, 13)])
+        clipped = clip_to_envelope(poly, WINDOW)
+        env = clipped.envelope
+        assert env.min_x >= -1e-9 and env.max_x <= 10 + 1e-9
+        assert env.min_y >= -1e-9 and env.max_y <= 10 + 1e-9
+
+
+class TestClipOthers:
+    def test_point_inside_kept(self):
+        assert clip_to_envelope(Point(5, 5), WINDOW) == Point(5, 5)
+
+    def test_point_outside_empty(self):
+        assert clip_to_envelope(Point(50, 5), WINDOW).is_empty
+
+    def test_multipoint_filtered(self):
+        mp = MultiPoint([Point(1, 1), Point(50, 50), Point(9, 9)])
+        assert len(clip_to_envelope(mp, WINDOW)) == 2
+
+    def test_linestring_crossing(self):
+        ls = LineString([(-5, 5), (15, 5)])
+        clipped = clip_to_envelope(ls, WINDOW)
+        assert isinstance(clipped, LineString)
+        assert clipped.length == pytest.approx(10.0)
+
+    def test_linestring_split_into_runs(self):
+        # in, out, back in: two surviving runs
+        ls = LineString([(1, 5), (5, 5), (5, 50), (9, 50), (9, 5), (9.5, 5)])
+        clipped = clip_to_envelope(ls, WINDOW)
+        assert isinstance(clipped, MultiLineString)
+        assert len(clipped) == 2
+
+    def test_linestring_outside_empty(self):
+        assert clip_to_envelope(LineString([(20, 20), (30, 30)]), WINDOW).is_empty
+
+    def test_multipolygon(self):
+        mp = MultiPolygon([
+            Polygon([(1, 1), (3, 1), (3, 3), (1, 3)]),
+            Polygon([(50, 50), (60, 50), (60, 60), (50, 60)]),
+        ])
+        clipped = clip_to_envelope(mp, WINDOW)
+        assert len(clipped) == 1
+
+    def test_empty_window(self):
+        assert clip_to_envelope(Point(1, 1), Envelope.empty()).is_empty
+
+
+class TestSimplify:
+    def test_collinear_vertices_removed(self):
+        ls = LineString([(0, 0), (1, 0), (2, 0), (3, 0), (10, 0)])
+        assert simplify(ls, 0.01).coords == ((0, 0), (10, 0))
+
+    def test_significant_vertices_kept(self):
+        ls = LineString([(0, 0), (5, 5), (10, 0)])
+        assert simplify(ls, 0.5).coords == ((0, 0), (5, 5), (10, 0))
+
+    def test_tolerance_controls_detail(self):
+        ls = LineString([(0, 0), (2, 0.4), (4, -0.4), (6, 0.4), (8, 0)])
+        rough = simplify(ls, 1.0)
+        fine = simplify(ls, 0.1)
+        assert len(rough.coords) < len(fine.coords)
+
+    def test_polygon_never_collapses(self):
+        poly = Polygon([(0, 0), (10, 0.1), (20, 0), (10, 0.2)])
+        simplified = simplify(poly, 5.0)
+        assert not simplified.is_empty
+        assert len(simplified.shell.coords) >= 4  # closed triangle at minimum
+
+    def test_square_with_midpoints(self):
+        poly = Polygon([(0, 0), (5, 0), (10, 0), (10, 10), (0, 10)])
+        simplified = simplify(poly, 0.01)
+        assert simplified.area == pytest.approx(100.0)
+        assert len(simplified.shell.coords) == 5  # 4 distinct corners
+
+    def test_point_passthrough(self):
+        p = Point(1, 2)
+        assert simplify(p, 10.0) is p
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            simplify(LineString([(0, 0), (1, 1)]), -1.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=30,
+        ),
+        st.floats(min_value=0, max_value=20, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_simplified_within_tolerance(self, coords, tolerance):
+        from repro.geometry import algorithms
+
+        ls = LineString(coords)
+        simplified = simplify(ls, tolerance)
+        # every dropped vertex is within tolerance of the simplified chain
+        for c in coords:
+            d = min(
+                algorithms.point_segment_distance(c, a, b)
+                for a, b in simplified.segments()
+            )
+            assert d <= tolerance + 1e-9
+
+
+class TestHull:
+    def test_hull_of_points(self):
+        mp = MultiPoint([Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4), Point(2, 2)])
+        hull = convex_hull_of(mp)
+        assert isinstance(hull, Polygon)
+        assert hull.area == pytest.approx(16.0)
+
+    def test_hull_of_linestring(self):
+        hull = convex_hull_of(LineString([(0, 0), (2, 2), (4, 0)]))
+        assert isinstance(hull, Polygon)
+
+    def test_hull_collinear_is_segment(self):
+        hull = convex_hull_of(MultiPoint([Point(0, 0), Point(1, 1), Point(2, 2)]))
+        assert isinstance(hull, LineString)
+
+    def test_hull_of_single_point(self):
+        assert convex_hull_of(Point(3, 4)) == Point(3, 4)
+
+    def test_hull_of_empty(self):
+        assert convex_hull_of(MultiPoint()).is_empty
+
+
+class TestTransforms:
+    def test_translate_point(self):
+        assert translate(Point(1, 2), 10, -5) == Point(11, -3)
+
+    def test_translate_polygon_preserves_area(self):
+        poly = parse_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+        moved = translate(poly, 100, 200)
+        assert moved.area == pytest.approx(poly.area)
+        assert moved.envelope == Envelope(100, 200, 104, 204)
+
+    def test_translate_keeps_holes(self):
+        poly = parse_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))"
+        )
+        moved = translate(poly, 1, 1)
+        assert len(moved.holes) == 1
+        assert moved.area == pytest.approx(96.0)
+
+    def test_scale_uniform(self):
+        poly = Polygon([(0, 0), (2, 0), (2, 2), (0, 2)])
+        scaled = scale(poly, 3)
+        assert scaled.area == pytest.approx(4 * 9)
+
+    def test_scale_about_origin(self):
+        p = scale(Point(2, 2), 2, origin=(1, 1))
+        assert p == Point(3, 3)
+
+    def test_scale_anisotropic(self):
+        poly = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        scaled = scale(poly, 4, 2)
+        assert scaled.envelope == Envelope(0, 0, 4, 2)
+
+    def test_rotate_quarter_turn(self):
+        p = rotate(Point(1, 0), math.pi / 2)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(1.0)
+
+    def test_rotate_preserves_area(self):
+        poly = Polygon([(0, 0), (4, 0), (4, 2), (0, 2)])
+        rotated = rotate(poly, 0.7, origin=(2, 1))
+        assert abs(rotated.shell.signed_area) == pytest.approx(8.0)
+
+    def test_transform_multigeometry(self):
+        mp = MultiPoint([Point(0, 0), Point(1, 1)])
+        assert translate(mp, 5, 5) == MultiPoint([Point(5, 5), Point(6, 6)])
+
+
+class TestClipProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-20, max_value=30, allow_nan=False),
+                st.floats(min_value=-20, max_value=30, allow_nan=False),
+            ),
+            min_size=3,
+            max_size=10,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60)
+    def test_clip_convex_polygon_area_bounded(self, pts):
+        from repro.geometry import algorithms
+
+        hull = algorithms.convex_hull(pts)
+        if len(hull) < 3:
+            return
+        poly = Polygon(hull)
+        clipped = clip_to_envelope(poly, WINDOW)
+        if not clipped.is_empty:
+            assert clipped.area <= poly.area + 1e-6
+            assert clipped.area <= WINDOW.area + 1e-6

@@ -1,0 +1,151 @@
+"""WKT reader/writer: all types, edge cases, error reporting."""
+
+import pytest
+
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    WKTParseError,
+    parse_wkt,
+    to_wkt,
+)
+
+
+class TestParsing:
+    def test_point(self):
+        assert parse_wkt("POINT (1 2)") == Point(1, 2)
+
+    def test_point_negative_and_scientific(self):
+        p = parse_wkt("POINT (-1.5e2 .25)")
+        assert p == Point(-150.0, 0.25)
+
+    def test_case_insensitive_tag(self):
+        assert parse_wkt("point (1 2)") == Point(1, 2)
+
+    def test_whitespace_tolerance(self):
+        assert parse_wkt("  POINT\n(\t1   2 )  ") == Point(1, 2)
+
+    def test_linestring(self):
+        assert parse_wkt("LINESTRING (0 0, 1 1, 2 0)") == LineString(
+            [(0, 0), (1, 1), (2, 0)]
+        )
+
+    def test_polygon_with_hole(self):
+        poly = parse_wkt(
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))"
+        )
+        assert isinstance(poly, Polygon)
+        assert len(poly.holes) == 1
+        assert poly.area == 96
+
+    def test_multipoint_with_parens(self):
+        mp = parse_wkt("MULTIPOINT ((1 2), (3 4))")
+        assert mp == MultiPoint([Point(1, 2), Point(3, 4)])
+
+    def test_multipoint_bare_style(self):
+        mp = parse_wkt("MULTIPOINT (1 2, 3 4)")
+        assert mp == MultiPoint([Point(1, 2), Point(3, 4)])
+
+    def test_multilinestring(self):
+        mls = parse_wkt("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))")
+        assert isinstance(mls, MultiLineString)
+        assert len(mls) == 2
+
+    def test_multipolygon(self):
+        mp = parse_wkt(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))"
+        )
+        assert isinstance(mp, MultiPolygon)
+        assert len(mp) == 2
+
+    def test_geometrycollection(self):
+        gc = parse_wkt("GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))")
+        assert isinstance(gc, GeometryCollection)
+        assert len(gc) == 2
+        assert gc[0] == Point(1, 2)
+
+    def test_nested_collection(self):
+        gc = parse_wkt("GEOMETRYCOLLECTION (GEOMETRYCOLLECTION (POINT (0 0)))")
+        assert isinstance(gc[0], GeometryCollection)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "POINT EMPTY",
+            "LINESTRING EMPTY",
+            "POLYGON EMPTY",
+            "MULTIPOINT EMPTY",
+            "MULTILINESTRING EMPTY",
+            "MULTIPOLYGON EMPTY",
+            "GEOMETRYCOLLECTION EMPTY",
+        ],
+    )
+    def test_empty_forms(self, text):
+        assert parse_wkt(text).is_empty
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "POINT",
+            "POINT (1)",
+            "POINT (1 2",
+            "POINT 1 2)",
+            "CIRCLE (0 0, 5)",
+            "POINT (1 2) POINT (3 4)",
+            "POINT (a b)",
+            "LINESTRING ((0 0), (1 1))",
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(WKTParseError):
+            parse_wkt(bad)
+
+    def test_z_coordinate_rejected(self):
+        with pytest.raises(WKTParseError, match="2D"):
+            parse_wkt("POINT (1 2 3)")
+
+    def test_error_carries_position(self):
+        with pytest.raises(WKTParseError) as info:
+            parse_wkt("POINT @")
+        assert info.value.position == 6
+
+
+class TestWriter:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "POINT (1 2)",
+            "POINT (1.5 -2.25)",
+            "POINT EMPTY",
+            "LINESTRING (0 0, 1 1, 2 0)",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+            "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))",
+            "MULTIPOINT ((1 2), (3 4))",
+            "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)))",
+            "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))",
+            "GEOMETRYCOLLECTION EMPTY",
+        ],
+    )
+    def test_roundtrip_canonical(self, text):
+        geom = parse_wkt(text)
+        assert to_wkt(geom) == text
+        assert parse_wkt(to_wkt(geom)) == geom
+
+    def test_whole_floats_render_without_decimal(self):
+        assert to_wkt(Point(3.0, -4.0)) == "POINT (3 -4)"
+
+    def test_wkt_method_matches_function(self):
+        p = Point(1, 2)
+        assert p.wkt() == to_wkt(p)
+
+    def test_repr_is_wkt(self):
+        assert repr(Point(1, 2)) == "POINT (1 2)"

@@ -1,0 +1,115 @@
+"""The static interval tree vs brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.intervaltree import IntervalTree
+from repro.temporal import Instant, Interval
+
+
+def random_intervals(n, seed=1, span=1000.0, max_len=50.0):
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        start = rng.uniform(0, span)
+        rows.append((Interval(start, start + rng.uniform(0, max_len)), i))
+    return rows
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = IntervalTree([])
+        assert len(tree) == 0
+        assert tree.query(Interval(0, 10)) == []
+        assert tree.stab(5) == []
+
+    def test_rejects_non_temporal(self):
+        with pytest.raises(TypeError):
+            IntervalTree([((0, 10), "x")])  # type: ignore[list-item]
+
+    def test_instants_accepted(self):
+        tree = IntervalTree([(Instant(5), "a"), (Instant(7), "b")])
+        assert tree.stab(5) == ["a"]
+        assert sorted(tree.query(Interval(0, 10))) == ["a", "b"]
+
+    def test_iter_entries(self):
+        rows = random_intervals(50)
+        tree = IntervalTree(rows)
+        assert sorted(i for _iv, i in tree.iter_entries()) == list(range(50))
+
+
+class TestQueries:
+    def test_stab_matches_brute_force(self):
+        rows = random_intervals(500, seed=2)
+        tree = IntervalTree(rows)
+        for t in [0.0, 100.0, 500.0, 999.0, 1500.0]:
+            expected = sorted(i for iv, i in rows if iv.start <= t <= iv.end)
+            assert sorted(tree.stab(t)) == expected
+
+    def test_range_matches_brute_force(self):
+        rows = random_intervals(500, seed=3)
+        tree = IntervalTree(rows)
+        for lo, hi in [(0, 10), (100, 400), (990, 1100), (-50, -1)]:
+            q = Interval(lo, hi)
+            expected = sorted(i for iv, i in rows if iv.start <= hi and lo <= iv.end)
+            assert sorted(tree.query(q)) == expected
+
+    def test_closed_bounds(self):
+        tree = IntervalTree([(Interval(10, 20), "x")])
+        assert tree.stab(10) == ["x"]
+        assert tree.stab(20) == ["x"]
+        assert tree.query(Interval(20, 30)) == ["x"]
+        assert tree.query(Interval(0, 10)) == ["x"]
+        assert tree.query(Interval(21, 30)) == []
+
+    def test_instant_query(self):
+        rows = random_intervals(100, seed=4)
+        tree = IntervalTree(rows)
+        expected = sorted(i for iv, i in rows if iv.start <= 500 <= iv.end)
+        assert sorted(tree.query(Instant(500))) == expected
+
+
+class TestIntervalTreeProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=30, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=100,
+        ),
+        st.floats(min_value=-10, max_value=120, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_stab_equals_brute_force(self, raw, t):
+        rows = [(Interval(s, s + d), i) for i, (s, d) in enumerate(raw)]
+        tree = IntervalTree(rows)
+        expected = sorted(i for iv, i in rows if iv.start <= t <= iv.end)
+        assert sorted(tree.stab(t)) == expected
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=30, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=100,
+        ),
+        st.tuples(
+            st.floats(min_value=-10, max_value=120, allow_nan=False),
+            st.floats(min_value=0, max_value=50, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=60)
+    def test_range_equals_brute_force(self, raw, query):
+        rows = [(Interval(s, s + d), i) for i, (s, d) in enumerate(raw)]
+        tree = IntervalTree(rows)
+        lo, span = query
+        hi = lo + span
+        expected = sorted(i for iv, i in rows if iv.start <= hi and lo <= iv.end)
+        assert sorted(tree.query(Interval(lo, hi))) == expected

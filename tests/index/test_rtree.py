@@ -1,0 +1,189 @@
+"""The STR-tree: construction, range queries, kNN -- vs brute force."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.envelope import Envelope
+from repro.index.rtree import STRTree
+
+
+def point_entries(n, seed=1, extent=100.0):
+    rng = random.Random(seed)
+    pts = [(rng.uniform(0, extent), rng.uniform(0, extent)) for _ in range(n)]
+    return pts, [(Envelope.of_point(x, y), (x, y)) for x, y in pts]
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = STRTree([])
+        assert len(tree) == 0
+        assert tree.height == 0
+        assert tree.envelope.is_empty
+
+    def test_single_entry(self):
+        tree = STRTree([(Envelope.of_point(1, 2), "a")])
+        assert len(tree) == 1
+        assert tree.height == 1
+        assert tree.query(Envelope(0, 0, 3, 3)) == ["a"]
+
+    def test_capacity_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            STRTree([], node_capacity=1)
+
+    def test_empty_envelopes_skipped(self):
+        tree = STRTree([(Envelope.empty(), "ghost"), (Envelope.of_point(0, 0), "real")])
+        assert len(tree) == 1
+
+    def test_height_logarithmic(self):
+        _, entries = point_entries(1000)
+        tree = STRTree(entries, node_capacity=10)
+        assert 2 <= tree.height <= 4
+
+    def test_envelope_covers_entries(self):
+        pts, entries = point_entries(200)
+        tree = STRTree(entries)
+        for x, y in pts:
+            assert tree.envelope.contains_point(x, y)
+
+    def test_for_geometries_constructor(self):
+        from repro.geometry.point import Point
+
+        tree = STRTree.for_geometries(
+            [Point(0, 0), Point(5, 5)], lambda p: p.envelope
+        )
+        assert len(tree) == 2
+
+    def test_iter_entries_complete(self):
+        _, entries = point_entries(50)
+        tree = STRTree(entries)
+        assert sorted(item for _e, item in tree.iter_entries()) == sorted(
+            item for _e, item in entries
+        )
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("capacity", [2, 4, 10, 50])
+    def test_matches_brute_force(self, capacity):
+        pts, entries = point_entries(500, seed=3)
+        tree = STRTree(entries, node_capacity=capacity)
+        for qx, qy, size in [(10, 10, 20), (50, 50, 5), (0, 0, 100), (90, 90, 0.5)]:
+            box = Envelope(qx, qy, qx + size, qy + size)
+            expected = sorted(p for p in pts if box.contains_point(*p))
+            assert sorted(tree.query(box)) == expected
+
+    def test_query_everything(self):
+        pts, entries = point_entries(100)
+        tree = STRTree(entries)
+        assert len(tree.query(Envelope(-1, -1, 101, 101))) == 100
+
+    def test_query_nothing(self):
+        _, entries = point_entries(100)
+        tree = STRTree(entries)
+        assert tree.query(Envelope(200, 200, 300, 300)) == []
+
+    def test_query_empty_envelope(self):
+        _, entries = point_entries(10)
+        assert STRTree(entries).query(Envelope.empty()) == []
+
+    def test_query_point(self):
+        tree = STRTree([(Envelope(0, 0, 10, 10), "box")])
+        assert tree.query_point(5, 5) == ["box"]
+        assert tree.query_point(11, 5) == []
+
+    def test_rectangle_entries(self):
+        rng = random.Random(5)
+        boxes = []
+        for i in range(200):
+            x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+            boxes.append(Envelope(x, y, x + rng.uniform(1, 10), y + rng.uniform(1, 10)))
+        tree = STRTree((b, i) for i, b in enumerate(boxes))
+        query = Envelope(40, 40, 60, 60)
+        expected = sorted(i for i, b in enumerate(boxes) if b.intersects(query))
+        assert sorted(tree.query(query)) == expected
+
+
+class TestNearest:
+    def test_matches_brute_force(self):
+        pts, entries = point_entries(400, seed=7)
+        tree = STRTree(entries)
+        for qx, qy in [(50, 50), (0, 0), (120, 50)]:
+            for k in (1, 5, 20):
+                result = tree.nearest(qx, qy, k)
+                expected = sorted(pts, key=lambda p: math.hypot(p[0] - qx, p[1] - qy))[:k]
+                assert [item for _d, item in result] == expected
+
+    def test_distances_ascending(self):
+        _, entries = point_entries(100)
+        tree = STRTree(entries)
+        result = tree.nearest(50, 50, 10)
+        distances = [d for d, _ in result]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_size(self):
+        _, entries = point_entries(5)
+        tree = STRTree(entries)
+        assert len(tree.nearest(0, 0, 100)) == 5
+
+    def test_k_zero_or_empty_tree(self):
+        _, entries = point_entries(5)
+        assert STRTree(entries).nearest(0, 0, 0) == []
+        assert STRTree([]).nearest(0, 0, 3) == []
+
+    def test_exact_distance_callback_reranks(self):
+        # Two boxes: envelope distance prefers A, exact prefers B.
+        entries = [
+            (Envelope(1, 0, 2, 1), "A"),
+            (Envelope(1.5, 0, 2.5, 1), "B"),
+        ]
+        tree = STRTree(entries)
+        exact = {"A": 10.0, "B": 0.5}
+        result = tree.nearest(0, 0, 1, exact_distance=lambda item: exact[item])
+        assert result == [(0.5, "B")]
+
+
+class TestRTreeProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=120,
+        ),
+        st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=50)
+    def test_range_query_equals_brute_force(self, pts, capacity):
+        tree = STRTree(
+            ((Envelope.of_point(x, y), i) for i, (x, y) in enumerate(pts)),
+            node_capacity=capacity,
+        )
+        box = Envelope(25, 25, 75, 75)
+        expected = sorted(i for i, p in enumerate(pts) if box.contains_point(*p))
+        assert sorted(tree.query(box)) == expected
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50)
+    def test_knn_distances_match_brute_force(self, pts, k):
+        tree = STRTree(
+            (Envelope.of_point(x, y), i) for i, (x, y) in enumerate(pts)
+        )
+        result = tree.nearest(50, 50, k)
+        got = [d for d, _ in result]
+        expected = sorted(math.hypot(x - 50, y - 50) for x, y in pts)[:k]
+        assert got == pytest.approx(expected)

@@ -1,0 +1,119 @@
+"""Failure injection: dirty inputs, corrupted storage, bad configs."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.spatial_rdd import IndexedSpatialRDD, spatial
+from repro.core.stobject import STObject
+from repro.io.datagen import event_rows, uniform_points
+from repro.io.readers import EventParseError, load_event_file, write_event_file
+from repro.spark.storage import StorageError
+
+
+@pytest.fixture
+def dirty_event_file(tmp_path):
+    rows = event_rows(uniform_points(20, seed=91), seed=91)
+    path = tmp_path / "dirty.csv"
+    good_lines = [
+        f"{i};{cat};{t!r};{wkt}" for i, cat, t, wkt in rows
+    ]
+    bad_lines = [
+        "not;enough",                       # too few fields
+        "x;cat;5.0;POINT (0 0)",            # bad id
+        "1;cat;noon;POINT (0 0)",           # bad time
+        "2;cat;5.0;POINT (1",               # malformed WKT
+        "3;cat;5.0;POINT EMPTY",            # empty geometry
+    ]
+    path.write_text("\n".join(good_lines[:10] + bad_lines + good_lines[10:]) + "\n")
+    return str(path)
+
+
+class TestDirtyInput:
+    def test_raise_mode_surfaces_first_error(self, sc, dirty_event_file):
+        events = load_event_file(sc, dirty_event_file, on_error="raise")
+        with pytest.raises((EventParseError, ValueError)):
+            events.collect()
+
+    def test_skip_mode_keeps_good_rows(self, sc, dirty_event_file):
+        events = load_event_file(sc, dirty_event_file, on_error="skip")
+        collected = events.collect()
+        assert len(collected) == 20
+        assert sorted(v[0] for _k, v in collected) == list(range(20))
+
+    def test_unknown_policy_rejected(self, sc, dirty_event_file):
+        with pytest.raises(ValueError, match="on_error"):
+            load_event_file(sc, dirty_event_file, on_error="ignore")
+
+    def test_skipped_rows_do_not_break_queries(self, sc, dirty_event_file):
+        events = load_event_file(sc, dirty_event_file, on_error="skip")
+        query = STObject(
+            "POLYGON ((0 0, 1000 0, 1000 1000, 0 1000, 0 0))", 0, 10**9
+        )
+        assert events.containedBy(query).count() <= 20
+
+
+class TestCorruptedStorage:
+    def test_truncated_part_file(self, sc, tmp_path):
+        path = str(tmp_path / "data")
+        sc.parallelize(list(range(100)), 4).save_as_object_file(path)
+        part = os.path.join(path, "part-00002.pkl")
+        with open(part, "rb") as f:
+            blob = f.read()
+        with open(part, "wb") as f:
+            f.write(blob[: len(blob) // 2])
+        with pytest.raises(Exception):  # unpickling error surfaces
+            sc.object_file(path).collect()
+
+    def test_missing_part_file_changes_partitioning_only(self, sc, tmp_path):
+        # deleting a part is detected as missing data, not silently empty
+        path = str(tmp_path / "data")
+        sc.parallelize(list(range(100)), 4).save_as_object_file(path)
+        os.remove(os.path.join(path, "part-00001.pkl"))
+        loaded = sc.object_file(path)
+        assert loaded.num_partitions == 3
+        assert len(loaded.collect()) < 100
+
+    def test_non_pickle_garbage(self, sc, tmp_path):
+        path = str(tmp_path / "data")
+        sc.parallelize([1], 1).save_as_object_file(path)
+        with open(os.path.join(path, "part-00000.pkl"), "wb") as f:
+            f.write(b"this is not a pickle")
+        with pytest.raises(pickle.UnpicklingError):
+            sc.object_file(path).collect()
+
+    def test_file_instead_of_directory(self, sc, tmp_path):
+        path = tmp_path / "plainfile"
+        path.write_text("hello")
+        with pytest.raises(StorageError):
+            sc.object_file(str(path)).collect()
+
+
+class TestIndexPersistenceFaults:
+    @pytest.fixture
+    def saved_index(self, sc, tmp_path):
+        objs = [STObject(p) for p in uniform_points(50, seed=92)]
+        rdd = sc.parallelize([(o, i) for i, o in enumerate(objs)], 2)
+        indexed = spatial(rdd).index(order=4)
+        path = str(tmp_path / "idx")
+        indexed.save(path)
+        return path
+
+    def test_missing_meta_degrades_gracefully(self, sc, saved_index):
+        os.remove(os.path.join(saved_index, "_index_meta.pkl"))
+        reloaded = IndexedSpatialRDD.load(sc, saved_index)
+        assert reloaded.partitioner is None  # pruning disabled, queries work
+        query = STObject("POLYGON ((0 0, 1000 0, 1000 1000, 0 1000, 0 0))")
+        assert reloaded.intersects(query).count() == 50
+
+    def test_missing_success_marker_rejected(self, sc, saved_index):
+        os.remove(os.path.join(saved_index, "_SUCCESS"))
+        with pytest.raises(StorageError):
+            IndexedSpatialRDD.load(sc, saved_index)
+
+    def test_save_refuses_existing_path(self, sc, saved_index):
+        objs = [STObject(p) for p in uniform_points(5, seed=93)]
+        rdd = sc.parallelize([(o, i) for i, o in enumerate(objs)], 1)
+        with pytest.raises(StorageError):
+            spatial(rdd).index(order=4).save(saved_index)

@@ -1,0 +1,50 @@
+"""Smoke tests for the standalone scripts (examples and bench runners)."""
+
+import subprocess
+import sys
+
+import pytest
+
+REPO = __file__.rsplit("/tests/", 1)[0]
+
+
+def run(args, timeout=240):
+    return subprocess.run(
+        [sys.executable, *args], capture_output=True, text=True, timeout=timeout
+    )
+
+
+class TestBenchRunners:
+    def test_run_fig4_tiny(self):
+        proc = run([f"{REPO}/benchmarks/run_fig4.py", "--points", "800", "--repeats", "1"])
+        assert proc.returncode == 0, proc.stderr
+        assert "Figure 4 reproduction" in proc.stdout
+        assert "STARK" in proc.stdout
+        assert "N/A" in proc.stdout  # GeoSpark's missing configuration
+
+    def test_run_fig4_rejects_garbage(self):
+        proc = run([f"{REPO}/benchmarks/run_fig4.py", "--points", "nope"])
+        assert proc.returncode != 0
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run([f"{REPO}/examples/quickstart.py"])
+        assert proc.returncode == 0, proc.stderr
+        assert "containedBy:" in proc.stdout
+        # both index modes agree in the example's printout
+        lines = [l for l in proc.stdout.splitlines() if "events" in l]
+        assert len(lines) >= 2
+
+    def test_workflow_persistence(self):
+        proc = run([f"{REPO}/examples/workflow_persistence.py"])
+        assert proc.returncode == 0, proc.stderr
+        assert "round trip successful" in proc.stdout
+
+    @pytest.mark.parametrize(
+        "script", ["piglet_pipeline", "clustering_hotspots"]
+    )
+    def test_other_examples(self, script):
+        proc = run([f"{REPO}/examples/{script}.py"])
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip()

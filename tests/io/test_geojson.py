@@ -1,0 +1,156 @@
+"""GeoJSON encoding, decoding, file and RDD round trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stobject import STObject
+from repro.geometry import parse_wkt
+from repro.io.geojson import (
+    GeoJSONError,
+    feature_from,
+    feature_to,
+    geojson_to_geometry,
+    geometry_to_geojson,
+    load_geojson,
+    read_geojson,
+    write_geojson,
+)
+from repro.temporal import Instant, Interval
+
+WKTS = [
+    "POINT (1 2)",
+    "LINESTRING (0 0, 1 1, 2 0)",
+    "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+    "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))",
+    "MULTIPOINT ((1 2), (3 4))",
+    "MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+    "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)), ((5 5, 6 5, 6 6, 5 5)))",
+    "GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))",
+]
+
+
+class TestGeometryRoundtrip:
+    @pytest.mark.parametrize("wkt", WKTS)
+    def test_roundtrip(self, wkt):
+        geom = parse_wkt(wkt)
+        encoded = geometry_to_geojson(geom)
+        assert geojson_to_geometry(encoded) == geom
+
+    @pytest.mark.parametrize("wkt", WKTS)
+    def test_json_serializable(self, wkt):
+        encoded = geometry_to_geojson(parse_wkt(wkt))
+        assert geojson_to_geometry(json.loads(json.dumps(encoded))) == parse_wkt(wkt)
+
+    def test_point_structure(self):
+        assert geometry_to_geojson(parse_wkt("POINT (1 2)")) == {
+            "type": "Point",
+            "coordinates": [1.0, 2.0],
+        }
+
+    def test_polygon_rings_explicitly_closed(self):
+        encoded = geometry_to_geojson(parse_wkt("POLYGON ((0 0, 1 0, 1 1, 0 0))"))
+        ring = encoded["coordinates"][0]
+        assert ring[0] == ring[-1]
+
+    def test_z_coordinates_truncated(self):
+        geom = geojson_to_geometry({"type": "Point", "coordinates": [1, 2, 99]})
+        assert geom == parse_wkt("POINT (1 2)")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"type": "Circle", "coordinates": [0, 0]},
+            {"coordinates": [0, 0]},
+            {"type": "Polygon", "coordinates": [[[0, 0], [1, 1]]]},
+            "POINT (1 2)",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(GeoJSONError):
+            geojson_to_geometry(bad)
+
+
+class TestFeatures:
+    def test_spatial_only_feature(self):
+        st_obj = STObject("POINT (1 2)")
+        back, props = feature_to(feature_from(st_obj, {"name": "x"}))
+        assert back == st_obj
+        assert props == {"name": "x"}
+
+    def test_instant_travels_in_properties(self):
+        st_obj = STObject("POINT (1 2)", 1000)
+        back, _props = feature_to(feature_from(st_obj))
+        assert back.time == Instant(1000)
+
+    def test_interval_travels_in_properties(self):
+        st_obj = STObject("POINT (1 2)", 10, 20)
+        back, _props = feature_to(feature_from(st_obj))
+        assert back.time == Interval(10, 20)
+
+    def test_time_keys_stripped_from_properties(self):
+        st_obj = STObject("POINT (1 2)", 5)
+        _back, props = feature_to(feature_from(st_obj, {"a": 1}))
+        assert props == {"a": 1}
+
+    def test_non_feature_rejected(self):
+        with pytest.raises(GeoJSONError):
+            feature_to({"type": "FeatureCollection"})
+
+
+class TestFiles:
+    def test_file_roundtrip(self, tmp_path):
+        rows = [
+            (STObject("POINT (1 2)", 100), {"id": 1, "category": "accident"}),
+            (STObject("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))", 10, 20), {"id": 2}),
+            (STObject("LINESTRING (0 0, 5 5)"), {}),
+        ]
+        path = str(tmp_path / "events.geojson")
+        write_geojson(rows, path)
+        assert read_geojson(path) == rows
+
+    def test_output_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "e.geojson")
+        write_geojson([(STObject("POINT (0 0)"), {})], path)
+        with open(path) as f:
+            data = json.load(f)
+        assert data["type"] == "FeatureCollection"
+
+    def test_non_collection_rejected(self, tmp_path):
+        path = tmp_path / "bad.geojson"
+        path.write_text(json.dumps({"type": "Feature"}))
+        with pytest.raises(GeoJSONError):
+            read_geojson(str(path))
+
+    def test_load_as_rdd(self, sc, tmp_path):
+        rows = [
+            (STObject(f"POINT ({i} {i})", i * 10.0), {"id": i}) for i in range(50)
+        ]
+        path = str(tmp_path / "events.geojson")
+        write_geojson(rows, path)
+        rdd = load_geojson(sc, path)
+        assert rdd.count() == 50
+        # the loaded RDD is queryable like any event RDD
+        # JTS contains semantics: the boundary points (0,0) and (10,10)
+        # are not contained, leaving i = 1..9.
+        query = STObject("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))", 0, 1000)
+        assert rdd.containedBy(query).count() == 9
+
+
+coords = st.floats(min_value=-180, max_value=180, allow_nan=False)
+
+
+class TestGeoJSONProperties:
+    @given(coords, coords, st.one_of(st.none(), st.floats(0, 1e6, allow_nan=False)))
+    @settings(max_examples=60)
+    def test_point_feature_roundtrip(self, x, y, t):
+        st_obj = STObject(f"POINT ({x} {y})", t)
+        back, _ = feature_to(json.loads(json.dumps(feature_from(st_obj))))
+        assert back.geo.centroid().x == pytest.approx(x)
+        assert back.geo.centroid().y == pytest.approx(y)
+        if t is None:
+            assert back.time is None
+        else:
+            assert back.time.start == pytest.approx(t)

@@ -1,0 +1,152 @@
+"""The fixed grid partitioner."""
+
+import pytest
+
+from repro.core.stobject import STObject
+from repro.geometry.envelope import Envelope
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.io.datagen import uniform_points
+from repro.partitioners.grid import GridPartitioner
+
+
+def keys_of(points):
+    return [STObject(p) for p in points]
+
+
+class TestConstruction:
+    def test_partition_count_is_square(self):
+        grid = GridPartitioner(keys_of(uniform_points(100)), 4)
+        assert grid.num_partitions == 16
+        assert grid.partitions_per_dimension == 4
+
+    def test_universe_defaults_to_data_bounds(self):
+        pts = [Point(0, 0), Point(10, 20)]
+        grid = GridPartitioner(keys_of(pts), 2)
+        assert grid.universe == Envelope(0, 0, 10, 20)
+
+    def test_explicit_universe(self):
+        grid = GridPartitioner(keys_of([Point(5, 5)]), 2, universe=Envelope(0, 0, 100, 100))
+        assert grid.universe == Envelope(0, 0, 100, 100)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            GridPartitioner([], 2)
+
+    def test_zero_ppd_rejected(self):
+        with pytest.raises(ValueError):
+            GridPartitioner(keys_of([Point(0, 0)]), 0)
+
+    def test_degenerate_universe_handled(self):
+        # All points on a vertical line: width 0.
+        pts = [Point(5, y) for y in range(10)]
+        grid = GridPartitioner(keys_of(pts), 3)
+        assert grid.num_partitions == 9
+        for p in pts:
+            assert 0 <= grid.get_partition(STObject(p)) < 9
+
+
+class TestAssignment:
+    def test_every_key_lands_in_range(self):
+        keys = keys_of(uniform_points(500, seed=3))
+        grid = GridPartitioner(keys, 4)
+        for key in keys:
+            assert 0 <= grid.get_partition(key) < 16
+
+    def test_point_in_correct_cell(self):
+        grid = GridPartitioner(
+            keys_of([Point(0, 0), Point(100, 100)]), 2,
+        )
+        # cells: 0=(0..50,0..50), 1=(50..100,0..50), 2=(0..50,50..100), 3=...
+        assert grid.get_partition(STObject(Point(10, 10))) == 0
+        assert grid.get_partition(STObject(Point(60, 10))) == 1
+        assert grid.get_partition(STObject(Point(10, 60))) == 2
+        assert grid.get_partition(STObject(Point(60, 60))) == 3
+
+    def test_max_edge_belongs_to_last_cell(self):
+        grid = GridPartitioner(keys_of([Point(0, 0), Point(100, 100)]), 2)
+        assert grid.get_partition(STObject(Point(100, 100))) == 3
+
+    def test_out_of_universe_clamped(self):
+        grid = GridPartitioner(
+            keys_of([Point(0, 0), Point(100, 100)]), 2,
+        )
+        assert grid.get_partition(STObject(Point(-50, -50))) == 0
+        assert grid.get_partition(STObject(Point(500, 500))) == 3
+
+    def test_polygon_assigned_by_centroid(self):
+        grid = GridPartitioner(keys_of([Point(0, 0), Point(100, 100)]), 2)
+        # Polygon spans all cells but its centroid is in cell 0.
+        poly = Polygon([(0, 0), (90, 0), (0, 90)])  # centroid (30, 30)
+        assert grid.get_partition(STObject(poly)) == 0
+
+    def test_bare_geometry_keys_accepted(self):
+        grid = GridPartitioner([Point(0, 0), Point(100, 100)], 2)
+        assert grid.get_partition(Point(10, 10)) == 0
+
+    def test_bad_key_type_rejected(self):
+        grid = GridPartitioner(keys_of([Point(0, 0), Point(1, 1)]), 2)
+        with pytest.raises(TypeError):
+            grid.get_partition("POINT (0 0)")
+
+
+class TestBoundsAndExtent:
+    def test_bounds_tile_universe(self):
+        grid = GridPartitioner(keys_of([Point(0, 0), Point(100, 100)]), 2)
+        total_area = sum(grid.partition_bounds(i).area for i in range(4))
+        assert total_area == pytest.approx(100 * 100)
+
+    def test_extent_grows_beyond_bounds_for_spanning_polygon(self):
+        keys = keys_of([Point(0, 0), Point(100, 100)])
+        poly = Polygon([(0, 0), (90, 0), (0, 90)])  # centroid cell 0
+        grid = GridPartitioner(keys + [STObject(poly)], 2)
+        pid = grid.get_partition(STObject(poly))
+        assert grid.partition_extent(pid).contains(poly.envelope)
+        assert not grid.partition_bounds(pid).contains(poly.envelope)
+
+    def test_extent_defaults_to_bounds_when_cell_empty(self):
+        grid = GridPartitioner(keys_of([Point(1, 1), Point(99, 99)]), 4)
+        for pid in range(grid.num_partitions):
+            assert not grid.partition_extent(pid).is_empty
+
+    def test_from_rdd(self, sc):
+        rdd = sc.parallelize(
+            [(STObject(p), i) for i, p in enumerate(uniform_points(100))], 4
+        )
+        grid = GridPartitioner.from_rdd(rdd, 3)
+        assert grid.num_partitions == 9
+
+
+class TestPruning:
+    def test_partitions_intersecting_small_query(self):
+        grid = GridPartitioner(keys_of(uniform_points(400, seed=1)), 4)
+        query = Envelope(10, 10, 20, 20)
+        keep = grid.partitions_intersecting(query)
+        assert 1 <= len(keep) < 16
+
+    def test_pruning_is_conservative(self):
+        keys = keys_of(uniform_points(400, seed=2))
+        grid = GridPartitioner(keys, 4)
+        query = Envelope(200, 200, 400, 400)
+        keep = set(grid.partitions_intersecting(query))
+        # every key inside the query must live in a kept partition
+        for key in keys:
+            if query.contains(key.geo.envelope):
+                assert grid.get_partition(key) in keep
+
+    def test_partitions_within_distance(self):
+        grid = GridPartitioner(keys_of([Point(0, 0), Point(100, 100)]), 2)
+        near_origin = grid.partitions_within_distance(0, 0, 1.0)
+        assert near_origin == [0]
+        everything = grid.partitions_within_distance(50, 50, 1000.0)
+        assert everything == [0, 1, 2, 3]
+
+    def test_imbalance_uniform_close_to_one(self):
+        keys = keys_of(uniform_points(4000, seed=5))
+        grid = GridPartitioner(keys, 2)
+        assert grid.imbalance(keys) < 1.3
+
+    def test_equality(self):
+        keys = keys_of(uniform_points(50, seed=6))
+        assert GridPartitioner(keys, 2) == GridPartitioner(keys, 2)
+        assert GridPartitioner(keys, 2) != GridPartitioner(keys, 3)

@@ -1,0 +1,75 @@
+"""The EXPLAIN statement and the new predicate builtins in scripts."""
+
+import pytest
+
+from repro.piglet import PigletRuntime
+
+
+@pytest.fixture
+def runtime(sc, tmp_path):
+    path = tmp_path / "shapes.csv"
+    lines = [
+        "1|POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+        "2|POLYGON ((10 0, 20 0, 20 10, 10 10, 10 0))",
+        "3|POLYGON ((5 5, 15 5, 15 15, 5 15, 5 5))",
+        "4|POLYGON ((50 50, 60 50, 60 60, 50 60, 50 50))",
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    rt = PigletRuntime(sc)
+    rt.run(
+        f"raw = LOAD '{path}' USING PigStorage('|') AS (id:int, wkt:chararray);"
+        "shapes = FOREACH raw GENERATE id, STOBJECT(wkt) AS obj;"
+    )
+    return rt
+
+
+class TestExplain:
+    def test_plain_relation(self, runtime):
+        out = runtime.dump_to_string("EXPLAIN shapes;")
+        assert "shapes: (id, obj)" in out
+        assert "row-by-row" in out
+        assert "ParallelCollectionRDD" not in out  # loaded from file
+        assert "lineage:" in out
+
+    def test_partitioned_relation(self, runtime):
+        out = runtime.dump_to_string(
+            "prt = SPATIAL_PARTITION shapes BY obj USING GRID(2); EXPLAIN prt;"
+        )
+        assert "spatial key: obj [GridPartitioner]" in out
+        assert "pruned/indexed path" in out
+
+    def test_live_indexed_relation(self, runtime):
+        out = runtime.dump_to_string(
+            "idx = LIVEINDEX shapes BY obj ORDER 7; EXPLAIN idx;"
+        )
+        assert "live index: order 7" in out
+
+    def test_unknown_relation(self, runtime):
+        from repro.piglet.builtins import PigletRuntimeError
+
+        with pytest.raises(PigletRuntimeError):
+            runtime.run("EXPLAIN nope;")
+
+
+class TestNewPredicateBuiltins:
+    def test_touches_in_filter(self, runtime):
+        rels = runtime.run(
+            "t = FILTER shapes BY TOUCHES(obj,"
+            " STOBJECT('POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))'));"
+        )
+        assert sorted(r[0] for r in rels["t"].rdd.collect()) == [2]
+
+    def test_overlaps_in_filter(self, runtime):
+        rels = runtime.run(
+            "o = FILTER shapes BY OVERLAPS(obj,"
+            " STOBJECT('POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))'));"
+        )
+        assert sorted(r[0] for r in rels["o"].rdd.collect()) == [3]
+
+    def test_crosses_in_filter(self, runtime):
+        # the probe line at y=5 crosses squares 1 and 2; it only runs
+        # along square 3's bottom edge (touches) and misses square 4
+        rels = runtime.run(
+            "c = FILTER shapes BY CROSSES(STOBJECT('LINESTRING (-5 5, 12 5)'), obj);"
+        )
+        assert sorted(r[0] for r in rels["c"].rdd.collect()) == [1, 2]

@@ -1,0 +1,121 @@
+"""Piglet extensions: SAMPLE, CROSS, geometry builtins, the CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.piglet import PigletRuntime
+from repro.piglet.builtins import SCALAR_FUNCTIONS, PigletRuntimeError
+
+
+@pytest.fixture
+def runtime(sc, tmp_path):
+    path = tmp_path / "nums.csv"
+    path.write_text("\n".join(f"{i},{i % 3}" for i in range(100)) + "\n")
+    rt = PigletRuntime(sc)
+    rt.run(f"nums = LOAD '{path}' USING PigStorage(',') AS (n:int, m:int);")
+    return rt
+
+
+class TestSample:
+    def test_sample_fraction(self, runtime):
+        rels = runtime.run("s = SAMPLE nums 0.2;")
+        count = rels["s"].rdd.count()
+        assert 0 < count < 60
+
+    def test_sample_deterministic(self, runtime):
+        a = runtime.run("a = SAMPLE nums 0.3;")["a"].rdd.collect()
+        b = runtime.run("b = SAMPLE nums 0.3;")["b"].rdd.collect()
+        assert a == b
+
+    def test_sample_keeps_schema(self, runtime):
+        rels = runtime.run("s = SAMPLE nums 0.5;")
+        assert rels["s"].schema == ("n", "m")
+
+
+class TestCross:
+    def test_cross_product_count(self, runtime):
+        rels = runtime.run(
+            "small = LIMIT nums 3; tiny = LIMIT nums 2; c = CROSS small, tiny;"
+        )
+        assert rels["c"].rdd.count() == 6
+
+    def test_cross_schema_disambiguated(self, runtime):
+        rels = runtime.run(
+            "a = LIMIT nums 2; b = LIMIT nums 2; c = CROSS a, b;"
+        )
+        assert rels["c"].schema == ("a_n", "a_m", "b_n", "b_m")
+
+    def test_cross_rows_concatenated(self, runtime):
+        rels = runtime.run("one = LIMIT nums 1; c = CROSS one, one;")
+        assert rels["c"].rdd.collect() == [(0, 0, 0, 0)]
+
+
+class TestGeometryBuiltins:
+    def test_area(self):
+        from repro.core.stobject import STObject
+
+        fn = SCALAR_FUNCTIONS["AREA"]
+        assert fn(STObject("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")) == 16.0
+
+    def test_area_of_point_rejected(self):
+        fn = SCALAR_FUNCTIONS["AREA"]
+        with pytest.raises(PigletRuntimeError):
+            fn("POINT (1 2)")
+
+    def test_length(self):
+        fn = SCALAR_FUNCTIONS["LENGTH"]
+        assert fn("LINESTRING (0 0, 3 4)") == 5.0
+
+    def test_simplify(self):
+        fn = SCALAR_FUNCTIONS["SIMPLIFY"]
+        result = fn("LINESTRING (0 0, 1 0, 2 0, 10 0)", 0.01)
+        assert len(result.coords) == 2
+
+    def test_convexhull(self):
+        fn = SCALAR_FUNCTIONS["CONVEXHULL"]
+        hull = fn("MULTIPOINT ((0 0), (4 0), (4 4), (0 4), (2 2))")
+        assert hull.area == 16.0
+
+    def test_in_script(self, runtime, sc, tmp_path):
+        path = tmp_path / "shapes.csv"
+        path.write_text("POLYGON ((0 0; 2 0; 2 2; 0 2; 0 0))\n".replace(";", ","))
+        rt = PigletRuntime(sc)
+        rels = rt.run(
+            f"shapes = LOAD '{path}';"
+            "a = FOREACH shapes GENERATE AREA(STOBJECT(line)) AS area;"
+        )
+        assert rels["a"].rdd.collect() == [(4.0,)]
+
+
+class TestCli:
+    def test_run_script_file(self, tmp_path):
+        data = tmp_path / "d.csv"
+        data.write_text("1,x\n2,y\n")
+        script = tmp_path / "job.pig"
+        script.write_text(
+            f"r = LOAD '{data}' USING PigStorage(',') AS (id:int, tag:chararray);\n"
+            "f = FILTER r BY id > 1;\n"
+            "DUMP f;\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.piglet", str(script)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "(2,y)" in proc.stdout
+
+    def test_syntax_error_exit_code(self, tmp_path):
+        script = tmp_path / "bad.pig"
+        script.write_text("this is not piglet;")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.piglet", str(script)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 1
+        assert "syntax error" in proc.stderr

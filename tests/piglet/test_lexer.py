@@ -1,0 +1,65 @@
+"""The Piglet tokenizer."""
+
+import pytest
+
+from repro.piglet.lexer import PigletSyntaxError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]  # strip EOF
+
+
+class TestTokens:
+    def test_keywords_uppercased(self):
+        assert kinds("load FILTER By") == [
+            ("KEYWORD", "LOAD"), ("KEYWORD", "FILTER"), ("KEYWORD", "BY"),
+        ]
+
+    def test_names_keep_case(self):
+        assert kinds("myRel obj_1") == [("NAME", "myRel"), ("NAME", "obj_1")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 .5 1e3 2.5e-2") == [
+            ("NUMBER", "42"), ("NUMBER", "3.14"), ("NUMBER", ".5"),
+            ("NUMBER", "1e3"), ("NUMBER", "2.5e-2"),
+        ]
+
+    def test_strings_unescaped(self):
+        assert kinds(r"'hello' 'it\'s'") == [
+            ("STRING", "hello"), ("STRING", "it's"),
+        ]
+
+    def test_string_with_wkt_content(self):
+        tokens = kinds("'POLYGON ((0 0, 1 0, 1 1, 0 0))'")
+        assert tokens == [("STRING", "POLYGON ((0 0, 1 0, 1 1, 0 0))")]
+
+    def test_dollar_fields(self):
+        assert kinds("$0 $12") == [("DOLLAR", "0"), ("DOLLAR", "12")]
+
+    def test_operators(self):
+        assert [v for _k, v in kinds("== != <= >= < > = + - * / % ( ) , ; . :")] == [
+            "==", "!=", "<=", ">=", "<", ">", "=", "+", "-", "*", "/", "%",
+            "(", ")", ",", ";", ".", ":",
+        ]
+
+    def test_eof_token_present(self):
+        assert tokenize("x")[-1].kind == "EOF"
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("a -- a comment\nb") == [("NAME", "a"), ("NAME", "b")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* multi\nline */ b") == [("NAME", "a"), ("NAME", "b")]
+
+
+class TestPositions:
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_error_carries_position(self):
+        with pytest.raises(PigletSyntaxError) as info:
+            tokenize("ok\n@bad")
+        assert info.value.line == 2

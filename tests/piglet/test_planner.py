@@ -1,0 +1,84 @@
+"""The planner's spatial-filter pattern matching."""
+
+import pytest
+
+from repro.core.predicates import CONTAINED_BY, CONTAINS, INTERSECTS
+from repro.piglet import ast_nodes as ast
+from repro.piglet.executor import eval_constant
+from repro.piglet.planner import is_constant, match_spatial_filter
+
+
+def call(name, *args):
+    return ast.FuncCall(name, tuple(args))
+
+
+QUERY_EXPR = call("STOBJECT", ast.StringLit("POLYGON ((0 0, 1 0, 1 1, 0 0))"))
+OBJ = ast.FieldRef("obj")
+
+
+class TestIsConstant:
+    def test_literals_constant(self):
+        assert is_constant(ast.NumberLit(1))
+        assert is_constant(ast.StringLit("x"))
+
+    def test_field_refs_not_constant(self):
+        assert not is_constant(ast.FieldRef("x"))
+        assert not is_constant(ast.PositionalRef(0))
+        assert not is_constant(ast.DottedRef("a", "b"))
+
+    def test_composite(self):
+        assert is_constant(call("STOBJECT", ast.StringLit("POINT (1 2)")))
+        assert not is_constant(call("STOBJECT", ast.FieldRef("wkt")))
+        assert is_constant(ast.BinOp("+", ast.NumberLit(1), ast.NumberLit(2)))
+        assert not is_constant(ast.UnaryOp("-", ast.FieldRef("x")))
+
+
+class TestMatching:
+    def test_direct_pattern(self):
+        plan = match_spatial_filter(call("INTERSECTS", OBJ, QUERY_EXPR), "obj", eval_constant)
+        assert plan is not None
+        assert plan.predicate is INTERSECTS
+
+    def test_containedby(self):
+        plan = match_spatial_filter(call("CONTAINEDBY", OBJ, QUERY_EXPR), "obj", eval_constant)
+        assert plan.predicate is CONTAINED_BY
+
+    def test_reversed_arguments_flip_predicate(self):
+        plan = match_spatial_filter(call("CONTAINS", QUERY_EXPR, OBJ), "obj", eval_constant)
+        assert plan.predicate is CONTAINED_BY
+        plan = match_spatial_filter(call("CONTAINEDBY", QUERY_EXPR, OBJ), "obj", eval_constant)
+        assert plan.predicate is CONTAINS
+
+    def test_within_distance(self):
+        plan = match_spatial_filter(
+            call("WITHINDISTANCE", OBJ, QUERY_EXPR, ast.NumberLit(5)),
+            "obj",
+            eval_constant,
+        )
+        assert plan is not None
+        assert "withindistance" in plan.predicate.name
+
+    def test_no_spatial_key_no_plan(self):
+        assert match_spatial_filter(call("INTERSECTS", OBJ, QUERY_EXPR), None, eval_constant) is None
+
+    def test_wrong_field_no_plan(self):
+        assert match_spatial_filter(
+            call("INTERSECTS", ast.FieldRef("other"), QUERY_EXPR), "obj", eval_constant
+        ) is None
+
+    def test_non_constant_query_no_plan(self):
+        dynamic = call("STOBJECT", ast.FieldRef("wkt"))
+        assert match_spatial_filter(call("INTERSECTS", OBJ, dynamic), "obj", eval_constant) is None
+
+    def test_non_predicate_function_no_plan(self):
+        assert match_spatial_filter(call("DISTANCE", OBJ, QUERY_EXPR), "obj", eval_constant) is None
+
+    def test_compound_condition_no_plan(self):
+        compound = ast.BinOp("AND", call("INTERSECTS", OBJ, QUERY_EXPR), ast.FieldRef("flag"))
+        assert match_spatial_filter(compound, "obj", eval_constant) is None
+
+    def test_wrong_arity_no_plan(self):
+        assert match_spatial_filter(call("INTERSECTS", OBJ), "obj", eval_constant) is None
+        assert match_spatial_filter(
+            call("WITHINDISTANCE", OBJ, QUERY_EXPR), "obj", eval_constant
+        ) is None

@@ -1,0 +1,51 @@
+"""The SKYLINE statement."""
+
+import pytest
+
+from repro.piglet import PigletRuntime, parse
+from repro.piglet import ast_nodes as ast
+
+
+@pytest.fixture
+def runtime(sc, tmp_path):
+    path = tmp_path / "events.csv"
+    # event i: spatial distance 10*i to origin, temporal gap 100*(4-i)
+    lines = [
+        f"{i};cat;{1000.0 - 100.0 * (4 - i)!r};POINT ({i * 10} 0)" for i in range(5)
+    ]
+    # plus one dominated straggler: far AND old
+    lines.append("9;cat;1.0;POINT (500 0)")
+    path.write_text("\n".join(lines) + "\n")
+    rt = PigletRuntime(sc)
+    rt.run(
+        f"ev = LOAD '{path}' USING EventStorage();"
+        "st = FOREACH ev GENERATE STOBJECT(wkt, time) AS obj, id;"
+    )
+    return rt
+
+
+class TestSkylineStatement:
+    def test_parses(self):
+        program = parse("s = SKYLINE r BY obj QUERY STOBJECT('POINT (0 0)');")
+        op = program.statements[0].op
+        assert isinstance(op, ast.Skyline)
+        assert op.key == ast.FieldRef("obj")
+
+    def test_tradeoff_front(self, runtime):
+        rels = runtime.run(
+            "sky = SKYLINE st BY obj QUERY STOBJECT('POINT (0 0)', 1000);"
+        )
+        rel = rels["sky"]
+        assert rel.schema == ("obj", "id", "spatial_distance", "temporal_distance")
+        ids = sorted(r[1] for r in rel.rdd.collect())
+        assert ids == [0, 1, 2, 3, 4]  # straggler 9 dominated
+
+    def test_distances_populated_and_sorted(self, runtime):
+        rels = runtime.run(
+            "sky = SKYLINE st BY obj QUERY STOBJECT('POINT (0 0)', 1000);"
+        )
+        rows = rels["sky"].rdd.collect()
+        spatial = [r[2] for r in rows]
+        assert spatial == sorted(spatial)
+        temporal = [r[3] for r in rows]
+        assert temporal == sorted(temporal, reverse=True)

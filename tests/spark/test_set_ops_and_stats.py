@@ -1,0 +1,143 @@
+"""RDD set operations, positional zip, and numeric statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spark.rdd import StatCounter
+
+
+class TestSubtract:
+    def test_basic(self, sc):
+        a = sc.parallelize([1, 2, 3, 4, 5], 3)
+        b = sc.parallelize([2, 4, 6], 2)
+        assert sorted(a.subtract(b).collect()) == [1, 3, 5]
+
+    def test_duplicates_preserved(self, sc):
+        a = sc.parallelize([1, 1, 2, 2, 3], 2)
+        b = sc.parallelize([3], 1)
+        assert sorted(a.subtract(b).collect()) == [1, 1, 2, 2]
+
+    def test_subtract_everything(self, sc):
+        a = sc.parallelize([1, 2], 1)
+        assert a.subtract(a).collect() == []
+
+    def test_subtract_nothing(self, sc):
+        a = sc.parallelize([1, 2], 2)
+        b = sc.parallelize([9], 1)
+        assert sorted(a.subtract(b).collect()) == [1, 2]
+
+
+class TestIntersection:
+    def test_basic(self, sc):
+        a = sc.parallelize([1, 2, 3, 4], 2)
+        b = sc.parallelize([3, 4, 5], 2)
+        assert sorted(a.intersection(b).collect()) == [3, 4]
+
+    def test_result_distinct(self, sc):
+        a = sc.parallelize([1, 1, 2, 2], 2)
+        b = sc.parallelize([1, 2, 2], 1)
+        assert sorted(a.intersection(b).collect()) == [1, 2]
+
+    def test_disjoint(self, sc):
+        a = sc.parallelize([1], 1)
+        b = sc.parallelize([2], 1)
+        assert a.intersection(b).collect() == []
+
+
+class TestZip:
+    def test_basic(self, sc):
+        a = sc.parallelize([1, 2, 3, 4], 2)
+        b = sc.parallelize("wxyz", 2)
+        assert a.zip(b).collect() == [(1, "w"), (2, "x"), (3, "y"), (4, "z")]
+
+    def test_partition_count_mismatch_rejected(self, sc):
+        with pytest.raises(ValueError, match="partitions"):
+            sc.parallelize([1], 1).zip(sc.parallelize([1], 2))
+
+    def test_element_count_mismatch_detected(self, sc):
+        a = sc.parallelize([1, 2, 3], 1)
+        b = sc.parallelize([1, 2], 1)
+        with pytest.raises(ValueError, match="unequal"):
+            a.zip(b).collect()
+
+    def test_zip_with_self(self, sc):
+        a = sc.parallelize(range(6), 3)
+        assert a.zip(a).collect() == [(i, i) for i in range(6)]
+
+
+class TestStats:
+    def test_known_values(self, sc):
+        stats = sc.parallelize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0], 3).stats()
+        assert stats.count == 8
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stdev == pytest.approx(2.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    def test_mean_and_stdev_shortcuts(self, sc):
+        rdd = sc.parallelize(range(100), 7)
+        assert rdd.mean() == pytest.approx(49.5)
+        assert rdd.stdev() == pytest.approx(
+            math.sqrt(sum((x - 49.5) ** 2 for x in range(100)) / 100)
+        )
+
+    def test_single_element(self, sc):
+        stats = sc.parallelize([42.0], 3).stats()
+        assert stats.mean == 42.0
+        assert stats.stdev == 0.0
+
+    def test_empty_raises_on_access(self, sc):
+        stats = sc.parallelize([], 2).stats()
+        assert stats.count == 0
+        with pytest.raises(ValueError):
+            _ = stats.mean
+
+    def test_partitioning_invariant(self, sc):
+        data = [float(x * x % 17) for x in range(200)]
+        reference = sc.parallelize(data, 1).stats()
+        for slices in (2, 5, 16):
+            stats = sc.parallelize(data, slices).stats()
+            assert stats.mean == pytest.approx(reference.mean)
+            assert stats.stdev == pytest.approx(reference.stdev)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_direct_computation(self, values, slices):
+        from repro.spark.context import SparkContext
+
+        with SparkContext(executor="sequential") as ctx:
+            stats = ctx.parallelize(values, slices).stats()
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stats.mean == pytest.approx(mean, abs=1e-6)
+        assert stats.variance == pytest.approx(variance, rel=1e-6, abs=1e-6)
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+    def test_counter_merge_directly(self):
+        a, b = StatCounter(), StatCounter()
+        for v in (1.0, 2.0, 3.0):
+            a.merge_value(v)
+        for v in (10.0, 20.0):
+            b.merge_value(v)
+        a.merge_counter(b)
+        assert a.count == 5
+        assert a.mean == pytest.approx(7.2)
+        assert a.maximum == 20.0
+
+    def test_merge_empty_counter(self):
+        a = StatCounter()
+        a.merge_value(5.0)
+        a.merge_counter(StatCounter())
+        assert a.count == 1
+        assert a.mean == 5.0

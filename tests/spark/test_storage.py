@@ -1,0 +1,89 @@
+"""Object and text file storage (the HDFS stand-in)."""
+
+import os
+
+import pytest
+
+from repro.spark.storage import StorageError
+
+
+class TestObjectFiles:
+    def test_roundtrip_preserves_partitioning(self, sc, tmp_path):
+        rdd = sc.parallelize([(i, str(i)) for i in range(20)], 5)
+        path = str(tmp_path / "data")
+        rdd.save_as_object_file(path)
+        loaded = sc.object_file(path)
+        assert loaded.num_partitions == 5
+        assert loaded.collect() == rdd.collect()
+
+    def test_partition_contents_identical(self, sc, tmp_path):
+        rdd = sc.parallelize(range(12), 3)
+        path = str(tmp_path / "data")
+        rdd.save_as_object_file(path)
+        assert sc.object_file(path).glom().collect() == rdd.glom().collect()
+
+    def test_arbitrary_objects(self, sc, tmp_path):
+        from repro.core.stobject import STObject
+
+        rows = [(STObject("POINT (1 2)", 5), {"nested": [1, 2]})]
+        path = str(tmp_path / "objs")
+        sc.parallelize(rows, 1).save_as_object_file(path)
+        assert sc.object_file(path).collect() == rows
+
+    def test_refuses_to_overwrite(self, sc, tmp_path):
+        path = str(tmp_path / "data")
+        sc.parallelize([1], 1).save_as_object_file(path)
+        with pytest.raises(StorageError):
+            sc.parallelize([2], 1).save_as_object_file(path)
+
+    def test_success_marker_written(self, sc, tmp_path):
+        path = str(tmp_path / "data")
+        sc.parallelize([1], 1).save_as_object_file(path)
+        assert os.path.exists(os.path.join(path, "_SUCCESS"))
+
+    def test_missing_marker_rejected(self, sc, tmp_path):
+        path = str(tmp_path / "data")
+        sc.parallelize([1], 1).save_as_object_file(path)
+        os.remove(os.path.join(path, "_SUCCESS"))
+        with pytest.raises(StorageError, match="_SUCCESS"):
+            sc.object_file(path).collect()
+
+    def test_nonexistent_path_rejected(self, sc, tmp_path):
+        with pytest.raises(StorageError):
+            sc.object_file(str(tmp_path / "nope")).collect()
+
+
+class TestTextFiles:
+    def test_single_file_lines(self, sc, tmp_path):
+        path = tmp_path / "input.txt"
+        path.write_text("alpha\nbeta\ngamma\n")
+        assert sc.text_file(str(path)).collect() == ["alpha", "beta", "gamma"]
+
+    def test_split_boundaries_do_not_lose_lines(self, sc, tmp_path):
+        lines = [f"line-{i:04d}" for i in range(500)]
+        path = tmp_path / "big.txt"
+        path.write_text("\n".join(lines) + "\n")
+        for slices in (1, 2, 3, 7, 16):
+            got = sorted(sc.text_file(str(path), slices).collect())
+            assert got == lines, f"slices={slices}"
+
+    def test_no_trailing_newline(self, sc, tmp_path):
+        path = tmp_path / "input.txt"
+        path.write_text("a\nb")
+        assert sc.text_file(str(path), 1).collect() == ["a", "b"]
+
+    def test_save_and_reload_directory(self, sc, tmp_path):
+        path = str(tmp_path / "out")
+        sc.parallelize(["x", "y", "z"], 2).save_as_text_file(path)
+        assert sorted(sc.text_file(path).collect()) == ["x", "y", "z"]
+
+    def test_save_refuses_overwrite(self, sc, tmp_path):
+        path = str(tmp_path / "out")
+        sc.parallelize(["x"], 1).save_as_text_file(path)
+        with pytest.raises(StorageError):
+            sc.parallelize(["y"], 1).save_as_text_file(path)
+
+    def test_unicode_roundtrip(self, sc, tmp_path):
+        path = tmp_path / "uni.txt"
+        path.write_text("höhe\nßtraße\n", encoding="utf-8")
+        assert sc.text_file(str(path)).collect() == ["höhe", "ßtraße"]

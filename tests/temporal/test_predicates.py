@@ -1,0 +1,166 @@
+"""Temporal predicates and the Allen relation classification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.temporal import (
+    AllenRelation,
+    Instant,
+    Interval,
+    allen_relation,
+    t_contained_by,
+    t_contains,
+    t_intersects,
+)
+
+times = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def intervals():
+    return st.tuples(times, times).map(
+        lambda ab: Interval(min(ab), max(ab))
+    )
+
+
+def temporals():
+    return st.one_of(times.map(Instant), intervals())
+
+
+class TestIntersects:
+    def test_overlapping_intervals(self):
+        assert t_intersects(Interval(0, 10), Interval(5, 15))
+
+    def test_touching_intervals(self):
+        assert t_intersects(Interval(0, 10), Interval(10, 20))
+
+    def test_disjoint_intervals(self):
+        assert not t_intersects(Interval(0, 1), Interval(2, 3))
+
+    def test_instant_in_interval(self):
+        assert t_intersects(Instant(5), Interval(0, 10))
+
+    def test_instant_at_boundary(self):
+        assert t_intersects(Instant(10), Interval(0, 10))
+
+    def test_instant_outside(self):
+        assert not t_intersects(Instant(11), Interval(0, 10))
+
+    def test_equal_instants(self):
+        assert t_intersects(Instant(5), Instant(5))
+
+    def test_different_instants(self):
+        assert not t_intersects(Instant(5), Instant(6))
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            t_intersects(5, Interval(0, 1))  # type: ignore[arg-type]
+
+    @given(temporals(), temporals())
+    def test_symmetric(self, a, b):
+        assert t_intersects(a, b) == t_intersects(b, a)
+
+
+class TestContains:
+    def test_interval_contains_inner(self):
+        assert t_contains(Interval(0, 10), Interval(2, 8))
+
+    def test_interval_contains_itself(self):
+        assert t_contains(Interval(0, 10), Interval(0, 10))
+
+    def test_interval_contains_instant(self):
+        assert t_contains(Interval(0, 10), Instant(5))
+
+    def test_instant_cannot_contain_longer_interval(self):
+        assert not t_contains(Instant(5), Interval(0, 10))
+
+    def test_instant_contains_equal_instant(self):
+        assert t_contains(Instant(5), Instant(5))
+
+    def test_overlap_is_not_containment(self):
+        assert not t_contains(Interval(0, 10), Interval(5, 15))
+
+    def test_contained_by_is_reverse(self):
+        assert t_contained_by(Instant(5), Interval(0, 10))
+        assert not t_contained_by(Interval(0, 10), Instant(5))
+
+    @given(temporals(), temporals())
+    def test_contains_implies_intersects(self, a, b):
+        if t_contains(a, b):
+            assert t_intersects(a, b)
+
+    @given(temporals(), temporals())
+    def test_contains_antisymmetric_up_to_equality(self, a, b):
+        if t_contains(a, b) and t_contains(b, a):
+            assert (a.start, a.end) == (b.start, b.end)
+
+
+class TestAllenRelations:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            (Interval(0, 1), Interval(2, 3), AllenRelation.BEFORE),
+            (Interval(2, 3), Interval(0, 1), AllenRelation.AFTER),
+            (Interval(0, 2), Interval(2, 4), AllenRelation.MEETS),
+            (Interval(2, 4), Interval(0, 2), AllenRelation.MET_BY),
+            (Interval(0, 3), Interval(2, 5), AllenRelation.OVERLAPS),
+            (Interval(2, 5), Interval(0, 3), AllenRelation.OVERLAPPED_BY),
+            (Interval(0, 2), Interval(0, 5), AllenRelation.STARTS),
+            (Interval(0, 5), Interval(0, 2), AllenRelation.STARTED_BY),
+            (Interval(2, 3), Interval(0, 5), AllenRelation.DURING),
+            (Interval(0, 5), Interval(2, 3), AllenRelation.CONTAINS),
+            (Interval(3, 5), Interval(0, 5), AllenRelation.FINISHES),
+            (Interval(0, 5), Interval(3, 5), AllenRelation.FINISHED_BY),
+            (Interval(1, 2), Interval(1, 2), AllenRelation.EQUALS),
+        ],
+    )
+    def test_all_thirteen(self, a, b, expected):
+        assert allen_relation(a, b) == expected
+
+    def test_instants_collapse(self):
+        assert allen_relation(Instant(1), Instant(1)) == AllenRelation.EQUALS
+        assert allen_relation(Instant(1), Instant(2)) == AllenRelation.BEFORE
+        assert allen_relation(Instant(3), Instant(2)) == AllenRelation.AFTER
+
+    def test_instant_during_interval(self):
+        assert allen_relation(Instant(5), Interval(0, 10)) == AllenRelation.DURING
+
+    def test_instant_starts_interval(self):
+        assert allen_relation(Instant(0), Interval(0, 10)) == AllenRelation.STARTS
+
+    _CONVERSES = {
+        AllenRelation.BEFORE: AllenRelation.AFTER,
+        AllenRelation.AFTER: AllenRelation.BEFORE,
+        AllenRelation.MEETS: AllenRelation.MET_BY,
+        AllenRelation.MET_BY: AllenRelation.MEETS,
+        AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+        AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+        AllenRelation.STARTS: AllenRelation.STARTED_BY,
+        AllenRelation.STARTED_BY: AllenRelation.STARTS,
+        AllenRelation.DURING: AllenRelation.CONTAINS,
+        AllenRelation.CONTAINS: AllenRelation.DURING,
+        AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+        AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+        AllenRelation.EQUALS: AllenRelation.EQUALS,
+    }
+
+    @given(temporals(), temporals())
+    def test_converse_property(self, a, b):
+        assert allen_relation(b, a) == self._CONVERSES[allen_relation(a, b)]
+
+    @given(temporals(), temporals())
+    def test_relation_consistent_with_intersects(self, a, b):
+        relation = allen_relation(a, b)
+        disjoint = relation in (AllenRelation.BEFORE, AllenRelation.AFTER)
+        assert t_intersects(a, b) == (not disjoint)
+
+    @given(temporals(), temporals())
+    def test_relation_consistent_with_contains(self, a, b):
+        relation = allen_relation(a, b)
+        if relation in (
+            AllenRelation.CONTAINS,
+            AllenRelation.STARTED_BY,
+            AllenRelation.FINISHED_BY,
+            AllenRelation.EQUALS,
+        ):
+            assert t_contains(a, b)

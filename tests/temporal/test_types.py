@@ -1,0 +1,104 @@
+"""Instant and Interval value types, and temporal coercion."""
+
+import pickle
+
+import pytest
+
+from repro.temporal import Instant, Interval, make_temporal
+
+
+class TestInstant:
+    def test_bounds_are_value(self):
+        t = Instant(42)
+        assert t.start == t.end == 42
+        assert t.length == 0.0
+
+    def test_ordering(self):
+        assert Instant(1) < Instant(2)
+        assert sorted([Instant(5), Instant(1)]) == [Instant(1), Instant(5)]
+
+    def test_equality_and_hash(self):
+        assert Instant(3) == Instant(3)
+        assert hash(Instant(3)) == hash(Instant(3))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Instant(float("nan"))
+
+    def test_non_number_rejected(self):
+        with pytest.raises(TypeError):
+            Instant("yesterday")
+
+    def test_pickle(self):
+        assert pickle.loads(pickle.dumps(Instant(7))) == Instant(7)
+
+
+class TestInterval:
+    def test_bounds(self):
+        iv = Interval(10, 20)
+        assert iv.start == 10
+        assert iv.end == 20
+        assert iv.length == 10
+
+    def test_zero_length_allowed(self):
+        assert Interval(5, 5).length == 0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(20, 10)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1)
+
+    def test_contains_value_closed(self):
+        iv = Interval(10, 20)
+        assert iv.contains_value(10)
+        assert iv.contains_value(20)
+        assert iv.contains_value(15)
+        assert not iv.contains_value(9.999)
+
+    def test_intersection(self):
+        assert Interval(0, 10).intersection(Interval(5, 15)) == Interval(5, 10)
+
+    def test_intersection_touching(self):
+        assert Interval(0, 10).intersection(Interval(10, 20)) == Interval(10, 10)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_merge(self):
+        assert Interval(0, 5).merge(Interval(10, 20)) == Interval(0, 20)
+
+    def test_buffer(self):
+        assert Interval(10, 20).buffer(5) == Interval(5, 25)
+
+    def test_pickle(self):
+        assert pickle.loads(pickle.dumps(Interval(1, 2))) == Interval(1, 2)
+
+
+class TestMakeTemporal:
+    def test_none_passthrough(self):
+        assert make_temporal(None) is None
+
+    def test_number_becomes_instant(self):
+        assert make_temporal(42) == Instant(42)
+        assert make_temporal(42.5) == Instant(42.5)
+
+    def test_pair_becomes_interval(self):
+        assert make_temporal((10, 20)) == Interval(10, 20)
+        assert make_temporal([10, 20]) == Interval(10, 20)
+
+    def test_existing_values_passthrough(self):
+        t = Instant(1)
+        iv = Interval(1, 2)
+        assert make_temporal(t) is t
+        assert make_temporal(iv) is iv
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            make_temporal("noon")
+
+    def test_bad_pair_rejected(self):
+        with pytest.raises(ValueError):
+            make_temporal((20, 10))
