@@ -4,6 +4,11 @@ Every benchmark regenerates a row/series of the paper's evaluation (see
 DESIGN.md's per-experiment index).  Sizes are laptop-scale by default;
 set ``REPRO_BENCH_SCALE=large`` to get closer to paper-scale inputs, or
 ``small`` for a quick smoke run.
+
+Set ``REPRO_BENCH_TRACE=1`` to run the whole suite under the execution
+tracer: each benchmark's spans are grouped under a span named after the
+test, and the full trace is exported as JSON on shutdown
+(``REPRO_BENCH_TRACE_PATH``, default ``bench_trace.json``).
 """
 
 from __future__ import annotations
@@ -54,9 +59,26 @@ def sizes() -> dict[str, int]:
 
 @pytest.fixture(scope="session")
 def sc():
-    context = SparkContext(app_name="bench", parallelism=4, executor="threads")
+    tracing = bool(os.environ.get("REPRO_BENCH_TRACE"))
+    context = SparkContext(
+        app_name="bench", parallelism=4, executor="threads", tracing=tracing
+    )
     yield context
+    if tracing:
+        path = os.environ.get("REPRO_BENCH_TRACE_PATH", "bench_trace.json")
+        context.tracer.export(path)
+        print(f"\nbenchmark trace written to {path}")
     context.stop()
+
+
+@pytest.fixture(autouse=True)
+def _bench_trace_span(request, sc):
+    """Group each benchmark's spans under a span named after the test."""
+    if not sc.tracer.enabled:
+        yield
+        return
+    with sc.tracer.span(request.node.nodeid, kind="benchmark"):
+        yield
 
 
 @pytest.fixture(scope="session")

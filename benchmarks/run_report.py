@@ -19,9 +19,14 @@ def main() -> None:
     parser.add_argument("--scale", default="small", choices=["small", "medium", "large"])
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument("--output", default=None, help="write to a file instead of stdout")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="append a traced example query (execution span tree)",
+    )
     args = parser.parse_args()
 
-    report = generate_report(args.scale, args.repeats)
+    report = generate_report(args.scale, args.repeats, trace=args.trace)
     if args.output:
         with open(args.output, "w") as f:
             f.write(report + "\n")

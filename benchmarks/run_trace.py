@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Trace a small query mix and print the span-tree report.
+
+The observability smoke entry point: builds a grid-partitioned point
+set, runs a traced filter / kNN / join, prints the human-readable
+trace and optionally writes the JSON export.
+
+Usage::
+
+    python benchmarks/run_trace.py [--points N] [--out trace.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.filter import filter_live_index
+from repro.core.join import spatial_join
+from repro.core.knn import knn
+from repro.core.predicates import INTERSECTS
+from repro.core.stobject import STObject
+from repro.io.datagen import clustered_points, random_polygons
+from repro.partitioners.grid import GridPartitioner
+from repro.spark.context import SparkContext
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=5_000)
+    parser.add_argument("--per-dim", type=int, default=4, help="grid cells per dimension")
+    parser.add_argument("--executor", default="threads", choices=["threads", "sequential"])
+    parser.add_argument("--out", default=None, help="also write the trace as JSON")
+    args = parser.parse_args()
+
+    with SparkContext(
+        "trace", parallelism=4, executor=args.executor, tracing=True
+    ) as sc:
+        pts = clustered_points(args.points, num_clusters=10, seed=1704)
+        rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8)
+        grid = GridPartitioner.from_rdd(rdd, args.per_dim)
+        partitioned = rdd.partition_by(grid).persist()
+        partitioned.count()
+        sc.tracer.reset()  # keep the report to the query mix itself
+
+        window = STObject("POLYGON ((300 300, 700 300, 700 700, 300 700, 300 300))")
+        matches = filter_live_index(partitioned, window, INTERSECTS).count()
+        neighbours = knn(partitioned, STObject("POINT (500 500)"), 10)
+        polys = random_polygons(60, mean_radius_fraction=0.03, seed=1704)
+        polys_rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(polys)], 4)
+        joined = spatial_join(partitioned, polys_rdd, INTERSECTS).count()
+
+        print(
+            f"filter matched {matches} points; "
+            f"knn found {len(neighbours)}; join produced {joined} pairs\n"
+        )
+        print(sc.tracer.render())
+        print(f"\nmetrics: {sc.metrics.snapshot()}")
+        if args.out:
+            sc.tracer.export(args.out)
+            print(f"trace written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

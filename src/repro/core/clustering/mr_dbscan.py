@@ -70,13 +70,23 @@ def dbscan(
         raise ValueError(f"min_pts must be >= 1, got {min_pts}")
 
     context = rdd.context
-    if partitioner is None:
-        if isinstance(rdd.partitioner, SpatialPartitioner):
-            partitioner = rdd.partitioner
-        else:
-            partitioner = _default_partitioner(rdd.keys().collect(), eps)
-    part = partitioner
-    num_partitions = part.num_partitions
+    tracer = context.tracer
+    with tracer.span("dbscan", eps=eps, min_pts=min_pts) as dbscan_span:
+        if partitioner is None:
+            if isinstance(rdd.partitioner, SpatialPartitioner):
+                partitioner = rdd.partitioner
+            else:
+                partitioner = _default_partitioner(rdd.keys().collect(), eps)
+        part = partitioner
+        num_partitions = part.num_partitions
+        return _dbscan_phases(
+            context, rdd, eps, min_pts, part, num_partitions, dbscan_span
+        )
+
+
+def _dbscan_phases(
+    context, rdd, eps, min_pts, part, num_partitions, dbscan_span
+):
 
     # -- step 0: stable ids, replication assignments -----------------------
     indexed = rdd.zip_with_index()
@@ -115,53 +125,64 @@ def dbscan(
             if shared:
                 yield ("S", gid, split, label, is_core)
 
-    local = routed.map_partitions_with_index(run_local).persist()
+    local = routed.map_partitions_with_index(run_local).persist().set_name(
+        "dbscan.local"
+    )
+    tracer = context.tracer
+    with tracer.span("dbscan.local", partitions=num_partitions):
+        # Materialize the cached local clusterings so their cost is
+        # attributed here rather than to the first merge-phase read.
+        local.foreach_partition(lambda _it: None)
 
     # -- step 2: merge on the driver ----------------------------------------
-    counts = dict(
-        local.filter(lambda r: r[0] == "C").map(lambda r: (r[1], r[2])).collect()
-    )
-    base = [0] * num_partitions
-    running = 0
-    for pid in range(num_partitions):
-        base[pid] = running
-        running += counts.get(pid, 0)
-    total_clusters = running
+    with tracer.span("dbscan.merge") as merge_span:
+        counts = dict(
+            local.filter(lambda r: r[0] == "C").map(lambda r: (r[1], r[2])).collect()
+        )
+        base = [0] * num_partitions
+        running = 0
+        for pid in range(num_partitions):
+            base[pid] = running
+            running += counts.get(pid, 0)
+        total_clusters = running
 
-    shared_rows = (
-        local.filter(lambda r: r[0] == "S").map(lambda r: r[1:]).collect()
-    )
-    by_gid: dict[int, list[tuple[int, int, bool]]] = defaultdict(list)
-    for gid, pid, label, is_core in shared_rows:
-        by_gid[gid].append((pid, label, is_core))
+        shared_rows = (
+            local.filter(lambda r: r[0] == "S").map(lambda r: r[1:]).collect()
+        )
+        by_gid: dict[int, list[tuple[int, int, bool]]] = defaultdict(list)
+        for gid, pid, label, is_core in shared_rows:
+            by_gid[gid].append((pid, label, is_core))
 
-    uf = UnionFind(range(total_clusters))
-    adoption: dict[int, int] = {}
-    for gid, occurrences in by_gid.items():
-        clustered = [
-            (base[pid] + label, is_core)
-            for pid, label, is_core in occurrences
-            if label != NOISE
-        ]
-        # Density connection: occurrences sharing this point merge when
-        # the point is core in at least one of the two clusters.
-        for i in range(len(clustered)):
-            for j in range(i + 1, len(clustered)):
-                if clustered[i][1] or clustered[j][1]:
-                    uf.union(clustered[i][0], clustered[j][0])
-        if clustered:
-            # A point that is noise at home but clustered elsewhere is a
-            # border point of that remote cluster: adopt (deterministic
-            # pick: smallest preliminary id).
-            adoption[gid] = min(g for g, _c in clustered)
+        uf = UnionFind(range(total_clusters))
+        adoption: dict[int, int] = {}
+        for gid, occurrences in by_gid.items():
+            clustered = [
+                (base[pid] + label, is_core)
+                for pid, label, is_core in occurrences
+                if label != NOISE
+            ]
+            # Density connection: occurrences sharing this point merge when
+            # the point is core in at least one of the two clusters.
+            for i in range(len(clustered)):
+                for j in range(i + 1, len(clustered)):
+                    if clustered[i][1] or clustered[j][1]:
+                        uf.union(clustered[i][0], clustered[j][0])
+            if clustered:
+                # A point that is noise at home but clustered elsewhere is a
+                # border point of that remote cluster: adopt (deterministic
+                # pick: smallest preliminary id).
+                adoption[gid] = min(g for g, _c in clustered)
 
-    # Dense final labels, stable across runs: roots in ascending order.
-    resolution = [uf.find(g) for g in range(total_clusters)]
-    dense: dict[int, int] = {}
-    for root in resolution:
-        if root not in dense:
-            dense[root] = len(dense)
-    final_of = [dense[root] for root in resolution]
+        # Dense final labels, stable across runs: roots in ascending order.
+        resolution = [uf.find(g) for g in range(total_clusters)]
+        dense: dict[int, int] = {}
+        for root in resolution:
+            if root not in dense:
+                dense[root] = len(dense)
+        final_of = [dense[root] for root in resolution]
+        merge_span.attrs["local_clusters"] = total_clusters
+        merge_span.attrs["final_clusters"] = len(dense)
+        merge_span.attrs["shared_points"] = len(by_gid)
 
     final_broadcast = context.broadcast((final_of, adoption, base))
 
@@ -178,7 +199,9 @@ def dbscan(
         key, value = payload
         return (key, (value, final))
 
-    result = local.filter(lambda r: r[0] == "N").map(relabel)
+    result = local.filter(lambda r: r[0] == "N").map(relabel).set_name(
+        "dbscan.relabel"
+    )
     # Native rows never left their home partition, so the spatial
     # partitioner still describes the layout.
     result.partitioner = part

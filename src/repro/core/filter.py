@@ -84,7 +84,8 @@ def filter_no_index(
             key.geo.envelope, query_env
         ) and predicate.evaluate(key, query)
 
-    return base.filter(keep)
+    # The name is the operator tag the scheduler stamps on job spans.
+    return base.filter(keep).set_name("filter.no_index")
 
 
 def filter_live_index(
@@ -108,7 +109,9 @@ def filter_live_index(
             if predicate.evaluate(kv[0], query):
                 yield kv
 
-    return base.map_partitions(run_partition, preserves_partitioning=True)
+    return base.map_partitions(run_partition, preserves_partitioning=True).set_name(
+        "filter.live_index"
+    )
 
 
 def filter_indexed(
@@ -137,4 +140,6 @@ def filter_indexed(
                 if predicate.evaluate(kv[0], query):
                     yield kv
 
-    return base.map_partitions(run_partition, preserves_partitioning=True)
+    return base.map_partitions(run_partition, preserves_partitioning=True).set_name(
+        "filter.indexed"
+    )

@@ -159,19 +159,27 @@ def spatial_join(
     of extents (the ablation knob for measuring what extent-based pair
     pruning is worth).
     """
-    if prune_pairs:
-        left_extents = partition_extents(left)
-        right_extents = (
-            left_extents if right is left else partition_extents(right)
-        )
-        pairs = candidate_partition_pairs(left_extents, right_extents, predicate)
-    else:
-        pairs = [
-            (i, j)
-            for i in range(left.num_partitions)
-            for j in range(right.num_partitions)
-        ]
-    left.context.metrics.partitions_pruned += (
-        left.num_partitions * right.num_partitions - len(pairs)
+    tracer = left.context.tracer
+    total = left.num_partitions * right.num_partitions
+    with tracer.span("join.plan", prune=prune_pairs) as span:
+        if prune_pairs:
+            left_extents = partition_extents(left)
+            right_extents = (
+                left_extents if right is left else partition_extents(right)
+            )
+            pairs = candidate_partition_pairs(left_extents, right_extents, predicate)
+        else:
+            pairs = [
+                (i, j)
+                for i in range(left.num_partitions)
+                for j in range(right.num_partitions)
+            ]
+        span.attrs["pairs"] = len(pairs)
+        span.attrs["pairs_pruned"] = total - len(pairs)
+    left.context.metrics.partitions_pruned += total - len(pairs)
+    if tracer.enabled and total > len(pairs):
+        tracer.add("partitions_pruned", total - len(pairs))
+    joined = SpatialJoinRDD(left, right, predicate, pairs, index_order)
+    return joined.set_name(
+        "join.live_index" if index_order is not None else "join.nested_loop"
     )
-    return SpatialJoinRDD(left, right, predicate, pairs, index_order)

@@ -6,14 +6,27 @@ geometry as an ascending ``[(distance, (STObject, V)), ...]`` list.
 With a spatial partitioner and the Euclidean metric the search is
 two-phase, exploiting partition extents:
 
-1. scan only the query point's *home partition* and take its best k;
+1. scan only the query centroid's *home partition* and take its best k;
 2. the k-th local distance bounds the true answer, so only partitions
    whose extent comes within that bound need to be searched; the home
    scan is reused and the rest are pruned.
 
-When the home partition holds fewer than k items, or a custom distance
-function makes envelope bounds inadmissible, the search falls back to a
-full scan -- correctness over speed.
+Distances are exact geometry-to-geometry distances, but the pruning
+bound is anchored at the query's *centroid*.  For extended query
+geometries (linestrings, polygons) an item can be much closer to the
+geometry than to its centroid, so every centroid-based bound is
+slackened by the query's **radius** -- the maximum centroid-to-vertex
+distance.  For any item ``o``: ``dist(o, centroid) <= dist(o, query) +
+radius`` (triangle inequality through the closest query vertex region),
+hence a partition holding an item within ``bound`` of the query lies
+within ``bound + radius`` of the centroid.  With a point query the
+radius is 0 and the classic bound is recovered.
+
+When the home partition holds fewer than k items, the bound cannot be
+established; the remaining partitions are scanned (reusing the home
+result -- no partition is computed twice).  A custom distance function
+makes envelope bounds inadmissible and falls back to a full scan --
+correctness over speed.
 """
 
 from __future__ import annotations
@@ -22,6 +35,7 @@ import heapq
 from typing import Iterator, TypeVar
 
 from repro.core.stobject import STObject
+from repro.geometry.base import Geometry
 from repro.geometry.distance import DistanceFunction, euclidean, resolve
 from repro.partitioners.base import SpatialPartitioner
 from repro.spark.rdd import RDD, PartitionPruningRDD
@@ -29,6 +43,19 @@ from repro.spark.rdd import RDD, PartitionPruningRDD
 V = TypeVar("V")
 
 KnnResult = list[tuple[float, tuple[STObject, V]]]
+
+
+def query_radius(geom: Geometry) -> float:
+    """The maximum centroid-to-vertex distance of *geom* (0 for points).
+
+    The slack every centroid-anchored kNN bound needs to stay
+    admissible for extended query geometries.
+    """
+    c = geom.centroid()
+    return max(
+        (((x - c.x) ** 2 + (y - c.y) ** 2) ** 0.5 for x, y in geom.coordinates()),
+        default=0.0,
+    )
 
 
 def _scan(
@@ -58,27 +85,46 @@ def knn(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     fn = resolve(distance_fn)
+    tracer = rdd.context.tracer
 
-    partitioner = rdd.partitioner
-    if not isinstance(partitioner, SpatialPartitioner) or fn is not euclidean:
-        return _scan(rdd, query, k, fn)
+    with tracer.span("knn", k=k) as span:
+        partitioner = rdd.partitioner
+        if not isinstance(partitioner, SpatialPartitioner) or fn is not euclidean:
+            span.attrs["strategy"] = "scan"
+            return _scan(rdd, query, k, fn)
 
-    centroid = query.geo.centroid()
-    home = partitioner.partition_of_point(centroid.x, centroid.y)
-    home_best = _scan(PartitionPruningRDD(rdd, [home]), query, k, fn)
-    if len(home_best) < k:
-        # Not enough local candidates to establish a bound.
-        return _scan(rdd, query, k, fn)
+        centroid = query.geo.centroid()
+        radius = query_radius(query.geo)
+        home = partitioner.partition_of_point(centroid.x, centroid.y)
+        home_best = _scan(
+            PartitionPruningRDD(rdd, [home]).set_name("knn.home"), query, k, fn
+        )
+        if len(home_best) < k:
+            # Not enough local candidates to establish a bound: scan the
+            # remaining partitions, reusing the home result.
+            span.attrs["strategy"] = "two_phase_unbounded"
+            others = [pid for pid in range(rdd.num_partitions) if pid != home]
+            if not others:
+                return home_best
+            rest = _scan(
+                PartitionPruningRDD(rdd, others).set_name("knn.rest"), query, k, fn
+            )
+            return heapq.nsmallest(k, home_best + rest, key=lambda p: p[0])
 
-    bound = home_best[-1][0]
-    candidates = partitioner.partitions_within_distance(
-        centroid.x, centroid.y, bound
-    )
-    others = [pid for pid in candidates if pid != home]
-    if not others:
-        return home_best
-    rest = _scan(PartitionPruningRDD(rdd, others), query, k, fn)
-    return heapq.nsmallest(k, home_best + rest, key=lambda p: p[0])
+        span.attrs["strategy"] = "two_phase"
+        bound = home_best[-1][0]
+        # The query radius keeps the centroid-anchored bound admissible
+        # for extended query geometries (see module docstring).
+        candidates = partitioner.partitions_within_distance(
+            centroid.x, centroid.y, bound + radius
+        )
+        others = [pid for pid in candidates if pid != home]
+        if not others:
+            return home_best
+        rest = _scan(
+            PartitionPruningRDD(rdd, others).set_name("knn.rest"), query, k, fn
+        )
+        return heapq.nsmallest(k, home_best + rest, key=lambda p: p[0])
 
 
 def knn_indexed(
@@ -92,11 +138,15 @@ def knn_indexed(
     Each tree answers its local top-k with exact geometry distances via
     branch-and-bound; the driver merges the per-partition lists.  With
     the producing *partitioner*, a home-partition pass bounds the search
-    the same way :func:`knn` does.
+    the same way :func:`knn` does.  All centroid-anchored bounds (the
+    in-tree envelope bounds and the partition-extent bound) carry the
+    query-radius slack, so extended query geometries stay exact.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     centroid = query.geo.centroid()
+    radius = query_radius(query.geo)
+    tracer = index_rdd.context.tracer
 
     def local_best(trees: Iterator) -> KnnResult:
         best: KnnResult = []
@@ -107,30 +157,38 @@ def knn_indexed(
                     centroid.y,
                     k,
                     exact_distance=lambda kv: kv[0].geo.distance(query.geo),
+                    bound_slack=radius,
                 )
             )
         return heapq.nsmallest(k, best, key=lambda p: p[0])
 
-    base = index_rdd
-    if partitioner is not None:
-        home = partitioner.partition_of_point(centroid.x, centroid.y)
-        home_best = index_rdd.context.run_job(
-            PartitionPruningRDD(index_rdd, [home]), local_best
-        )[0]
-        if len(home_best) == k:
-            bound = home_best[-1][0]
-            keep = partitioner.partitions_within_distance(
-                centroid.x, centroid.y, bound
-            )
-            others = [pid for pid in keep if pid != home]
-            if not others:
-                return home_best
-            rest_lists = index_rdd.context.run_job(
-                PartitionPruningRDD(index_rdd, others), local_best
-            )
-            merged = home_best + [p for best in rest_lists for p in best]
+    with tracer.span("knn.indexed", k=k) as span:
+        if partitioner is None:
+            span.attrs["strategy"] = "scan"
+            per_partition = index_rdd.context.run_job(index_rdd, local_best)
+            merged = [pair for best in per_partition for pair in best]
             return heapq.nsmallest(k, merged, key=lambda p: p[0])
 
-    per_partition = base.context.run_job(base, local_best)
-    merged = [pair for best in per_partition for pair in best]
-    return heapq.nsmallest(k, merged, key=lambda p: p[0])
+        home = partitioner.partition_of_point(centroid.x, centroid.y)
+        home_best = index_rdd.context.run_job(
+            PartitionPruningRDD(index_rdd, [home]).set_name("knn.home"), local_best
+        )[0]
+        if len(home_best) == k:
+            span.attrs["strategy"] = "two_phase"
+            bound = home_best[-1][0]
+            keep = partitioner.partitions_within_distance(
+                centroid.x, centroid.y, bound + radius
+            )
+            others = [pid for pid in keep if pid != home]
+        else:
+            # No bound available; probe every other partition, reusing
+            # the home result rather than rescanning it.
+            span.attrs["strategy"] = "two_phase_unbounded"
+            others = [pid for pid in range(index_rdd.num_partitions) if pid != home]
+        if not others:
+            return home_best
+        rest_lists = index_rdd.context.run_job(
+            PartitionPruningRDD(index_rdd, others).set_name("knn.rest"), local_best
+        )
+        merged = home_best + [p for best in rest_lists for p in best]
+        return heapq.nsmallest(k, merged, key=lambda p: p[0])

@@ -109,4 +109,9 @@ def knn_join(
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
-    return KnnJoinRDD(left, right, k, index_order)
+    # Planning (right-extent computation) runs eagerly in the
+    # constructor; the span captures it.  The joined RDD's name tags the
+    # probe-side job spans when an action runs.
+    with left.context.tracer.span("knn_join.plan", k=k):
+        joined = KnnJoinRDD(left, right, k, index_order)
+    return joined.set_name("knn_join")

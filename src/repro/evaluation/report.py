@@ -207,8 +207,41 @@ def _partitioning_ablation(sc: SparkContext, n: int) -> str:
     )
 
 
-def generate_report(scale: str = "small", repeats: int = 2) -> str:
-    """Run every experiment once and render the full text report."""
+def _traced_example(n: int) -> str:
+    """One Figure-4-style query mix under the execution tracer.
+
+    Runs in its own traced context so the span tree covers exactly the
+    example queries; the rendered tree is the report's worked example
+    of reading a trace (operator tags, per-task records, pruning).
+    """
+    with SparkContext(
+        "report-trace", parallelism=4, executor="sequential", tracing=True
+    ) as sc:
+        pts = clustered_points(n, num_clusters=10, seed=1704)
+        rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8)
+        bsp = BSPartitioner.from_rdd(rdd, max_cost_per_partition=max(64, n // 16))
+        partitioned = rdd.partition_by(bsp).persist()
+        partitioned.count()
+        sc.tracer.reset()  # scope the trace to the example queries
+        window = STObject("POLYGON ((100 100, 350 100, 350 350, 100 350, 100 100))")
+        filter_ops.filter_live_index(partitioned, window, INTERSECTS).count()
+        knn(partitioned, STObject("POINT (500 500)"), 10)
+        tree = sc.tracer.render()
+    return "\n".join(
+        [
+            f"traced example: live-index filter + kNN over {n:,} points (BSP)",
+            "-" * 60,
+            tree,
+        ]
+    )
+
+
+def generate_report(scale: str = "small", repeats: int = 2, trace: bool = False) -> str:
+    """Run every experiment once and render the full text report.
+
+    With ``trace=True`` a traced example query mix is appended, showing
+    the execution-span tree of one filter + kNN run.
+    """
     sizes = SCALES.get(scale)
     if sizes is None:
         raise ValueError(f"scale must be one of {sorted(SCALES)}")
@@ -224,4 +257,6 @@ def generate_report(scale: str = "small", repeats: int = 2) -> str:
         sections += ["", _knn_suite(sc, sizes["filter"], repeats)]
         sections += ["", _clustering_suite(sc, sizes["cluster"], repeats)]
         sections += ["", _partitioning_ablation(sc, sizes["filter"])]
+    if trace:
+        sections += ["", _traced_example(sizes["join"])]
     return "\n".join(sections)

@@ -8,13 +8,79 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, TypeVar
 
+from repro.obs import NULL_TRACER, Tracer
 from repro.spark.accumulator import Accumulator
 from repro.spark.broadcast import Broadcast
 from repro.spark.partitioner import Partitioner
-from repro.spark.rdd import RDD, ParallelCollectionRDD, _Aggregator
+from repro.spark.rdd import (
+    RDD,
+    ParallelCollectionRDD,
+    PartitionPruningRDD,
+    ShuffledRDD,
+    _Aggregator,
+)
 
 T = TypeVar("T")
 U = TypeVar("U")
+
+
+def _lineage_tag(rdd: RDD) -> str:
+    """The operator tag of a job: the first named RDD up the lineage.
+
+    Operators name the RDDs they build (``filter.live_index``,
+    ``join.nested_loop``, ...); the scheduler stamps that tag on the
+    job span so every job in a trace is attributable.  Lineage walking
+    stops at shuffle boundaries -- the map side runs as its own job and
+    reports its own tag.
+    """
+    queue, seen = [rdd], {rdd.id}
+    while queue:
+        node = queue.pop(0)
+        if node.name:
+            return node.name
+        if isinstance(node, ShuffledRDD):
+            continue
+        for parent in node.parents:
+            if parent.id not in seen:
+                seen.add(parent.id)
+                queue.append(parent)
+    return type(rdd).__name__
+
+
+def _lineage_pruning(rdd: RDD) -> int:
+    """Partitions pruned by :class:`PartitionPruningRDD` nodes in *rdd*'s
+    lineage (not crossing shuffle boundaries)."""
+    pruned = 0
+    queue, seen = [rdd], {rdd.id}
+    while queue:
+        node = queue.pop(0)
+        if isinstance(node, PartitionPruningRDD):
+            pruned += node.pruned_count
+        if isinstance(node, ShuffledRDD):
+            continue
+        for parent in node.parents:
+            if parent.id not in seen:
+                seen.add(parent.id)
+                queue.append(parent)
+    return pruned
+
+
+class _CountingIterator:
+    """Wraps a partition iterator to count the records a task consumed."""
+
+    __slots__ = ("_it", "count")
+
+    def __init__(self, it: Iterator) -> None:
+        self._it = iter(it)
+        self.count = 0
+
+    def __iter__(self) -> "_CountingIterator":
+        return self
+
+    def __next__(self):
+        value = next(self._it)
+        self.count += 1
+        return value
 
 
 @dataclass
@@ -116,15 +182,34 @@ class _ShuffleManager:
             if ready is not None:
                 return ready
             parent, partitioner, aggregator = self._registered[shuffle_id]
-            outputs = self._run_map_side(parent, partitioner, aggregator)
+            tracer = self._context.tracer
+            if tracer.enabled:
+                with tracer.span(
+                    "shuffle",
+                    kind="shuffle",
+                    shuffle_id=shuffle_id,
+                    map_partitions=parent.num_partitions,
+                    reduce_partitions=partitioner.num_partitions,
+                    combine=aggregator is not None,
+                ) as shuffle_span:
+                    outputs = self._run_map_side(
+                        parent, partitioner, aggregator, shuffle_span
+                    )
+            else:
+                outputs = self._run_map_side(parent, partitioner, aggregator)
             self._outputs[shuffle_id] = outputs
             self._context.metrics.shuffles_executed += 1
             return outputs
 
     def _run_map_side(
-        self, parent: RDD, partitioner: Partitioner, aggregator: _Aggregator | None
+        self,
+        parent: RDD,
+        partitioner: Partitioner,
+        aggregator: _Aggregator | None,
+        shuffle_span=None,
     ) -> list[dict[int, list]]:
         metrics = self._context.metrics
+        tracer = self._context.tracer
 
         def map_task(it: Iterator[tuple]) -> dict[int, list]:
             # Buckets are sparse (dict keyed by reduce partition): a map
@@ -144,7 +229,12 @@ class _ShuffleManager:
                     else:
                         bucket[k] = aggregator.create_combiner(v)
                 buckets = {pid: list(d.items()) for pid, d in combined.items()}
-            metrics.shuffle_records_written += sum(len(b) for b in buckets.values())
+            written = sum(len(b) for b in buckets.values())
+            metrics.shuffle_records_written += written
+            if shuffle_span is not None:
+                # Map tasks may run concurrently; the tracer serializes
+                # the counter update on the shared shuffle span.
+                tracer.add_to(shuffle_span, "records_written", written)
             if self._context.shuffle_serialization:
                 # Spill through pickle: a real shuffle serializes every
                 # record to disk/network.  Reference-passing would hide
@@ -184,6 +274,8 @@ class SparkContext:
         parallelism: int = 4,
         executor: str = "threads",
         shuffle_serialization: bool = True,
+        tracing: bool = False,
+        tracer: Tracer | None = None,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -200,8 +292,17 @@ class SparkContext:
         self._cache = _CacheManager()
         self._shuffle = _ShuffleManager(self)
         self.metrics = Metrics()
+        #: The execution tracer.  Defaults to the shared no-op tracer;
+        #: pass ``tracing=True`` (or a :class:`Tracer`) to record spans.
+        self.tracer: Tracer = tracer or (Tracer() if tracing else NULL_TRACER)
         self._pool: ThreadPoolExecutor | None = None
         self._in_job = threading.local()
+
+    def enable_tracing(self) -> Tracer:
+        """Install (or return) a live :class:`Tracer` on this context."""
+        if not self.tracer.enabled:
+            self.tracer = Tracer()
+        return self.tracer
 
     # -- RDD creation --------------------------------------------------------
 
@@ -252,6 +353,8 @@ class SparkContext:
         splits = list(partitions) if partitions is not None else list(range(rdd.num_partitions))
         self.metrics.jobs_run += 1
         self.metrics.tasks_launched += len(splits)
+        if self.tracer.enabled:
+            return self._run_job_traced(rdd, fn, splits)
 
         def task(split: int) -> U:
             # Mark this *worker thread* as inside a task so any nested
@@ -269,6 +372,50 @@ class SparkContext:
             return [task(s) for s in splits]
         pool = self._ensure_pool()
         return list(pool.map(task, splits))
+
+    def _run_job_traced(
+        self, rdd: RDD[T], fn: Callable[[Iterator[T]], U], splits: list[int]
+    ) -> list[U]:
+        """The tracing twin of :meth:`run_job`'s execution core.
+
+        Opens a ``job`` span carrying the operator tag and pruning
+        attribution of the target lineage, plus one ``task`` span per
+        partition with the records it consumed.  Task spans are parented
+        to the job span explicitly because tasks may run on pool
+        threads; nested jobs a task triggers attach beneath its span
+        through the worker thread's stack.
+        """
+        tracer = self.tracer
+        attrs: dict = {
+            "rdd": f"{type(rdd).__name__}[{rdd.id}]",
+            "op": _lineage_tag(rdd),
+            "tasks": len(splits),
+        }
+        pruned = _lineage_pruning(rdd)
+        if pruned:
+            attrs["partitions_pruned"] = pruned
+        with tracer.span("job", kind="job", **attrs) as job_span:
+
+            def task(split: int) -> U:
+                previous = getattr(self._in_job, "active", False)
+                self._in_job.active = True
+                try:
+                    with tracer.span(
+                        "task", kind="task", parent=job_span, split=split
+                    ) as task_span:
+                        counted = _CountingIterator(rdd.iterator(split))
+                        try:
+                            return fn(counted)
+                        finally:
+                            task_span.attrs["records_in"] = counted.count
+                finally:
+                    self._in_job.active = previous
+
+            nested = getattr(self._in_job, "active", False)
+            if self._executor_mode == "sequential" or nested or len(splits) <= 1:
+                return [task(s) for s in splits]
+            pool = self._ensure_pool()
+            return list(pool.map(task, splits))
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:

@@ -105,6 +105,9 @@ class RDD(ABC, Generic[T]):
         hit = cache.get(self.id, split)
         if hit is not None:
             self.context.metrics.cache_hits += 1
+            if self.context.tracer.enabled:
+                # Attributes the hit to the consuming task's span.
+                self.context.tracer.add("cache_hits", 1)
             return iter(hit)
         data = list(self.compute(split))
         cache.put(self.id, split, data)
@@ -467,16 +470,26 @@ class RDD(ABC, Generic[T]):
         return rows[0]
 
     def take(self, n: int) -> list[T]:
-        """The first *n* elements, computing as few partitions as possible."""
+        """The first *n* elements, computing as few partitions as possible.
+
+        Each probed partition runs as a one-task job through the
+        context's scheduler (like Spark's incremental ``take`` jobs), so
+        job/task accounting, tracing and nested-job detection all see
+        the same state as any other action.
+        """
         if n <= 0:
             return []
         out: list[T] = []
         for split in range(self.num_partitions):
-            self.context.metrics.tasks_launched += 1
-            for x in self.iterator(split):
-                out.append(x)
-                if len(out) == n:
-                    return out
+            needed = n - len(out)
+            chunk = self.context.run_job(
+                self,
+                lambda it: list(itertools.islice(it, needed)),
+                partitions=[split],
+            )[0]
+            out.extend(chunk)
+            if len(out) >= n:
+                break
         return out
 
     def top(self, n: int, key: Callable[[T], Any] | None = None) -> list[T]:
@@ -866,7 +879,11 @@ class PartitionPruningRDD(RDD[T]):
                 raise IndexError(
                     f"partition {pid} out of range 0..{parent.num_partitions - 1}"
                 )
-        self.context.metrics.partitions_pruned += parent.num_partitions - len(self._ids)
+        #: How many parent partitions this node hides (trace attribution).
+        self.pruned_count = parent.num_partitions - len(self._ids)
+        self.context.metrics.partitions_pruned += self.pruned_count
+        if self.context.tracer.enabled and self.pruned_count:
+            self.context.tracer.add("partitions_pruned", self.pruned_count)
 
     @property
     def num_partitions(self) -> int:

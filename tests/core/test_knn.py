@@ -129,3 +129,105 @@ class TestIndexedKnn:
         indexed = spatial(rdd).index(order=4)
         result = indexed.knn(query, 1)
         assert result[0][1][1] == "near-exact"
+
+
+class TestExtendedQueryPruningBound:
+    """Regression: the centroid-anchored pruning bound must stay admissible
+    for extended query geometries (long linestrings, polygons).
+
+    Layout (universe [0,100]^2, 5x5 grid, 20-unit cells): the query line
+    runs along y=5 from x=4 to x=96, so its centroid (50, 5) lands in the
+    middle bottom cell, which holds two points at distance 1.  The true
+    nearest neighbour (5, 4.5), at distance 0.5, lives in the south-west
+    cell -- 45 units away from the centroid.  An unslackened bound of 1
+    prunes that cell and silently returns the wrong answer.
+    """
+
+    QUERY_LINE = STObject("LINESTRING (4 5, 96 5)")
+
+    @pytest.fixture
+    def lopsided(self, sc):
+        rows = [
+            (STObject("POINT (0 0)"), "corner-sw"),
+            (STObject("POINT (100 100)"), "corner-ne"),
+            (STObject("POINT (5 4.5)"), "true-nearest"),
+            (STObject("POINT (50 6)"), "home-a"),
+            (STObject("POINT (51 6)"), "home-b"),
+        ]
+        rdd = sc.parallelize(rows, 4)
+        grid = GridPartitioner.from_rdd(rdd, 5)
+        return rdd.partition_by(grid).persist()
+
+    def test_linestring_query_crosses_partitions(self, lopsided):
+        got = knn(lopsided, self.QUERY_LINE, 2)
+        want = brute_knn(lopsided.collect(), self.QUERY_LINE, 2)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+        assert got[0][1][1] == "true-nearest"
+
+    def test_polygon_query_crosses_partitions(self, lopsided):
+        query = STObject("POLYGON ((4 4, 96 4, 96 6, 4 6, 4 4))")
+        got = knn(lopsided, query, 2)
+        want = brute_knn(lopsided.collect(), query, 2)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_indexed_linestring_query_crosses_partitions(self, sc, lopsided):
+        grid = lopsided.partitioner
+        indexed = spatial(lopsided).index(order=4, partitioner=grid)
+        got = indexed.knn(self.QUERY_LINE, 2)
+        want = brute_knn(lopsided.collect(), self.QUERY_LINE, 2)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+        assert got[0][1][1] == "true-nearest"
+
+    def test_unslackened_bound_would_miss_the_neighbour(self, lopsided, monkeypatch):
+        # Demonstrates the pre-fix defect: with the radius slack removed
+        # the pruning bound is inadmissible and the 0.5-away neighbour
+        # in the far cell is lost.
+        import repro.core.knn as knn_module
+
+        monkeypatch.setattr(knn_module, "query_radius", lambda geom: 0.0)
+        got = knn(lopsided, self.QUERY_LINE, 2)
+        assert got[0][0] == pytest.approx(1.0)  # wrong: true nearest is 0.5 away
+
+
+class TestFallbackReusesHomePartition:
+    """When the home partition holds fewer than k items, the rest-scan
+    must skip the home partition instead of rescanning everything."""
+
+    @pytest.fixture
+    def sparse(self, sc):
+        rows = [
+            (STObject("POINT (0 0)"), 0),
+            (STObject("POINT (10 10)"), 1),
+            (STObject("POINT (12 10)"), 2),
+            (STObject("POINT (60 10)"), 3),
+            (STObject("POINT (10 60)"), 4),
+            (STObject("POINT (60 60)"), 5),
+            (STObject("POINT (100 100)"), 6),
+        ]
+        rdd = sc.parallelize(rows, 4)
+        grid = GridPartitioner.from_rdd(rdd, 2)
+        part = rdd.partition_by(grid).persist()
+        part.count()  # materialize shuffle + cache before measuring
+        return part
+
+    QUERY_HOME = STObject("POINT (11 10)")  # home cell holds 3 points, k=5
+
+    def test_scan_fallback_computes_each_partition_once(self, sc, sparse):
+        sc.metrics.reset()
+        got = knn(sparse, self.QUERY_HOME, 5)
+        # one home task plus one task per remaining partition: nothing twice
+        assert sc.metrics.tasks_launched == sparse.num_partitions
+        assert sc.metrics.jobs_run == 2
+        want = brute_knn(sparse.collect(), self.QUERY_HOME, 5)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_indexed_fallback_computes_each_partition_once(self, sc, sparse):
+        grid = sparse.partitioner
+        indexed = spatial(sparse).index(order=4, partitioner=grid)
+        indexed.tree_rdd.count()  # build and cache the trees up front
+        sc.metrics.reset()
+        got = indexed.knn(self.QUERY_HOME, 5)
+        assert sc.metrics.tasks_launched == indexed.tree_rdd.num_partitions
+        assert sc.metrics.jobs_run == 2
+        want = brute_knn(sparse.collect(), self.QUERY_HOME, 5)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])

@@ -1,0 +1,66 @@
+"""End-to-end trace export over a realistic query mix.
+
+Marked ``trace``: excluded from the tier-1 run, selected with
+``pytest -m trace``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.filter import filter_live_index
+from repro.core.join import spatial_join
+from repro.core.knn import knn
+from repro.core.predicates import INTERSECTS
+from repro.core.stobject import STObject
+from repro.io.datagen import clustered_points, random_polygons
+from repro.partitioners.grid import GridPartitioner
+from repro.spark.context import SparkContext
+
+pytestmark = pytest.mark.trace
+
+
+@pytest.mark.parametrize("executor", ["sequential", "threads"])
+def test_trace_export_end_to_end(tmp_path, executor):
+    with SparkContext("trace-e2e", parallelism=4, executor=executor, tracing=True) as sc:
+        pts = clustered_points(1_500, num_clusters=8, seed=7)
+        rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8)
+        grid = GridPartitioner.from_rdd(rdd, 4)
+        part = rdd.partition_by(grid).persist()
+        part.count()
+
+        window = STObject("POLYGON ((300 300, 700 300, 700 700, 300 700, 300 300))")
+        filter_live_index(part, window, INTERSECTS).count()
+        knn(part, STObject("POINT (500 500)"), 10)
+        polys = random_polygons(40, mean_radius_fraction=0.03, seed=7)
+        polys_rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(polys)], 4)
+        spatial_join(part, polys_rdd, INTERSECTS).count()
+
+        out = tmp_path / f"trace-{executor}.json"
+        sc.tracer.export(str(out))
+        rendered = sc.tracer.render()
+
+    data = json.loads(out.read_text())
+
+    def walk(node):
+        yield node
+        for child in node.get("children", []):
+            yield from walk(child)
+
+    spans = list(walk(data))
+    kinds = {s["kind"] for s in spans}
+    assert {"root", "job", "task", "shuffle", "operator"} <= kinds
+    ops = {s["attrs"].get("op") for s in spans if s["kind"] == "job"}
+    assert "filter.live_index" in ops
+    assert {"knn.home", "join.live_index"} & ops
+    # every task span carries its record count; every closed span a duration
+    for s in spans:
+        if s["kind"] == "task":
+            assert "records_in" in s["attrs"]
+        assert s["duration"] >= 0
+    # the shuffle span attributes the records its map side wrote
+    assert any(
+        s["kind"] == "shuffle" and s["attrs"].get("records_written", 0) > 0
+        for s in spans
+    )
+    assert "filter.live_index" in rendered and "knn" in rendered

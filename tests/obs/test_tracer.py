@@ -1,0 +1,225 @@
+"""The tracing layer: span trees, attribution, executor equivalence."""
+
+import json
+import time
+
+import pytest
+
+from repro.core.filter import filter_live_index, filter_no_index
+from repro.core.knn import knn
+from repro.core.predicates import INTERSECTS
+from repro.core.stobject import STObject
+from repro.io.datagen import clustered_points
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer
+from repro.partitioners.grid import GridPartitioner
+from repro.spark.context import SparkContext
+
+WINDOW = STObject("POLYGON ((400 400, 600 400, 600 600, 400 600, 400 400))")
+
+
+@pytest.fixture
+def traced_sc():
+    context = SparkContext(app_name="traced", parallelism=4, executor="sequential", tracing=True)
+    yield context
+    context.stop()
+
+
+def partitioned_points(sc, n=400, slices=4, per_dim=3):
+    pts = clustered_points(n, num_clusters=6, seed=99)
+    rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], slices)
+    grid = GridPartitioner.from_rdd(rdd, per_dim)
+    part = rdd.partition_by(grid).persist()
+    part.count()  # materialize: shuffle + cache fill happen here, not in the test body
+    return part
+
+
+class TestSpanModel:
+    def test_span_duration_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        assert outer.end is not None and outer.duration >= 0
+        assert [s.name for s in outer.walk()] == ["outer", "inner"]
+        assert [s.name for s in tracer.root.find("inner")] == ["inner"]
+
+    def test_nesting_follows_thread_stack(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.annotate(tag="x")
+                tracer.add("hits", 2)
+        (a,) = tracer.root.children
+        (b,) = a.children
+        assert (b.attrs["tag"], b.attrs["hits"]) == ("x", 2)
+
+    def test_reset_drops_spans(self):
+        tracer = Tracer()
+        with tracer.span("gone"):
+            pass
+        tracer.reset()
+        assert tracer.root.children == []
+
+
+class TestJobStructure:
+    def test_job_and_task_spans_match_job_shape(self, traced_sc):
+        sc = traced_sc
+        rdd = sc.parallelize(range(10), 4)
+        sc.tracer.reset()
+        assert rdd.count() == 10
+        (job,) = sc.tracer.root.children
+        assert job.kind == "job" and job.attrs["tasks"] == 4
+        tasks = job.children
+        assert [t.kind for t in tasks] == ["task"] * 4
+        assert sorted(t.attrs["split"] for t in tasks) == [0, 1, 2, 3]
+        assert sum(t.attrs["records_in"] for t in tasks) == 10
+        assert all(t.end is not None for t in tasks)
+
+    def test_shuffle_span_attributes_records_written(self, traced_sc):
+        sc = traced_sc
+        pairs = sc.parallelize(range(20), 4).map(lambda x: (x % 3, x))
+        reduced = pairs.reduce_by_key(lambda a, b: a + b)
+        sc.tracer.reset()
+        sc.metrics.reset()
+        assert len(reduced.collect()) == 3
+        (shuffle,) = sc.tracer.root.find("shuffle")
+        assert shuffle.kind == "shuffle"
+        assert shuffle.attrs["records_written"] == sc.metrics.shuffle_records_written
+        assert shuffle.attrs["combine"] is True
+        # the map side runs as a nested job under the shuffle span
+        assert any(child.kind == "job" for child in shuffle.children)
+        # ... which itself hangs beneath a reduce-side task span
+        (reduce_job,) = sc.tracer.root.children
+        assert any(shuffle in task.walk() for task in reduce_job.children)
+
+    def test_cache_hits_attributed_to_tasks(self, traced_sc):
+        sc = traced_sc
+        rdd = sc.parallelize(range(8), 4).persist()
+        rdd.count()  # fills the cache
+        sc.tracer.reset()
+        rdd.count()
+        (job,) = sc.tracer.root.children
+        assert sum(t.attrs.get("cache_hits", 0) for t in job.children) == 4
+
+
+class TestPruningAttribution:
+    def test_pruned_partitions_reported_not_run(self, traced_sc):
+        sc = traced_sc
+        part = partitioned_points(sc)
+        filtered = filter_no_index(part, WINDOW, INTERSECTS)
+        sc.tracer.reset()
+        filtered.count()
+        (job,) = sc.tracer.root.children
+        pruned = job.attrs.get("partitions_pruned", 0)
+        assert pruned > 0
+        # pruned partitions never become tasks -- no zero-record ghosts
+        assert len(job.children) == part.num_partitions - pruned
+        assert job.attrs["tasks"] == len(job.children)
+        assert job.attrs["op"] == "filter.no_index"
+
+    def test_operator_tags_on_job_spans(self, traced_sc):
+        sc = traced_sc
+        part = partitioned_points(sc)
+        sc.tracer.reset()
+        filter_live_index(part, WINDOW, INTERSECTS).count()
+        knn(part, STObject("POINT (500 500)"), 5)
+        job_ops = [j.attrs["op"] for j in sc.tracer.root.find("job")]
+        assert "filter.live_index" in job_ops
+        assert "knn.home" in job_ops
+        (knn_span,) = sc.tracer.root.find("knn")
+        assert knn_span.attrs["k"] == 5
+        assert knn_span.attrs["strategy"] in ("two_phase", "two_phase_unbounded")
+
+
+class TestExecutorEquivalence:
+    @staticmethod
+    def normalize(span):
+        keep = ("op", "tasks", "split", "records_in", "partitions_pruned", "strategy", "k")
+        return {
+            "name": span.name,
+            "kind": span.kind,
+            "attrs": {k: v for k, v in span.attrs.items() if k in keep},
+            "children": sorted(
+                (TestExecutorEquivalence.normalize(c) for c in span.children),
+                key=lambda d: json.dumps(d, sort_keys=True),
+            ),
+        }
+
+    def test_threads_and_sequential_trees_match(self):
+        trees = {}
+        for mode in ("sequential", "threads"):
+            with SparkContext(app_name=mode, parallelism=4, executor=mode, tracing=True) as sc:
+                part = partitioned_points(sc)
+                sc.tracer.reset()
+                filter_live_index(part, WINDOW, INTERSECTS).count()
+                knn(part, STObject("POINT (500 500)"), 5)
+                trees[mode] = self.normalize(sc.tracer.root)
+        assert trees["sequential"] == trees["threads"]
+
+
+class TestCoverageAndExport:
+    def test_operator_span_covers_wall_clock(self, traced_sc):
+        sc = traced_sc
+        part = partitioned_points(sc, n=2000, per_dim=4)
+        sc.tracer.reset()
+        start = time.perf_counter()
+        result = knn(part, STObject("POINT (500 500)"), 10)
+        wall = time.perf_counter() - start
+        assert len(result) == 10
+        (span,) = sc.tracer.root.children
+        assert span.name == "knn"
+        # the acceptance bar: spans account for >= 95% of measured wall-clock
+        assert span.duration >= 0.95 * wall
+        for job in span.find("job"):
+            assert all("records_in" in t.attrs for t in job.children)
+
+    def test_json_round_trip(self, traced_sc, tmp_path):
+        sc = traced_sc
+        sc.parallelize(range(6), 3).count()
+        data = json.loads(sc.tracer.to_json())
+        assert data["name"] == "trace" and data["kind"] == "root"
+        assert data["children"][0]["kind"] == "job"
+        out = tmp_path / "trace.json"
+        sc.tracer.export(str(out))
+        exported = json.loads(out.read_text())
+        assert exported["children"][0]["attrs"]["tasks"] == 3
+        assert [c["kind"] for c in exported["children"][0]["children"]] == ["task"] * 3
+
+    def test_render_mentions_ops_and_counts(self, traced_sc):
+        sc = traced_sc
+        part = partitioned_points(sc)
+        sc.tracer.reset()
+        filter_live_index(part, WINDOW, INTERSECTS).count()
+        text = sc.tracer.render()
+        assert "job" in text and "filter.live_index" in text
+        assert "records_in" in text
+
+
+class TestDisabledTracing:
+    def test_context_defaults_to_null_tracer(self, sc):
+        assert sc.tracer is NULL_TRACER
+        assert not sc.tracer.enabled
+
+    def test_null_tracer_api_is_inert(self, sc):
+        tracer = sc.tracer
+        with tracer.span("anything", kind="job", probe=1) as span:
+            span.add("x")
+            span.attrs["y"] = 2
+            tracer.add("z")
+            tracer.annotate(w=3)
+        assert span.attrs == {}
+        assert tracer.root.children == []
+        assert tracer.to_dict() == {}
+        assert tracer.to_json() == "{}"
+        assert "disabled" in tracer.render()
+
+    def test_disabled_jobs_record_nothing(self, sc):
+        sc.parallelize(range(10), 4).count()
+        assert sc.tracer.root.children == []
+
+    def test_enable_tracing_installs_live_tracer(self, sc):
+        tracer = sc.enable_tracing()
+        assert isinstance(tracer, Tracer) and tracer.enabled
+        assert sc.enable_tracing() is tracer  # idempotent
+        sc.parallelize(range(4), 2).count()
+        assert len(tracer.root.find("job")) == 1

@@ -40,6 +40,52 @@ class TestTakeFirst:
             sc.parallelize([], 2).first()
 
 
+class TestActionJobAccounting:
+    """take/first/is_empty must run through the scheduler: every partition
+    probe is a real job, so jobs_run and tasks_launched stay truthful."""
+
+    def test_take_counts_as_a_job(self, sc):
+        rdd = sc.parallelize(range(100), 10)
+        sc.metrics.reset()
+        assert rdd.take(3) == [0, 1, 2]
+        assert sc.metrics.jobs_run == 1
+        assert sc.metrics.tasks_launched == 1
+
+    def test_take_one_job_per_probed_partition(self, sc):
+        rdd = sc.parallelize(range(20), 10)  # two elements per partition
+        sc.metrics.reset()
+        assert rdd.take(5) == [0, 1, 2, 3, 4]
+        assert sc.metrics.jobs_run == 3
+        assert sc.metrics.tasks_launched == 3
+
+    def test_first_probes_until_nonempty(self, sc):
+        rdd = sc.parallelize([7], 3)  # value lands in the last slice
+        sc.metrics.reset()
+        assert rdd.first() == 7
+        assert sc.metrics.jobs_run == sc.metrics.tasks_launched == 3
+
+    def test_is_empty_accounts_probes(self, sc):
+        rdd = sc.parallelize([], 2)
+        sc.metrics.reset()
+        assert rdd.is_empty()
+        assert sc.metrics.jobs_run == sc.metrics.tasks_launched == 2
+
+    def test_take_nested_inside_a_task_runs_inline(self, threaded_sc):
+        # take from inside a running task must respect nested-job
+        # execution (inline, no pool re-entry) now that it goes through
+        # run_job; with more outer tasks than pool threads this would
+        # deadlock otherwise.
+        sc = threaded_sc
+        inner = sc.parallelize(range(10), 4)
+        outer = sc.parallelize(range(8), 8)
+
+        def probe(it):
+            list(it)
+            return inner.take(2)
+
+        assert sc.run_job(outer, probe) == [[0, 1]] * 8
+
+
 class TestOrderedActions:
     def test_top(self, sc):
         assert sc.parallelize([5, 9, 1, 7], 2).top(2) == [9, 7]
