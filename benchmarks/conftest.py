@@ -9,6 +9,13 @@ Set ``REPRO_BENCH_TRACE=1`` to run the whole suite under the execution
 tracer: each benchmark's spans are grouped under a span named after the
 test, and the full trace is exported as JSON on shutdown
 (``REPRO_BENCH_TRACE_PATH``, default ``bench_trace.json``).
+
+Set ``REPRO_CHAOS_SITES`` to run the suite under deterministic fault
+injection — e.g. ``REPRO_CHAOS_SITES="task.compute=1x" pytest benchmarks``
+measures the retry overhead of every task failing once, and
+``REPRO_CHAOS_SITES="cache.get=0.05" REPRO_CHAOS_SEED=7`` simulates a
+flaky cache.  The injector's per-site checked/injected counts are
+printed on shutdown.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import os
 
 import pytest
 
+from repro.chaos import FaultInjector
 from repro.core.stobject import STObject
 from repro.io.datagen import clustered_points, random_polygons, timed_stobjects
 from repro.spark.context import SparkContext
@@ -60,14 +68,21 @@ def sizes() -> dict[str, int]:
 @pytest.fixture(scope="session")
 def sc():
     tracing = bool(os.environ.get("REPRO_BENCH_TRACE"))
+    injector = FaultInjector.from_env()
     context = SparkContext(
-        app_name="bench", parallelism=4, executor="threads", tracing=tracing
+        app_name="bench",
+        parallelism=4,
+        executor="threads",
+        tracing=tracing,
+        fault_injector=injector,
     )
     yield context
     if tracing:
         path = os.environ.get("REPRO_BENCH_TRACE_PATH", "bench_trace.json")
         context.tracer.export(path)
         print(f"\nbenchmark trace written to {path}")
+    if injector is not None:
+        print(f"\nchaos injection summary: {injector.summary()}")
     context.stop()
 
 

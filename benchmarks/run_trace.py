@@ -8,12 +8,19 @@ trace and optionally writes the JSON export.
 Usage::
 
     python benchmarks/run_trace.py [--points N] [--out trace.json]
+    python benchmarks/run_trace.py --chaos "task.compute=1x"
+
+With ``--chaos`` (same ``site=spec`` grammar as ``REPRO_CHAOS_SITES``)
+the query mix runs under deterministic fault injection; retried tasks
+show up in the report with a leading ``!`` and the metrics line shows
+``tasks_failed``/``tasks_retried``.
 """
 
 from __future__ import annotations
 
 import argparse
 
+from repro.chaos import FaultInjector
 from repro.core.filter import filter_live_index
 from repro.core.join import spatial_join
 from repro.core.knn import knn
@@ -30,10 +37,29 @@ def main() -> None:
     parser.add_argument("--per-dim", type=int, default=4, help="grid cells per dimension")
     parser.add_argument("--executor", default="threads", choices=["threads", "sequential"])
     parser.add_argument("--out", default=None, help="also write the trace as JSON")
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help='fault-injection spec, e.g. "task.compute=1x,cache.get=0.1"',
+    )
+    parser.add_argument("--chaos-seed", type=int, default=0)
     args = parser.parse_args()
 
+    injector = None
+    if args.chaos:
+        injector = FaultInjector.from_env(
+            {"REPRO_CHAOS_SITES": args.chaos, "REPRO_CHAOS_SEED": str(args.chaos_seed)}
+        )
+    else:
+        injector = FaultInjector.from_env()  # honour REPRO_CHAOS_* if set
+
     with SparkContext(
-        "trace", parallelism=4, executor=args.executor, tracing=True
+        "trace",
+        parallelism=4,
+        executor=args.executor,
+        tracing=True,
+        fault_injector=injector,
     ) as sc:
         pts = clustered_points(args.points, num_clusters=10, seed=1704)
         rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8)
@@ -55,6 +81,8 @@ def main() -> None:
         )
         print(sc.tracer.render())
         print(f"\nmetrics: {sc.metrics.snapshot()}")
+        if injector is not None:
+            print(f"chaos: {injector.summary()}")
         if args.out:
             sc.tracer.export(args.out)
             print(f"trace written to {args.out}")

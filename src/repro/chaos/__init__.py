@@ -1,0 +1,11 @@
+"""Chaos engineering: deterministic fault injection for the engine.
+
+The robustness counterpart of :mod:`repro.obs`: where the tracer shows
+what an execution *did*, the injector proves what it *survives*.  See
+:mod:`repro.chaos.injector` for the site list and plan shapes, and the
+README's "Fault tolerance & chaos testing" section for a worked example.
+"""
+
+from repro.chaos.injector import SITES, FaultInjector, InjectedFault, inject
+
+__all__ = ["SITES", "FaultInjector", "InjectedFault", "inject"]

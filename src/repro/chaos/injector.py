@@ -1,0 +1,245 @@
+"""Deterministic fault injection for the execution stack.
+
+A :class:`FaultInjector` installed on a :class:`~repro.spark.context.
+SparkContext` makes instrumented sites raise :class:`InjectedFault`
+according to a seeded, reproducible plan.  The instrumented sites are:
+
+===================  ====================================================
+site                 fires in
+===================  ====================================================
+``task.compute``     the scheduler, once per task attempt
+``shuffle.fetch``    ``_ShuffleManager.fetch`` (reduce-side fetch)
+``cache.get``        ``RDD.iterator`` before consulting the block cache
+``storage.read``     ``ObjectFileRDD`` / ``TextFileRDD`` part reads
+``storage.write``    ``save_object_file`` / ``save_text_file`` part writes
+``index.load``       persisted-index part reads (triggers live fallback)
+===================  ====================================================
+
+Two plan shapes exist per site:
+
+- **fail-N-times-then-succeed** (``times=N``): the first N checks raise,
+  later ones pass.  With ``per_key=True`` (the default) the count is kept
+  per call-site key -- e.g. per ``(rdd_id, split)`` for ``task.compute``
+  -- which is how "fail every task's first attempt" is expressed.
+- **probabilistic** (``probability=p``): each check raises with
+  probability *p*, drawn from the injector's seeded RNG.  Deterministic
+  under the ``sequential`` executor; under ``threads`` the draw order
+  depends on scheduling.
+
+Env wiring for the benchmark suite (``REPRO_CHAOS_*``)::
+
+    REPRO_CHAOS_SEED=7
+    REPRO_CHAOS_SITES="task.compute=1x,storage.read=0.05"
+
+where ``Nx`` means fail the first N checks per key and a float in
+``(0, 1]`` is a per-check probability.  :meth:`FaultInjector.from_env`
+parses these; the benchmark conftest installs the result on its context.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+from typing import Hashable, Iterator
+
+#: The names an injection plan may target.
+SITES = frozenset(
+    {
+        "task.compute",
+        "shuffle.fetch",
+        "cache.get",
+        "storage.read",
+        "storage.write",
+        "index.load",
+    }
+)
+
+
+class InjectedFault(RuntimeError):
+    """The synthetic failure an injection plan raises."""
+
+    def __init__(self, site: str, key: Hashable = None) -> None:
+        self.site = site
+        self.key = key
+        detail = f" key={key!r}" if key is not None else ""
+        super().__init__(f"injected fault at {site}{detail}")
+
+
+class _Rule:
+    """One injection plan for one site."""
+
+    __slots__ = ("site", "times", "probability", "per_key", "_counts")
+
+    def __init__(
+        self,
+        site: str,
+        times: int | None,
+        probability: float | None,
+        per_key: bool,
+    ) -> None:
+        self.site = site
+        self.times = times
+        self.probability = probability
+        self.per_key = per_key
+        self._counts: dict[Hashable, int] = {}
+
+    def should_fire(self, key: Hashable, rng: random.Random) -> bool:
+        if self.times is not None:
+            bucket = key if self.per_key else None
+            count = self._counts.get(bucket, 0) + 1
+            self._counts[bucket] = count
+            return count <= self.times
+        return rng.random() < (self.probability or 0.0)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+class FaultInjector:
+    """A seeded, installable source of deterministic failures.
+
+    Usage::
+
+        injector = FaultInjector(seed=7).fail("task.compute", times=1)
+        with injector.installed(sc):
+            result = rdd.collect()      # every task fails once, retries succeed
+        assert injector.injected["task.compute"] > 0
+
+    Thread-safe: counters and the RNG are guarded by a lock, so plans
+    behave identically under the thread-pool executor (modulo draw order
+    for probabilistic plans).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rules: dict[str, list[_Rule]] = {}
+        self._lock = threading.Lock()
+        #: site -> number of faults actually raised.
+        self.injected: dict[str, int] = {}
+        #: site -> number of check() calls observed.
+        self.checked: dict[str, int] = {}
+
+    # -- plan construction -------------------------------------------------
+
+    def fail(
+        self,
+        site: str,
+        *,
+        times: int | None = None,
+        probability: float | None = None,
+        per_key: bool = True,
+    ) -> "FaultInjector":
+        """Register a plan at *site*; returns self for chaining.
+
+        Exactly one of ``times`` (fail the first N checks, counted per
+        key by default) or ``probability`` (independent per-check draw)
+        must be given.
+        """
+        if site not in SITES:
+            raise ValueError(f"unknown injection site {site!r}; known: {sorted(SITES)}")
+        if (times is None) == (probability is None):
+            raise ValueError("exactly one of times= or probability= is required")
+        if times is not None and times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        if probability is not None and not (0.0 < probability <= 1.0):
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        with self._lock:
+            self._rules.setdefault(site, []).append(
+                _Rule(site, times, probability, per_key)
+            )
+        return self
+
+    # -- the hook the engine calls ----------------------------------------
+
+    def check(self, site: str, key: Hashable = None) -> None:
+        """Raise :class:`InjectedFault` if a plan at *site* fires."""
+        with self._lock:
+            self.checked[site] = self.checked.get(site, 0) + 1
+            for rule in self._rules.get(site, ()):
+                if rule.should_fire(key, self._rng):
+                    self.injected[site] = self.injected.get(site, 0) + 1
+                    raise InjectedFault(site, key)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Rewind counters and the RNG; plans stay registered."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self.injected.clear()
+            self.checked.clear()
+            for rules in self._rules.values():
+                for rule in rules:
+                    rule.reset()
+
+    def clear(self) -> None:
+        """Drop every plan (and counters)."""
+        with self._lock:
+            self._rules.clear()
+            self.injected.clear()
+            self.checked.clear()
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Per-site ``{"checked": n, "injected": m}`` counts."""
+        with self._lock:
+            sites = set(self.checked) | set(self.injected)
+            return {
+                site: {
+                    "checked": self.checked.get(site, 0),
+                    "injected": self.injected.get(site, 0),
+                }
+                for site in sorted(sites)
+            }
+
+    @contextmanager
+    def installed(self, context) -> Iterator["FaultInjector"]:
+        """Install on *context* for the duration of the ``with`` block."""
+        previous = context.fault_injector
+        context.fault_injector = self
+        try:
+            yield self
+        finally:
+            context.fault_injector = previous
+
+    # -- env wiring --------------------------------------------------------
+
+    @classmethod
+    def from_env(cls, env: dict | None = None) -> "FaultInjector | None":
+        """Build an injector from ``REPRO_CHAOS_*`` variables, or None.
+
+        ``REPRO_CHAOS_SITES`` is a comma-separated list of ``site=spec``
+        where spec is ``Nx`` (fail first N per key) or a float
+        probability; ``REPRO_CHAOS_SEED`` seeds the RNG (default 0).
+        """
+        env = os.environ if env is None else env
+        spec = env.get("REPRO_CHAOS_SITES", "").strip()
+        if not spec:
+            return None
+        injector = cls(seed=int(env.get("REPRO_CHAOS_SEED", "0")))
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            site, _, value = clause.partition("=")
+            site, value = site.strip(), value.strip()
+            if not value:
+                raise ValueError(f"malformed REPRO_CHAOS_SITES clause {clause!r}")
+            if value.endswith(("x", "X")):
+                injector.fail(site, times=int(value[:-1]))
+            else:
+                injector.fail(site, probability=float(value))
+        return injector
+
+    def __repr__(self) -> str:
+        plans = {site: len(rules) for site, rules in self._rules.items()}
+        return f"FaultInjector(seed={self.seed}, plans={plans})"
+
+
+@contextmanager
+def inject(context, injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Module-level alias for ``injector.installed(context)``."""
+    with injector.installed(context) as installed:
+        yield installed

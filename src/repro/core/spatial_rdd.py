@@ -211,7 +211,7 @@ class SpatialRDDFunctions:
             if isinstance(rdd.partitioner, SpatialPartitioner)
             else None
         )
-        return IndexedSpatialRDD(tree_rdd, spatial_part)
+        return IndexedSpatialRDD(tree_rdd, spatial_part, order=order)
 
     # camelCase aliases matching the paper's Scala API
     containedBy = contained_by
@@ -290,10 +290,14 @@ class IndexedSpatialRDD:
     """A materialized index: one STR-tree per partition (persistent mode)."""
 
     def __init__(
-        self, tree_rdd: RDD, partitioner: SpatialPartitioner | None = None
+        self,
+        tree_rdd: RDD,
+        partitioner: SpatialPartitioner | None = None,
+        order: int | None = None,
     ) -> None:
         self._trees = tree_rdd
         self._partitioner = partitioner
+        self._order = order
 
     @property
     def tree_rdd(self) -> RDD:
@@ -348,13 +352,21 @@ class IndexedSpatialRDD:
 
     def save(self, path: str) -> None:
         """Persist the trees (and partitioner) for reuse by other programs."""
-        persistence.save_index(self._trees, path, self._partitioner)
+        persistence.save_index(
+            self._trees, path, self._partitioner, order=self._order
+        )
 
     @staticmethod
     def load(context, path: str) -> "IndexedSpatialRDD":
-        """Reload an index written by :meth:`save`."""
+        """Reload an index written by :meth:`save`.
+
+        Tolerant of damage: corrupt tree parts are rebuilt live from the
+        recovery sidecar and corrupt metadata merely disables pruning
+        (see :mod:`repro.index.persistence`).
+        """
         tree_rdd, partitioner = persistence.load_index(context, path)
-        return IndexedSpatialRDD(tree_rdd.persist(), partitioner)
+        order = getattr(tree_rdd, "_order", None)
+        return IndexedSpatialRDD(tree_rdd.persist(), partitioner, order=order)
 
     containedBy = contained_by
     withinDistance = within_distance

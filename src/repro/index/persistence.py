@@ -7,35 +7,177 @@ can be loaded by the same or another program without rebuilding.
 
 The partitioner metadata is stored alongside the trees so a reloaded
 index keeps its partition-pruning ability.
+
+Fault model
+-----------
+A persisted index is the one artifact the paper's multi-program workflow
+shares across runs, so loading degrades gracefully instead of dying on
+damage:
+
+- :func:`save_index` additionally writes a ``_data`` sidecar directory
+  holding each partition's raw ``(envelope, item)`` entries;
+- :class:`ResilientIndexRDD` reads tree part-files lazily and, when a
+  part is truncated/corrupt (or a fault is injected at the
+  ``index.load`` site), **rebuilds a live STR-tree for that partition**
+  from the sidecar -- exact query results, one partition's build cost.
+  Each fallback is counted in ``metrics.index_fallbacks`` and recorded
+  as an ``index.fallback`` span in the trace;
+- a missing or corrupt ``_index_meta.pkl`` degrades to an unpartitioned
+  load (pruning disabled, queries still exact) instead of raising;
+- only when a part is corrupt *and* no recovery data exists does the
+  load fail, with a :class:`~repro.spark.storage.StorageError` naming
+  the path (pre-sidecar layouts written by older versions).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
+from repro.index.rtree import DEFAULT_NODE_CAPACITY, STRTree
+from repro.spark import storage
 from repro.spark.rdd import RDD
+from repro.spark.storage import StorageError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.spark.context import SparkContext
 
 _META_FILE = "_index_meta.pkl"
+_DATA_DIR = "_data"
 
 
-def save_index(indexed_rdd: RDD, path: str, partitioner=None) -> None:
-    """Persist an RDD of per-partition index trees plus its partitioner."""
+def save_index(indexed_rdd: RDD, path: str, partitioner=None, order: int | None = None) -> None:
+    """Persist an RDD of per-partition index trees plus its partitioner.
+
+    Alongside the pickled trees, every partition's raw entries are
+    written to a ``_data`` sidecar so a damaged tree part can be rebuilt
+    live on load.  *order* (the tree's node capacity) is stored in the
+    metadata and reused for the rebuild.
+    """
     indexed_rdd.save_as_object_file(path)
+
+    def extract_entries(trees: Iterator[STRTree]) -> Iterator[list]:
+        # One row per partition: the entry lists of its trees, in order.
+        yield [list(tree.iter_entries()) for tree in trees]
+
+    indexed_rdd.map_partitions(extract_entries).save_as_object_file(
+        os.path.join(path, _DATA_DIR)
+    )
     with open(os.path.join(path, _META_FILE), "wb") as f:
-        pickle.dump({"partitioner": partitioner}, f, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.dump(
+            {"partitioner": partitioner, "order": order},
+            f,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+
+def _read_meta(path: str) -> dict:
+    """Read the metadata file, wrapping corruption in StorageError."""
+    meta_path = os.path.join(path, _META_FILE)
+    if not os.path.exists(meta_path):
+        return {}
+    try:
+        with open(meta_path, "rb") as f:
+            return pickle.load(f)
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise StorageError(f"corrupt index metadata {meta_path!r}: {exc}") from exc
+
+
+class ResilientIndexRDD(RDD[STRTree]):
+    """Reads persisted trees with per-partition live-rebuild fallback.
+
+    Layout-compatible with plain ``object_file`` directories: without a
+    ``_data`` sidecar it behaves like :class:`ObjectFileRDD` (corrupt
+    parts raise :class:`StorageError`); with one, damaged partitions are
+    rebuilt from their raw entries.
+    """
+
+    def __init__(self, context, path: str, order: int | None = None) -> None:
+        super().__init__(context)
+        self._path = path
+        self._parts = storage._list_parts(path, ".pkl")
+        self._order = order or DEFAULT_NODE_CAPACITY
+        data_dir = os.path.join(path, _DATA_DIR)
+        self._data_dir = data_dir if os.path.isdir(data_dir) else None
+        #: Splits that were rebuilt live instead of unpickled.
+        self.fallbacks: list[int] = []
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._parts)
+
+    def compute(self, split: int) -> Iterator[STRTree]:
+        part = os.path.join(self._path, self._parts[split])
+        try:
+            injector = self.context.fault_injector
+            if injector is not None:
+                injector.check("index.load", key=(part, split))
+            return iter(storage.read_object_part(part))
+        except Exception as exc:
+            trees = self._rebuild_live(split, part, exc)
+            return iter(trees)
+
+    def _rebuild_live(self, split: int, part: str, cause: Exception) -> list[STRTree]:
+        """Build the partition's trees from the recovery sidecar."""
+        entry_lists = self._load_recovery_entries(split)
+        if entry_lists is None:
+            if isinstance(cause, StorageError):
+                raise cause
+            raise StorageError(
+                f"unreadable index part {part!r} and no recovery data: {cause}"
+            ) from cause
+        self.context.metrics.index_fallbacks += 1
+        self.fallbacks.append(split)
+        tracer = self.context.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "index.fallback",
+                split=split,
+                path=part,
+                entries=sum(len(entries) for entries in entry_lists),
+            ):
+                return self._build_trees(entry_lists)
+        return self._build_trees(entry_lists)
+
+    def _build_trees(self, entry_lists: list[list]) -> list[STRTree]:
+        return [
+            STRTree(entries, node_capacity=self._order) for entries in entry_lists
+        ]
+
+    def _load_recovery_entries(self, split: int) -> list[list] | None:
+        """The sidecar's entry lists for *split*, or None if unavailable."""
+        if self._data_dir is None:
+            return None
+        data_part = os.path.join(self._data_dir, f"part-{split:05d}.pkl")
+        if not os.path.exists(data_part):
+            return None
+        try:
+            rows = storage.read_object_part(data_part)
+        except StorageError:
+            return None  # sidecar damaged too; nothing left to recover from
+        return rows[0] if rows else []
 
 
 def load_index(context: "SparkContext", path: str) -> tuple[RDD, object]:
-    """Load a persisted index: (RDD of trees, partitioner-or-None)."""
-    rdd = context.object_file(path)
-    partitioner = None
-    meta_path = os.path.join(path, _META_FILE)
-    if os.path.exists(meta_path):
-        with open(meta_path, "rb") as f:
-            partitioner = pickle.load(f).get("partitioner")
-    return rdd, partitioner
+    """Load a persisted index: (RDD of trees, partitioner-or-None).
+
+    Damage is absorbed where possible: corrupt metadata degrades to an
+    unpartitioned load (recorded on the trace as ``index.meta_fallback``
+    and in ``metrics.index_fallbacks``), and corrupt tree parts rebuild
+    live per partition (see :class:`ResilientIndexRDD`).
+    """
+    try:
+        meta = _read_meta(path)
+    except StorageError:
+        # Pruning metadata is an optimization; queries stay exact
+        # without it, so a damaged meta file must not block the load.
+        meta = {}
+        context.metrics.index_fallbacks += 1
+        if context.tracer.enabled:
+            with context.tracer.span(
+                "index.meta_fallback", path=os.path.join(path, _META_FILE)
+            ):
+                pass
+    rdd = ResilientIndexRDD(context, path, order=meta.get("order"))
+    return rdd, meta.get("partitioner")

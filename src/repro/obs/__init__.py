@@ -4,7 +4,12 @@ See :mod:`repro.obs.tracer` for the span model and
 :mod:`repro.obs.report` for the text rendering.
 """
 
-from repro.obs.report import format_duration, render_span, render_trace
+from repro.obs.report import (
+    collect_failures,
+    format_duration,
+    render_span,
+    render_trace,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -12,6 +17,7 @@ __all__ = [
     "NullTracer",
     "Span",
     "Tracer",
+    "collect_failures",
     "format_duration",
     "render_span",
     "render_trace",

@@ -38,16 +38,36 @@ def _format_attr(value) -> str:
     return str(value)
 
 
+def _is_troubled(span: "Span") -> bool:
+    """Spans that recorded failures, aborts or degradation fallbacks."""
+    return bool(
+        span.attrs.get("failures")
+        or span.attrs.get("aborted")
+        or span.name.endswith(".fallback")
+    )
+
+
 def render_span(span: "Span", indent: int = 0) -> list[str]:
-    """Render one span and its subtree as indented text lines."""
+    """Render one span and its subtree as indented text lines.
+
+    Spans that failed, aborted, or degraded (task retries, job aborts,
+    index fallbacks) are prefixed with ``!`` so a chaos run's trace
+    shows its fault story at a glance.
+    """
     attrs = " ".join(f"{k}={_format_attr(v)}" for k, v in span.attrs.items())
-    line = "  " * indent + f"{span.name} {format_duration(span.duration)}"
+    marker = "! " if _is_troubled(span) else ""
+    line = "  " * indent + f"{marker}{span.name} {format_duration(span.duration)}"
     if attrs:
         line += f" {attrs}"
     lines = [line]
     for child in span.children:
         lines.extend(render_span(child, indent + 1))
     return lines
+
+
+def collect_failures(tracer: "Tracer") -> list["Span"]:
+    """All spans in the trace that failed, aborted or fell back."""
+    return [span for span in tracer.root.walk() if _is_troubled(span)]
 
 
 def render_trace(tracer: "Tracer") -> str:

@@ -56,6 +56,16 @@ class Span:
         """Increment a counter-style attribute."""
         self.attrs[key] = self.attrs.get(key, 0) + amount
 
+    def note_failure(self, error: str) -> None:
+        """Record one failed attempt: bumps ``failures``, keeps the error.
+
+        The scheduler calls this on task spans as it retries, so a trace
+        of a chaos run shows exactly which tasks failed, how often, and
+        with what final error.
+        """
+        self.add("failures", 1)
+        self.attrs["last_error"] = error
+
     def find(self, name: str) -> list["Span"]:
         """All descendant spans (and self) with the given name, pre-order."""
         found = [self] if self.name == name else []

@@ -16,7 +16,12 @@ STARK's algorithms are built against:
 - broadcast variables and accumulators,
 - a task scheduler executing one task per partition, with metrics
   (tasks launched, records read, shuffle volume) that the test-suite and
-  benchmarks use to verify pruning behaviour.
+  benchmarks use to verify pruning behaviour,
+- lineage-based fault tolerance: failed tasks are retried with
+  exponential backoff (``max_task_failures`` attempts, recomputing from
+  lineage), and exhausted retries abort the job with a typed
+  :class:`~repro.spark.errors.JobAbortedError`; see :mod:`repro.chaos`
+  for the matching fault-injection harness.
 
 The engine runs tasks in the driver process (optionally on a thread
 pool).  The *algorithmic* costs -- how many partitions a query touches,
@@ -28,6 +33,7 @@ depend on.
 from repro.spark.accumulator import Accumulator
 from repro.spark.broadcast import Broadcast
 from repro.spark.context import SparkContext
+from repro.spark.errors import JobAbortedError, TaskError
 from repro.spark.partitioner import HashPartitioner, Partitioner
 from repro.spark.rdd import RDD
 
@@ -35,7 +41,9 @@ __all__ = [
     "Accumulator",
     "Broadcast",
     "HashPartitioner",
+    "JobAbortedError",
     "Partitioner",
     "RDD",
     "SparkContext",
+    "TaskError",
 ]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, TypeVar
@@ -11,6 +12,7 @@ from typing import Any, Callable, Iterable, Iterator, TypeVar
 from repro.obs import NULL_TRACER, Tracer
 from repro.spark.accumulator import Accumulator
 from repro.spark.broadcast import Broadcast
+from repro.spark.errors import JobAbortedError, TaskError
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import (
     RDD,
@@ -22,6 +24,11 @@ from repro.spark.rdd import (
 
 T = TypeVar("T")
 U = TypeVar("U")
+
+
+def _rdd_label(rdd: RDD) -> str:
+    """The rdd's scheduler-facing name, e.g. ``MapPartitionsRDD[12]``."""
+    return f"{type(rdd).__name__}[{rdd.id}]"
 
 
 def _lineage_tag(rdd: RDD) -> str:
@@ -92,11 +99,15 @@ class Metrics:
     """
 
     tasks_launched: int = 0
+    tasks_failed: int = 0
+    tasks_retried: int = 0
     jobs_run: int = 0
+    jobs_failed: int = 0
     shuffles_executed: int = 0
     shuffle_records_written: int = 0
     cache_hits: int = 0
     partitions_pruned: int = 0
+    index_fallbacks: int = 0
 
     def reset(self) -> None:
         for name in self.__dataclass_fields__:
@@ -158,6 +169,11 @@ class _ShuffleManager:
         return shuffle_id
 
     def fetch(self, shuffle_id: int, reduce_split: int) -> Iterator[tuple]:
+        injector = self._context.fault_injector
+        if injector is not None:
+            # A failed fetch surfaces in the reduce task, which the
+            # scheduler retries; completed map outputs are reused.
+            injector.check("shuffle.fetch", key=(shuffle_id, reduce_split))
         outputs = self._ensure_map_outputs(shuffle_id)
         if self._context.shuffle_serialization:
             import pickle
@@ -173,7 +189,10 @@ class _ShuffleManager:
 
     def _ensure_map_outputs(self, shuffle_id: int) -> list[list[list]]:
         # Double-checked locking: reduce tasks may arrive concurrently
-        # from the thread pool; only one runs the map side.
+        # from the thread pool; only one runs the map side.  A map side
+        # that *fails* leaves no entry behind -- ``_outputs`` is only
+        # written on success -- so a retried reduce task re-runs it from
+        # scratch instead of fetching poisoned buckets.
         ready = self._outputs.get(shuffle_id)
         if ready is not None:
             return ready
@@ -276,11 +295,18 @@ class SparkContext:
         shuffle_serialization: bool = True,
         tracing: bool = False,
         tracer: Tracer | None = None,
+        max_task_failures: int = 4,
+        retry_backoff: float = 0.05,
+        fault_injector=None,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
         if executor not in ("threads", "sequential"):
             raise ValueError(f"unknown executor {executor!r}")
+        if max_task_failures < 1:
+            raise ValueError("max_task_failures must be >= 1")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         self.app_name = app_name
         self.default_parallelism = parallelism
         self._executor_mode = executor
@@ -295,6 +321,17 @@ class SparkContext:
         #: The execution tracer.  Defaults to the shared no-op tracer;
         #: pass ``tracing=True`` (or a :class:`Tracer`) to record spans.
         self.tracer: Tracer = tracer or (Tracer() if tracing else NULL_TRACER)
+        #: Attempts a task gets before the job aborts (Spark's
+        #: ``spark.task.maxFailures``); each attempt recomputes the
+        #: partition from lineage.
+        self.max_task_failures = max_task_failures
+        #: Base of the exponential retry backoff, in seconds: attempt
+        #: *n* sleeps ``retry_backoff * 2**(n-1)`` before re-running.
+        self.retry_backoff = retry_backoff
+        #: Optional :class:`repro.chaos.FaultInjector`; when set, the
+        #: instrumented sites consult it.  Hot paths guard on ``is not
+        #: None`` so the disabled case costs one attribute read.
+        self.fault_injector = fault_injector
         self._pool: ThreadPoolExecutor | None = None
         self._in_job = threading.local()
 
@@ -303,6 +340,11 @@ class SparkContext:
         if not self.tracer.enabled:
             self.tracer = Tracer()
         return self.tracer
+
+    def install_fault_injector(self, injector):
+        """Install a :class:`repro.chaos.FaultInjector` (None to remove)."""
+        self.fault_injector = injector
+        return injector
 
     # -- RDD creation --------------------------------------------------------
 
@@ -349,29 +391,95 @@ class SparkContext:
         The backbone of every action.  Nested jobs (e.g. a shuffle map
         side triggered from inside a reduce task) run inline on the
         calling thread to avoid pool starvation.
+
+        Each task gets :attr:`max_task_failures` attempts, recomputing
+        its partition from lineage every time; a task that keeps failing
+        aborts the job with :class:`JobAbortedError`.
         """
-        splits = list(partitions) if partitions is not None else list(range(rdd.num_partitions))
+        num_partitions = rdd.num_partitions
+        if partitions is not None:
+            splits = list(partitions)
+            for split in splits:
+                if not 0 <= split < num_partitions:
+                    raise ValueError(
+                        f"partition index {split} out of range for "
+                        f"{_rdd_label(rdd)} with {num_partitions} partitions"
+                    )
+        else:
+            splits = list(range(num_partitions))
         self.metrics.jobs_run += 1
         self.metrics.tasks_launched += len(splits)
-        if self.tracer.enabled:
-            return self._run_job_traced(rdd, fn, splits)
+        try:
+            if self.tracer.enabled:
+                return self._run_job_traced(rdd, fn, splits)
 
-        def task(split: int) -> U:
-            # Mark this *worker thread* as inside a task so any nested
-            # job it triggers (e.g. a shuffle map side) runs inline
-            # instead of re-entering the pool and starving it.
-            previous = getattr(self._in_job, "active", False)
-            self._in_job.active = True
+            def task(split: int) -> U:
+                # Mark this *worker thread* as inside a task so any nested
+                # job it triggers (e.g. a shuffle map side) runs inline
+                # instead of re-entering the pool and starving it.
+                previous = getattr(self._in_job, "active", False)
+                self._in_job.active = True
+                try:
+                    return self._run_task(rdd, fn, split)
+                finally:
+                    self._in_job.active = previous
+
+            nested = getattr(self._in_job, "active", False)
+            if self._executor_mode == "sequential" or nested or len(splits) <= 1:
+                return [task(s) for s in splits]
+            pool = self._ensure_pool()
+            return list(pool.map(task, splits))
+        except JobAbortedError:
+            self.metrics.jobs_failed += 1
+            raise
+
+    def _run_task(
+        self,
+        rdd: RDD[T],
+        fn: Callable[[Iterator[T]], U],
+        split: int,
+        task_span=None,
+    ) -> U:
+        """Run one task with retries; the scheduler's fault boundary.
+
+        Every attempt recomputes the partition from lineage (a cached
+        block is only reused if a previous attempt fully materialized
+        it, so a mid-computation failure never poisons the cache).  A
+        :class:`JobAbortedError` from a *nested* job is terminal -- the
+        inner job already spent its own retry budget, so re-driving it
+        from here would multiply attempts at every nesting level.
+        """
+        injector = self.fault_injector
+        failures: list[TaskError] = []
+        attempt = 0
+        while True:
+            attempt += 1
             try:
-                return fn(rdd.iterator(split))
-            finally:
-                self._in_job.active = previous
-
-        nested = getattr(self._in_job, "active", False)
-        if self._executor_mode == "sequential" or nested or len(splits) <= 1:
-            return [task(s) for s in splits]
-        pool = self._ensure_pool()
-        return list(pool.map(task, splits))
+                if injector is not None:
+                    injector.check("task.compute", key=(rdd.id, split))
+                if task_span is None:
+                    return fn(rdd.iterator(split))
+                counted = _CountingIterator(rdd.iterator(split))
+                try:
+                    return fn(counted)
+                finally:
+                    task_span.attrs["records_in"] = counted.count
+                    if attempt > 1:
+                        task_span.attrs["attempt"] = attempt
+            except JobAbortedError:
+                raise
+            except Exception as exc:
+                self.metrics.tasks_failed += 1
+                failures.append(TaskError(_rdd_label(rdd), split, attempt, exc))
+                if task_span is not None:
+                    task_span.note_failure(f"{type(exc).__name__}: {exc}")
+                if attempt >= self.max_task_failures:
+                    raise JobAbortedError(
+                        _rdd_label(rdd), split, attempt, exc, failures
+                    ) from exc
+                self.metrics.tasks_retried += 1
+                if self.retry_backoff > 0:
+                    time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
 
     def _run_job_traced(
         self, rdd: RDD[T], fn: Callable[[Iterator[T]], U], splits: list[int]
@@ -383,11 +491,13 @@ class SparkContext:
         partition with the records it consumed.  Task spans are parented
         to the job span explicitly because tasks may run on pool
         threads; nested jobs a task triggers attach beneath its span
-        through the worker thread's stack.
+        through the worker thread's stack.  Retried attempts mark their
+        task span with ``failures``/``attempt``/``last_error`` attrs,
+        and an aborting job is flagged ``aborted``.
         """
         tracer = self.tracer
         attrs: dict = {
-            "rdd": f"{type(rdd).__name__}[{rdd.id}]",
+            "rdd": _rdd_label(rdd),
             "op": _lineage_tag(rdd),
             "tasks": len(splits),
         }
@@ -403,19 +513,20 @@ class SparkContext:
                     with tracer.span(
                         "task", kind="task", parent=job_span, split=split
                     ) as task_span:
-                        counted = _CountingIterator(rdd.iterator(split))
-                        try:
-                            return fn(counted)
-                        finally:
-                            task_span.attrs["records_in"] = counted.count
+                        return self._run_task(rdd, fn, split, task_span)
                 finally:
                     self._in_job.active = previous
 
-            nested = getattr(self._in_job, "active", False)
-            if self._executor_mode == "sequential" or nested or len(splits) <= 1:
-                return [task(s) for s in splits]
-            pool = self._ensure_pool()
-            return list(pool.map(task, splits))
+            try:
+                nested = getattr(self._in_job, "active", False)
+                if self._executor_mode == "sequential" or nested or len(splits) <= 1:
+                    return [task(s) for s in splits]
+                pool = self._ensure_pool()
+                return list(pool.map(task, splits))
+            except JobAbortedError as exc:
+                job_span.attrs["aborted"] = True
+                job_span.attrs["error"] = f"{type(exc.cause).__name__}: {exc.cause}"
+                raise
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:

@@ -1,0 +1,78 @@
+"""Typed execution errors for the fault-tolerant scheduler.
+
+The scheduler retries failed tasks (``SparkContext.max_task_failures``
+attempts per task, recomputing from lineage each time).  Every failed
+attempt is described by a :class:`TaskError`; when a task exhausts its
+attempts the whole job aborts with a :class:`JobAbortedError` that
+names the rdd, the split and the root cause -- the reproduction of
+Spark's ``SparkException: Job aborted due to stage failure``.
+"""
+
+from __future__ import annotations
+
+
+class TaskError(RuntimeError):
+    """One failed task attempt, with full scheduling context.
+
+    Attributes
+    ----------
+    rdd : str
+        Label of the target RDD, e.g. ``"MapPartitionsRDD[12]"``.
+    split : int
+        The partition the task was computing.
+    attempt : int
+        1-based attempt number that failed.
+    cause : BaseException
+        The exception the task raised.
+    """
+
+    def __init__(self, rdd: str, split: int, attempt: int, cause: BaseException) -> None:
+        self.rdd = rdd
+        self.split = split
+        self.attempt = attempt
+        self.cause = cause
+        super().__init__(
+            f"task for {rdd} split {split} failed (attempt {attempt}): "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
+class JobAbortedError(RuntimeError):
+    """A job gave up on a task after ``max_task_failures`` attempts.
+
+    Not retried by enclosing jobs: when a nested job (e.g. a shuffle map
+    side) aborts, the abort propagates straight to the driver instead of
+    multiplying retries at every nesting level.
+
+    Attributes
+    ----------
+    rdd : str
+        Label of the RDD whose task kept failing.
+    split : int
+        The offending partition.
+    attempts : int
+        How many attempts were made before giving up.
+    cause : BaseException
+        The root cause -- the exception of the final attempt.
+    failures : tuple[TaskError, ...]
+        The per-attempt failure records, oldest first.
+    """
+
+    def __init__(
+        self,
+        rdd: str,
+        split: int,
+        attempts: int,
+        cause: BaseException,
+        failures: tuple = (),
+    ) -> None:
+        self.rdd = rdd
+        self.split = split
+        self.attempts = attempts
+        self.cause = cause
+        self.failures = tuple(failures)
+        super().__init__(
+            f"job aborted: task for {rdd} split {split} failed {attempts} "
+            f"time{'s' if attempts != 1 else ''}; root cause: "
+            f"{type(cause).__name__}: {cause}"
+        )

@@ -101,6 +101,11 @@ class RDD(ABC, Generic[T]):
         """Compute a partition, transparently consulting the cache."""
         if not self._cached:
             return self.compute(split)
+        injector = self.context.fault_injector
+        if injector is not None:
+            # A lost cache block surfaces as a task failure; the retried
+            # attempt recomputes the partition from lineage.
+            injector.check("cache.get", key=(self.id, split))
         cache = self.context._cache
         hit = cache.get(self.id, split)
         if hit is not None:

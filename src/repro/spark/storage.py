@@ -5,6 +5,15 @@ objects on HDFS and reloads them in later programs.  Here a "file" is a
 directory of ``part-NNNNN`` files, one per partition, written with
 pickle.  Reading an object file restores the exact partitioning, which
 is what makes persisted spatial indexes reusable.
+
+Writes are atomic, like a Hadoop output committer: part-files land in a
+``path + "._tmp"`` staging directory that is renamed to ``path`` only
+after every task succeeded and the ``_SUCCESS`` marker is in place.  A
+crashed or aborted save leaves nothing behind at ``path``, so a retry
+is never blocked by its own partial output.  Write tasks are idempotent
+(a retried task rewrites its own part-file), and corrupt part-files
+surface as :class:`StorageError` naming the offending path rather than
+raw pickle internals.
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ from __future__ import annotations
 import os
 import pickle
 import re
+import shutil
 from typing import Any, Iterator, TypeVar
 
 from repro.spark.rdd import RDD
@@ -20,6 +30,7 @@ T = TypeVar("T")
 
 _PART_RE = re.compile(r"^part-(\d{5})(\.pkl|\.txt)$")
 _SUCCESS_MARKER = "_SUCCESS"
+_TMP_SUFFIX = "._tmp"
 
 
 class StorageError(IOError):
@@ -44,43 +55,81 @@ def _list_parts(path: str, suffix: str) -> list[str]:
     return parts
 
 
+def _commit_write(rdd: RDD[T], path: str, write_partition) -> None:
+    """Run the write job against a staging dir, then atomically commit.
+
+    ``write_partition(tmp_dir, split, it)`` writes one part-file into
+    the staging directory.  On any failure the staging directory is
+    removed, so the target path stays untouched and a follow-up retry
+    of the whole save starts clean.
+    """
+    if os.path.exists(path):
+        raise StorageError(f"output path {path!r} already exists")
+    tmp = path + _TMP_SUFFIX
+    if os.path.exists(tmp):
+        # Stale staging dir from a crashed writer; safe to discard.
+        shutil.rmtree(tmp)
+    os.makedirs(tmp)
+    try:
+        # Drain through a job so every partition is written exactly once
+        # per successful attempt (a retried task rewrites its own part).
+        rdd.map_partitions_with_index(
+            lambda split, it: write_partition(tmp, split, it)
+        ).count()
+        with open(os.path.join(tmp, _SUCCESS_MARKER), "w") as f:
+            f.write("")
+        os.rename(tmp, path)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+
+
 def save_object_file(rdd: RDD[T], path: str) -> None:
     """Write one pickle part-file per partition, then a success marker.
 
     Refuses to overwrite an existing directory, like Hadoop output
-    committers do.
+    committers do; partial output from a failed save is rolled back.
     """
-    if os.path.exists(path):
-        raise StorageError(f"output path {path!r} already exists")
-    os.makedirs(path)
 
-    def write_partition(split: int, it: Iterator[T]):
-        with open(os.path.join(path, _part_name(split, ".pkl")), "wb") as f:
+    def write_partition(tmp: str, split: int, it: Iterator[T]):
+        injector = rdd.context.fault_injector
+        if injector is not None:
+            injector.check("storage.write", key=(path, split))
+        with open(os.path.join(tmp, _part_name(split, ".pkl")), "wb") as f:
             pickle.dump(list(it), f, protocol=pickle.HIGHEST_PROTOCOL)
         return iter(())
 
-    # Drain through a job so every partition is written exactly once.
-    rdd.map_partitions_with_index(write_partition).count()
-    with open(os.path.join(path, _SUCCESS_MARKER), "w") as f:
-        f.write("")
+    _commit_write(rdd, path, write_partition)
 
 
 def save_text_file(rdd: RDD[T], path: str) -> None:
     """Write ``str(element)`` lines, one part-file per partition."""
-    if os.path.exists(path):
-        raise StorageError(f"output path {path!r} already exists")
-    os.makedirs(path)
 
-    def write_partition(split: int, it: Iterator[T]):
-        with open(os.path.join(path, _part_name(split, ".txt")), "w") as f:
+    def write_partition(tmp: str, split: int, it: Iterator[T]):
+        injector = rdd.context.fault_injector
+        if injector is not None:
+            injector.check("storage.write", key=(path, split))
+        with open(os.path.join(tmp, _part_name(split, ".txt")), "w") as f:
             for row in it:
                 f.write(str(row))
                 f.write("\n")
         return iter(())
 
-    rdd.map_partitions_with_index(write_partition).count()
-    with open(os.path.join(path, _SUCCESS_MARKER), "w") as f:
-        f.write("")
+    _commit_write(rdd, path, write_partition)
+
+
+def read_object_part(part: str) -> list:
+    """Unpickle one part-file, mapping corruption to :class:`StorageError`.
+
+    Truncated or garbage pickles raise ``UnpicklingError``/``EOFError``
+    deep inside the pickle module; callers (and their retry loops) get a
+    typed error naming the offending path instead.
+    """
+    try:
+        with open(part, "rb") as f:
+            return pickle.load(f)
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise StorageError(f"corrupt part-file {part!r}: {exc}") from exc
 
 
 class ObjectFileRDD(RDD[Any]):
@@ -96,8 +145,11 @@ class ObjectFileRDD(RDD[Any]):
         return len(self._parts)
 
     def compute(self, split: int) -> Iterator[Any]:
-        with open(os.path.join(self._path, self._parts[split]), "rb") as f:
-            return iter(pickle.load(f))
+        part = os.path.join(self._path, self._parts[split])
+        injector = self.context.fault_injector
+        if injector is not None:
+            injector.check("storage.read", key=(part, split))
+        return iter(read_object_part(part))
 
 
 class TextFileRDD(RDD[str]):
@@ -131,6 +183,9 @@ class TextFileRDD(RDD[str]):
         if not self._splits:
             return iter(())
         path, start, end = self._splits[split]
+        injector = self.context.fault_injector
+        if injector is not None:
+            injector.check("storage.read", key=(path, split))
         return self._read_range(path, start, end)
 
     @staticmethod

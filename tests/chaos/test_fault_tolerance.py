@@ -1,0 +1,163 @@
+"""End-to-end fault tolerance: operator jobs under chaos injection.
+
+The acceptance contract of the fault model: with every task's first
+attempt failing at ``task.compute``, filter/join/knn/DBSCAN jobs on both
+executors produce results identical to a fault-free run; a task that
+keeps failing aborts the job with a typed error naming the rdd, split
+and root cause.
+"""
+
+import pytest
+
+from repro.chaos import FaultInjector, InjectedFault
+from repro.core.spatial_rdd import spatial
+from repro.core.stobject import STObject
+from repro.io.datagen import clustered_points, random_polygons, uniform_points
+from repro.spark.context import SparkContext
+from repro.spark.errors import JobAbortedError, TaskError
+
+pytestmark = pytest.mark.chaos
+
+WINDOW = STObject("POLYGON ((200 200, 800 200, 800 800, 200 800, 200 200))")
+
+
+@pytest.fixture(params=["sequential", "threads"])
+def chaos_sc(request):
+    context = SparkContext(
+        app_name=f"chaos-{request.param}",
+        parallelism=4,
+        executor=request.param,
+        retry_backoff=0.0,
+    )
+    yield context
+    context.stop()
+
+
+def points_rdd(sc, n=80, slices=4, seed=41):
+    pts = uniform_points(n, seed=seed)
+    return sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], slices)
+
+
+def polys_rdd(sc, n=12, slices=2, seed=42):
+    polys = random_polygons(n, mean_radius_fraction=0.08, seed=seed)
+    return sc.parallelize([(STObject(p), i) for i, p in enumerate(polys)], slices)
+
+
+def first_attempt_failures():
+    return FaultInjector(seed=11).fail("task.compute", times=1)
+
+
+class TestFirstAttemptFailuresAreInvisible:
+    """Every task fails once; retries keep results exactly equal."""
+
+    def test_filter(self, chaos_sc):
+        expected = sorted(v for _o, v in spatial(points_rdd(chaos_sc)).intersects(WINDOW).collect())
+        chaos_sc.metrics.reset()
+        with first_attempt_failures().installed(chaos_sc):
+            got = sorted(
+                v for _o, v in spatial(points_rdd(chaos_sc)).intersects(WINDOW).collect()
+            )
+        assert got == expected
+        assert chaos_sc.metrics.tasks_retried > 0
+        assert chaos_sc.metrics.tasks_failed == chaos_sc.metrics.tasks_retried
+
+    def test_join(self, chaos_sc):
+        expected = sorted(
+            (lv, rv)
+            for (_lo, lv), (_ro, rv) in spatial(points_rdd(chaos_sc))
+            .join(polys_rdd(chaos_sc))
+            .collect()
+        )
+        chaos_sc.metrics.reset()
+        with first_attempt_failures().installed(chaos_sc):
+            got = sorted(
+                (lv, rv)
+                for (_lo, lv), (_ro, rv) in spatial(points_rdd(chaos_sc))
+                .join(polys_rdd(chaos_sc))
+                .collect()
+            )
+        assert got == expected
+        assert chaos_sc.metrics.tasks_retried > 0
+
+    def test_knn(self, chaos_sc):
+        query = STObject("POINT (500 500)")
+        expected = [
+            (d, v) for d, (_o, v) in spatial(points_rdd(chaos_sc)).knn(query, 7)
+        ]
+        chaos_sc.metrics.reset()
+        with first_attempt_failures().installed(chaos_sc):
+            got = [
+                (d, v) for d, (_o, v) in spatial(points_rdd(chaos_sc)).knn(query, 7)
+            ]
+        assert got == expected
+        assert chaos_sc.metrics.tasks_retried > 0
+
+    def test_dbscan(self, chaos_sc):
+        pts = clustered_points(120, num_clusters=3, seed=43)
+        rdd = chaos_sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 4)
+
+        def labelling(result):
+            return sorted((v, label) for _o, (v, label) in result)
+
+        expected = labelling(spatial(rdd).cluster(eps=30.0, min_pts=4).collect())
+        chaos_sc.metrics.reset()
+        with first_attempt_failures().installed(chaos_sc):
+            got = labelling(spatial(rdd).cluster(eps=30.0, min_pts=4).collect())
+        assert got == expected
+        assert chaos_sc.metrics.tasks_retried > 0
+
+
+class TestExhaustedRetriesAbort:
+    def test_job_aborts_with_context(self, chaos_sc):
+        rdd = points_rdd(chaos_sc)
+        injector = FaultInjector().fail("task.compute", probability=1.0)
+        with injector.installed(chaos_sc):
+            with pytest.raises(JobAbortedError) as excinfo:
+                rdd.collect()
+        err = excinfo.value
+        assert err.rdd.startswith("ParallelCollectionRDD[")
+        assert 0 <= err.split < rdd.num_partitions
+        assert err.attempts == chaos_sc.max_task_failures
+        assert isinstance(err.cause, InjectedFault)
+        # the abort names rdd, split and root cause in its message
+        assert err.rdd in str(err) and "injected fault" in str(err)
+        # per-attempt records are typed TaskErrors, oldest first
+        assert [f.attempt for f in err.failures] == list(
+            range(1, chaos_sc.max_task_failures + 1)
+        )
+        assert all(isinstance(f, TaskError) for f in err.failures)
+        assert chaos_sc.metrics.jobs_failed >= 1
+
+    def test_recovery_after_clearing_injector(self, chaos_sc):
+        rdd = points_rdd(chaos_sc)
+        injector = FaultInjector().fail("task.compute", probability=1.0)
+        with injector.installed(chaos_sc):
+            with pytest.raises(JobAbortedError):
+                rdd.count()
+        assert rdd.count() == 80  # nothing poisoned; clean run succeeds
+
+
+class TestOtherSites:
+    def test_cache_get_fault_recomputes(self, chaos_sc):
+        rdd = points_rdd(chaos_sc).persist()
+        assert rdd.count() == 80  # populate the cache
+        with FaultInjector().fail("cache.get", times=1).installed(chaos_sc):
+            assert rdd.count() == 80
+        assert chaos_sc.metrics.tasks_retried > 0
+
+    def test_shuffle_fetch_fault_retries_reduce_task(self, chaos_sc):
+        pairs = chaos_sc.parallelize([(i % 5, 1) for i in range(100)], 4)
+        with FaultInjector().fail("shuffle.fetch", times=1).installed(chaos_sc):
+            result = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        assert result == {k: 20 for k in range(5)}
+        assert chaos_sc.metrics.tasks_retried > 0
+        assert chaos_sc.metrics.shuffles_executed == 1
+
+    def test_traced_chaos_run_reports_failures(self, chaos_sc):
+        tracer = chaos_sc.enable_tracing()
+        with first_attempt_failures().installed(chaos_sc):
+            points_rdd(chaos_sc).count()
+        report = tracer.render()
+        assert "failures=1" in report
+        assert "last_error=InjectedFault" in report
+        assert "! task" in report

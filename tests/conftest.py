@@ -9,8 +9,10 @@ from repro.spark.context import SparkContext
 
 @pytest.fixture
 def sc():
-    """A deterministic, sequential SparkContext."""
-    context = SparkContext(app_name="test", parallelism=4, executor="sequential")
+    """A deterministic, sequential SparkContext (instant retries)."""
+    context = SparkContext(
+        app_name="test", parallelism=4, executor="sequential", retry_backoff=0.0
+    )
     yield context
     context.stop()
 
@@ -18,6 +20,11 @@ def sc():
 @pytest.fixture
 def threaded_sc():
     """A thread-pool SparkContext (for concurrency-sensitive tests)."""
-    context = SparkContext(app_name="test-threads", parallelism=4, executor="threads")
+    context = SparkContext(
+        app_name="test-threads",
+        parallelism=4,
+        executor="threads",
+        retry_backoff=0.0,
+    )
     yield context
     context.stop()

@@ -9,6 +9,7 @@ from repro.core.spatial_rdd import IndexedSpatialRDD, spatial
 from repro.core.stobject import STObject
 from repro.io.datagen import event_rows, uniform_points
 from repro.io.readers import EventParseError, load_event_file, write_event_file
+from repro.spark.errors import JobAbortedError
 from repro.spark.storage import StorageError
 
 
@@ -32,9 +33,12 @@ def dirty_event_file(tmp_path):
 
 class TestDirtyInput:
     def test_raise_mode_surfaces_first_error(self, sc, dirty_event_file):
+        # A deterministic parse error exhausts the task's retry budget
+        # and aborts the job; the typed abort carries the root cause.
         events = load_event_file(sc, dirty_event_file, on_error="raise")
-        with pytest.raises((EventParseError, ValueError)):
+        with pytest.raises(JobAbortedError) as excinfo:
             events.collect()
+        assert isinstance(excinfo.value.cause, (EventParseError, ValueError))
 
     def test_skip_mode_keeps_good_rows(self, sc, dirty_event_file):
         events = load_event_file(sc, dirty_event_file, on_error="skip")
@@ -63,8 +67,10 @@ class TestCorruptedStorage:
             blob = f.read()
         with open(part, "wb") as f:
             f.write(blob[: len(blob) // 2])
-        with pytest.raises(Exception):  # unpickling error surfaces
+        with pytest.raises(JobAbortedError) as excinfo:
             sc.object_file(path).collect()
+        assert isinstance(excinfo.value.cause, StorageError)
+        assert "part-00002.pkl" in str(excinfo.value.cause)
 
     def test_missing_part_file_changes_partitioning_only(self, sc, tmp_path):
         # deleting a part is detected as missing data, not silently empty
@@ -76,12 +82,17 @@ class TestCorruptedStorage:
         assert len(loaded.collect()) < 100
 
     def test_non_pickle_garbage(self, sc, tmp_path):
+        # Raw pickle internals never leak: the corrupt part surfaces as
+        # a StorageError naming the path, carried by the job abort.
         path = str(tmp_path / "data")
         sc.parallelize([1], 1).save_as_object_file(path)
         with open(os.path.join(path, "part-00000.pkl"), "wb") as f:
             f.write(b"this is not a pickle")
-        with pytest.raises(pickle.UnpicklingError):
+        with pytest.raises(JobAbortedError) as excinfo:
             sc.object_file(path).collect()
+        assert isinstance(excinfo.value.cause, StorageError)
+        assert isinstance(excinfo.value.cause.__cause__, pickle.UnpicklingError)
+        assert "part-00000.pkl" in str(excinfo.value.cause)
 
     def test_file_instead_of_directory(self, sc, tmp_path):
         path = tmp_path / "plainfile"
@@ -117,3 +128,54 @@ class TestIndexPersistenceFaults:
         rdd = sc.parallelize([(o, i) for i, o in enumerate(objs)], 1)
         with pytest.raises(StorageError):
             spatial(rdd).index(order=4).save(saved_index)
+
+    def test_truncated_part_falls_back_to_live_index(self, sc, saved_index):
+        # Damage one tree part; the load rebuilds that partition live
+        # from the recovery sidecar and query results stay exact.
+        part = os.path.join(saved_index, "part-00001.pkl")
+        with open(part, "rb") as f:
+            blob = f.read()
+        with open(part, "wb") as f:
+            f.write(blob[: len(blob) // 2])
+        tracer = sc.enable_tracing()
+        reloaded = IndexedSpatialRDD.load(sc, saved_index)
+        query = STObject("POLYGON ((0 0, 1000 0, 1000 1000, 0 1000, 0 0))")
+        assert reloaded.intersects(query).count() == 50
+        assert sc.metrics.index_fallbacks == 1
+        assert reloaded.tree_rdd.fallbacks == [1]
+        # the degradation is visible in the trace report
+        assert "index.fallback" in tracer.render()
+
+    def test_corrupt_meta_degrades_to_unpartitioned(self, sc, saved_index):
+        with open(os.path.join(saved_index, "_index_meta.pkl"), "wb") as f:
+            f.write(b"garbage, not a pickle")
+        reloaded = IndexedSpatialRDD.load(sc, saved_index)
+        assert reloaded.partitioner is None  # pruning disabled, queries work
+        query = STObject("POLYGON ((0 0, 1000 0, 1000 1000, 0 1000, 0 0))")
+        assert reloaded.intersects(query).count() == 50
+        assert sc.metrics.index_fallbacks == 1
+
+    def test_corrupt_part_without_sidecar_raises_storage_error(self, sc, saved_index):
+        # Pre-sidecar layouts (or a damaged sidecar) cannot recover: the
+        # error is a typed StorageError naming the path, not raw pickle.
+        import shutil
+
+        shutil.rmtree(os.path.join(saved_index, "_data"))
+        part = os.path.join(saved_index, "part-00000.pkl")
+        with open(part, "wb") as f:
+            f.write(b"not a pickle")
+        reloaded = IndexedSpatialRDD.load(sc, saved_index)
+        query = STObject("POLYGON ((0 0, 1000 0, 1000 1000, 0 1000, 0 0))")
+        with pytest.raises(JobAbortedError) as excinfo:
+            reloaded.intersects(query).count()
+        assert isinstance(excinfo.value.cause, StorageError)
+        assert "part-00000.pkl" in str(excinfo.value.cause)
+
+    def test_injected_index_load_fault_falls_back(self, sc, saved_index):
+        from repro.chaos import FaultInjector
+
+        with FaultInjector().fail("index.load", times=1).installed(sc):
+            reloaded = IndexedSpatialRDD.load(sc, saved_index)
+            query = STObject("POLYGON ((0 0, 1000 0, 1000 1000, 0 1000, 0 0))")
+            assert reloaded.intersects(query).count() == 50
+        assert sc.metrics.index_fallbacks >= 1

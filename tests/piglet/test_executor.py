@@ -7,6 +7,7 @@ from repro.io.datagen import event_rows, uniform_points
 from repro.io.readers import write_event_file
 from repro.piglet import PigletRuntime, run_script
 from repro.piglet.builtins import PigletRuntimeError
+from repro.spark.errors import JobAbortedError
 
 
 @pytest.fixture
@@ -111,9 +112,12 @@ class TestRelationalCore:
         assert rels["f"].rdd.collect() == [(1, "a", 10)]
 
     def test_unknown_field_raises(self, loaded):
-        with pytest.raises(PigletRuntimeError, match="unknown field"):
+        # The field lookup fails inside a task, so the scheduler aborts
+        # the job; the abort message carries the Piglet error text.
+        with pytest.raises(JobAbortedError, match="unknown field") as excinfo:
             loaded.run("bad = FOREACH p GENERATE nonexistent;").get
             loaded.relation("bad").rdd.collect()
+        assert isinstance(excinfo.value.cause, PigletRuntimeError)
 
     def test_unknown_relation_raises(self, runtime):
         with pytest.raises(PigletRuntimeError, match="unknown relation"):

@@ -1,0 +1,137 @@
+"""Scheduler fault tolerance: retries, validation, shuffle hardening."""
+
+import pytest
+
+from repro.chaos import FaultInjector
+from repro.spark.context import SparkContext
+from repro.spark.partitioner import HashPartitioner
+from repro.spark.errors import JobAbortedError
+
+pytestmark = pytest.mark.chaos
+
+
+class TestPartitionValidation:
+    def test_out_of_range_split_rejected_up_front(self, sc):
+        rdd = sc.parallelize(range(10), 2)
+        with pytest.raises(ValueError, match=r"partition index 5 out of range"):
+            sc.run_job(rdd, list, partitions=[5])
+
+    def test_negative_split_rejected(self, sc):
+        rdd = sc.parallelize(range(10), 2)
+        with pytest.raises(ValueError, match="out of range"):
+            sc.run_job(rdd, list, partitions=[-1])
+
+    def test_error_names_the_rdd(self, sc):
+        rdd = sc.parallelize(range(10), 2)
+        with pytest.raises(ValueError, match=r"ParallelCollectionRDD\["):
+            sc.run_job(rdd, list, partitions=[0, 99])
+
+    def test_valid_subset_still_works(self, sc):
+        rdd = sc.parallelize(range(10), 2)
+        assert sc.run_job(rdd, list, partitions=[1]) == [list(range(5, 10))]
+
+
+class TestRetryMetricsSequential:
+    def test_first_attempt_failures_counted(self, sc):
+        rdd = sc.parallelize(range(20), 4)
+        sc.metrics.reset()
+        with FaultInjector().fail("task.compute", times=1).installed(sc):
+            assert sorted(rdd.collect()) == list(range(20))
+        assert sc.metrics.tasks_launched == 4
+        assert sc.metrics.tasks_failed == 4
+        assert sc.metrics.tasks_retried == 4
+        assert sc.metrics.jobs_failed == 0
+
+    def test_exhaustion_counts_a_failed_job(self, sc):
+        rdd = sc.parallelize(range(20), 4)
+        sc.metrics.reset()
+        with FaultInjector().fail("task.compute", probability=1.0).installed(sc):
+            with pytest.raises(JobAbortedError):
+                rdd.collect()
+        assert sc.metrics.jobs_failed == 1
+        # the aborting task burned its whole budget
+        assert sc.metrics.tasks_failed >= sc.max_task_failures
+        assert sc.metrics.tasks_retried >= sc.max_task_failures - 1
+
+    def test_custom_max_task_failures(self):
+        with SparkContext(
+            "retry-test", executor="sequential", max_task_failures=2, retry_backoff=0.0
+        ) as sc:
+            with FaultInjector().fail("task.compute", probability=1.0).installed(sc):
+                with pytest.raises(JobAbortedError) as excinfo:
+                    sc.parallelize([1], 1).collect()
+            assert excinfo.value.attempts == 2
+
+    def test_no_retries_with_budget_of_one(self):
+        with SparkContext(
+            "retry-test", executor="sequential", max_task_failures=1, retry_backoff=0.0
+        ) as sc:
+            with FaultInjector().fail("task.compute", times=1).installed(sc):
+                with pytest.raises(JobAbortedError):
+                    sc.parallelize([1], 1).collect()
+            assert sc.metrics.tasks_retried == 0
+
+
+class TestShuffleHardening:
+    def test_racing_reduce_tasks_one_map_rerun(self, threaded_sc):
+        """Two reduce tasks race into a map side whose tasks fail once.
+
+        The inner map-side job absorbs the failures through its own
+        retries; the map side still executes exactly once overall and
+        neither reduce task observes poisoned buckets.
+        """
+        sc = threaded_sc
+        pairs = sc.parallelize([(i % 4, 1) for i in range(80)], 4)
+        shuffled = pairs.reduce_by_key(lambda a, b: a + b, HashPartitioner(2))
+        sc.metrics.reset()
+        with FaultInjector().fail("task.compute", times=1).installed(sc):
+            result = dict(shuffled.collect())
+        assert result == {k: 20 for k in range(4)}
+        assert sc.metrics.shuffles_executed == 1
+        assert sc.metrics.tasks_retried > 0
+
+    def test_aborted_map_side_not_poisoned(self, threaded_sc):
+        """A map side that aborts leaves no partial outputs behind."""
+        sc = threaded_sc
+        pairs = sc.parallelize([(i % 4, 1) for i in range(80)], 4)
+        shuffled = pairs.reduce_by_key(lambda a, b: a + b, HashPartitioner(2))
+        with FaultInjector().fail("task.compute", probability=1.0).installed(sc):
+            with pytest.raises(JobAbortedError):
+                shuffled.collect()
+        # the failed run must not have committed map outputs
+        assert sc.metrics.shuffles_executed == 0
+        # with the fault gone the same lineage runs clean
+        assert dict(shuffled.collect()) == {k: 20 for k in range(4)}
+        assert sc.metrics.shuffles_executed == 1
+
+    def test_concurrent_reduce_fetch_failures(self, threaded_sc):
+        """Both reduce tasks fail their first fetch concurrently; each
+        retries independently and the map side is reused, not re-run."""
+        sc = threaded_sc
+        pairs = sc.parallelize([(i % 4, 1) for i in range(80)], 2)
+        shuffled = pairs.reduce_by_key(lambda a, b: a + b, HashPartitioner(2))
+        with FaultInjector().fail("shuffle.fetch", times=1).installed(sc):
+            result = dict(shuffled.collect())
+        assert result == {k: 20 for k in range(4)}
+        assert sc.metrics.shuffles_executed == 1
+
+
+class TestJobAbortedErrorShape:
+    def test_nested_abort_is_not_re_wrapped(self, sc):
+        """An aborting nested job (shuffle map side) propagates as-is
+        through the outer task instead of multiplying retries at each
+        nesting level."""
+
+        def boom(kv):
+            raise RuntimeError("boom")
+
+        pairs = sc.parallelize([(i % 4, 1) for i in range(16)], 2).map(boom)
+        shuffled = pairs.reduce_by_key(lambda a, b: a + b)
+        sc.metrics.reset()
+        with pytest.raises(JobAbortedError) as excinfo:
+            shuffled.collect()
+        assert isinstance(excinfo.value.cause, RuntimeError)
+        # only the inner map job burned a task budget; the outer reduce
+        # task passed the abort through without re-driving the map side
+        assert sc.metrics.tasks_failed == sc.max_task_failures
+        assert sc.metrics.jobs_failed == 2  # the map job and the reduce job

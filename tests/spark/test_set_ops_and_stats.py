@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.spark.errors import JobAbortedError
 from repro.spark.rdd import StatCounter
 
 
@@ -58,10 +59,13 @@ class TestZip:
             sc.parallelize([1], 1).zip(sc.parallelize([1], 2))
 
     def test_element_count_mismatch_detected(self, sc):
+        # Raised inside a task, so it surfaces as a job abort whose
+        # message names the root-cause ValueError.
         a = sc.parallelize([1, 2, 3], 1)
         b = sc.parallelize([1, 2], 1)
-        with pytest.raises(ValueError, match="unequal"):
+        with pytest.raises(JobAbortedError, match="unequal") as excinfo:
             a.zip(b).collect()
+        assert isinstance(excinfo.value.cause, ValueError)
 
     def test_zip_with_self(self, sc):
         a = sc.parallelize(range(6), 3)

@@ -4,6 +4,8 @@ import os
 
 import pytest
 
+from repro.chaos import FaultInjector
+from repro.spark.errors import JobAbortedError
 from repro.spark.storage import StorageError
 
 
@@ -87,3 +89,63 @@ class TestTextFiles:
         path = tmp_path / "uni.txt"
         path.write_text("höhe\nßtraße\n", encoding="utf-8")
         assert sc.text_file(str(path)).collect() == ["höhe", "ßtraße"]
+
+
+@pytest.mark.chaos
+class TestAtomicWrites:
+    """Saves stage into a temp dir and commit via rename, so a crashed
+    save never leaves a partial output directory that blocks retries."""
+
+    def test_failed_save_leaves_no_output(self, sc, tmp_path):
+        path = str(tmp_path / "out")
+        rdd = sc.parallelize(range(20), 4)
+        with FaultInjector().fail("storage.write", probability=1.0).installed(sc):
+            with pytest.raises(JobAbortedError):
+                rdd.save_as_object_file(path)
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + "._tmp")
+
+    def test_save_retry_succeeds_after_failure(self, sc, tmp_path):
+        # the crashed save must not poison the path for a later attempt
+        path = str(tmp_path / "out")
+        rdd = sc.parallelize(range(20), 4)
+        with FaultInjector().fail("storage.write", probability=1.0).installed(sc):
+            with pytest.raises(JobAbortedError):
+                rdd.save_as_object_file(path)
+        rdd.save_as_object_file(path)
+        assert sorted(sc.object_file(path).collect()) == list(range(20))
+
+    def test_transient_write_fault_absorbed_by_task_retry(self, sc, tmp_path):
+        path = str(tmp_path / "out")
+        rdd = sc.parallelize(range(20), 4)
+        sc.metrics.reset()
+        with FaultInjector().fail("storage.write", times=1).installed(sc):
+            rdd.save_as_object_file(path)
+        assert sc.metrics.tasks_retried > 0
+        assert sorted(sc.object_file(path).collect()) == list(range(20))
+
+    def test_text_save_is_atomic_too(self, sc, tmp_path):
+        path = str(tmp_path / "out")
+        rdd = sc.parallelize(["a", "b", "c"], 2)
+        with FaultInjector().fail("storage.write", probability=1.0).installed(sc):
+            with pytest.raises(JobAbortedError):
+                rdd.save_as_text_file(path)
+        assert not os.path.exists(path)
+        rdd.save_as_text_file(path)
+        assert sorted(sc.text_file(path).collect()) == ["a", "b", "c"]
+
+    def test_stale_tmp_dir_from_crash_is_cleared(self, sc, tmp_path):
+        # simulate a hard crash that left a staging dir behind
+        path = str(tmp_path / "out")
+        os.makedirs(path + "._tmp")
+        sc.parallelize([1, 2], 1).save_as_object_file(path)
+        assert sorted(sc.object_file(path).collect()) == [1, 2]
+        assert not os.path.exists(path + "._tmp")
+
+    def test_transient_read_fault_absorbed_by_task_retry(self, sc, tmp_path):
+        path = str(tmp_path / "out")
+        sc.parallelize(range(12), 3).save_as_object_file(path)
+        sc.metrics.reset()
+        with FaultInjector().fail("storage.read", times=1).installed(sc):
+            assert sorted(sc.object_file(path).collect()) == list(range(12))
+        assert sc.metrics.tasks_retried > 0
