@@ -9,11 +9,17 @@ Usage::
 
     python benchmarks/run_trace.py [--points N] [--out trace.json]
     python benchmarks/run_trace.py --chaos "task.compute=1x"
+    python benchmarks/run_trace.py --chaos "task.compute=1x:delay=2" --speculation
 
-With ``--chaos`` (same ``site=spec`` grammar as ``REPRO_CHAOS_SITES``)
-the query mix runs under deterministic fault injection; retried tasks
-show up in the report with a leading ``!`` and the metrics line shows
-``tasks_failed``/``tasks_retried``.
+With ``--chaos`` (same ``site=spec[:modifier]`` grammar as
+``REPRO_CHAOS_SITES``) the query mix runs under deterministic fault
+injection; retried tasks show up in the report with a leading ``!`` and
+the metrics line shows ``tasks_failed``/``tasks_retried``.  Straggler
+resilience is exercised with the slow-fault modifiers: ``--speculation``
+races a second copy of delayed tasks (``speculative`` task spans,
+``speculation_wins`` metric), and ``--task-timeout``/``--job-timeout``
+bound how long a hung (``:hang``) task may run before a typed
+``TaskTimeoutError`` retry/abort.
 """
 
 from __future__ import annotations
@@ -44,6 +50,25 @@ def main() -> None:
         help='fault-injection spec, e.g. "task.compute=1x,cache.get=0.1"',
     )
     parser.add_argument("--chaos-seed", type=int, default=0)
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task deadline; overdue attempts are cancelled and retried",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="whole-job deadline; an overdue job aborts with TaskTimeoutError",
+    )
+    parser.add_argument(
+        "--speculation",
+        action="store_true",
+        help="race speculative copies of straggler tasks (threads executor)",
+    )
     args = parser.parse_args()
 
     injector = None
@@ -60,6 +85,9 @@ def main() -> None:
         executor=args.executor,
         tracing=True,
         fault_injector=injector,
+        task_timeout=args.task_timeout,
+        job_timeout=args.job_timeout,
+        speculation=args.speculation,
     ) as sc:
         pts = clustered_points(args.points, num_clusters=10, seed=1704)
         rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], 8)

@@ -26,14 +26,32 @@ Two plan shapes exist per site:
   under the ``sequential`` executor; under ``threads`` the draw order
   depends on scheduling.
 
+And three fault *kinds*, each combinable with either shape:
+
+- **crash** (:meth:`FaultInjector.fail`): the site raises
+  :class:`InjectedFault` -- the fail-fast fault the retry layer recovers.
+- **delay** (:meth:`FaultInjector.delay`): the site stalls for a fixed
+  number of seconds before continuing normally -- a straggler.  The stall
+  is a *cancellable* sleep: a task whose deadline expires (or that loses
+  a speculation race) wakes immediately instead of serving the delay out.
+- **hang** (:meth:`FaultInjector.hang`): the site blocks "forever" -- the
+  gray failure the deadline/speculation machinery exists for.  The hang
+  waits on the current task's cancel token, so a ``task_timeout``,
+  speculation loss or ``cancel_all_jobs()`` ends it; the injector's
+  ``hang_limit`` (default 30s) is a backstop for runs with no deadlines
+  configured, after which the "hung" site simply resumes.
+
 Env wiring for the benchmark suite (``REPRO_CHAOS_*``)::
 
     REPRO_CHAOS_SEED=7
     REPRO_CHAOS_SITES="task.compute=1x,storage.read=0.05"
+    REPRO_CHAOS_SITES="task.compute=2x:delay=0.5,shuffle.fetch=1x:hang"
 
-where ``Nx`` means fail the first N checks per key and a float in
-``(0, 1]`` is a per-check probability.  :meth:`FaultInjector.from_env`
-parses these; the benchmark conftest installs the result on its context.
+where ``Nx`` means fire on the first N checks per key and a float in
+``(0, 1]`` is a per-check probability; a bare spec is a crash fault,
+``:delay=S`` makes it an S-second delay and ``:hang`` a hang.
+:meth:`FaultInjector.from_env` parses these; the benchmark conftest
+installs the result on its context.
 """
 
 from __future__ import annotations
@@ -43,6 +61,8 @@ import random
 import threading
 from contextlib import contextmanager
 from typing import Hashable, Iterator
+
+from repro.spark.cancellation import cancellable_sleep, wait_cancelled
 
 #: The names an injection plan may target.
 SITES = frozenset(
@@ -70,7 +90,7 @@ class InjectedFault(RuntimeError):
 class _Rule:
     """One injection plan for one site."""
 
-    __slots__ = ("site", "times", "probability", "per_key", "_counts")
+    __slots__ = ("site", "times", "probability", "per_key", "kind", "delay", "_counts")
 
     def __init__(
         self,
@@ -78,11 +98,17 @@ class _Rule:
         times: int | None,
         probability: float | None,
         per_key: bool,
+        kind: str = "fail",
+        delay: float = 0.0,
     ) -> None:
         self.site = site
         self.times = times
         self.probability = probability
         self.per_key = per_key
+        #: ``"fail"`` raises, ``"delay"`` stalls ``delay`` seconds,
+        #: ``"hang"`` blocks until cancelled (or the injector's backstop).
+        self.kind = kind
+        self.delay = delay
         self._counts: dict[Hashable, int] = {}
 
     def should_fire(self, key: Hashable, rng: random.Random) -> bool:
@@ -112,32 +138,34 @@ class FaultInjector:
     for probabilistic plans).
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, hang_limit: float = 30.0) -> None:
         self.seed = seed
         self._rng = random.Random(seed)
         self._rules: dict[str, list[_Rule]] = {}
         self._lock = threading.Lock()
+        #: Backstop for ``hang`` faults in runs with no deadlines: the
+        #: "infinite" stall gives up after this many seconds.
+        self.hang_limit = hang_limit
         #: site -> number of faults actually raised.
         self.injected: dict[str, int] = {}
         #: site -> number of check() calls observed.
         self.checked: dict[str, int] = {}
+        #: site -> number of delay faults served.
+        self.delayed: dict[str, int] = {}
+        #: site -> number of hang faults served.
+        self.hung: dict[str, int] = {}
 
     # -- plan construction -------------------------------------------------
 
-    def fail(
+    def _add_rule(
         self,
         site: str,
-        *,
-        times: int | None = None,
-        probability: float | None = None,
-        per_key: bool = True,
+        times: int | None,
+        probability: float | None,
+        per_key: bool,
+        kind: str,
+        delay: float,
     ) -> "FaultInjector":
-        """Register a plan at *site*; returns self for chaining.
-
-        Exactly one of ``times`` (fail the first N checks, counted per
-        key by default) or ``probability`` (independent per-check draw)
-        must be given.
-        """
         if site not in SITES:
             raise ValueError(f"unknown injection site {site!r}; known: {sorted(SITES)}")
         if (times is None) == (probability is None):
@@ -148,20 +176,90 @@ class FaultInjector:
             raise ValueError(f"probability must be in (0, 1], got {probability}")
         with self._lock:
             self._rules.setdefault(site, []).append(
-                _Rule(site, times, probability, per_key)
+                _Rule(site, times, probability, per_key, kind, delay)
             )
         return self
+
+    def fail(
+        self,
+        site: str,
+        *,
+        times: int | None = None,
+        probability: float | None = None,
+        per_key: bool = True,
+    ) -> "FaultInjector":
+        """Register a crash plan at *site*; returns self for chaining.
+
+        Exactly one of ``times`` (fail the first N checks, counted per
+        key by default) or ``probability`` (independent per-check draw)
+        must be given.
+        """
+        return self._add_rule(site, times, probability, per_key, "fail", 0.0)
+
+    def delay(
+        self,
+        site: str,
+        seconds: float,
+        *,
+        times: int | None = None,
+        probability: float | None = None,
+        per_key: bool = True,
+    ) -> "FaultInjector":
+        """Register a straggler plan: *site* stalls *seconds*, then proceeds.
+
+        The stall is served through :func:`cancellable_sleep`, so a
+        deadline or speculation loss wakes the stalled task immediately.
+        """
+        if seconds <= 0:
+            raise ValueError(f"delay seconds must be positive, got {seconds}")
+        return self._add_rule(site, times, probability, per_key, "delay", seconds)
+
+    def hang(
+        self,
+        site: str,
+        *,
+        times: int | None = None,
+        probability: float | None = None,
+        per_key: bool = True,
+    ) -> "FaultInjector":
+        """Register a hang plan: *site* blocks until cancelled.
+
+        The block waits on the current task's cancel token (see
+        :func:`wait_cancelled`); ``hang_limit`` caps it as a backstop
+        when no deadline machinery is configured.
+        """
+        return self._add_rule(site, times, probability, per_key, "hang", 0.0)
 
     # -- the hook the engine calls ----------------------------------------
 
     def check(self, site: str, key: Hashable = None) -> None:
-        """Raise :class:`InjectedFault` if a plan at *site* fires."""
+        """Fire the first matching plan at *site*: raise, stall or hang.
+
+        The firing decision (counters + RNG) happens under the injector
+        lock; the stall itself is served *outside* it, so a delayed or
+        hung task never blocks other tasks' fault checks.
+        """
+        slow: _Rule | None = None
         with self._lock:
             self.checked[site] = self.checked.get(site, 0) + 1
             for rule in self._rules.get(site, ()):
-                if rule.should_fire(key, self._rng):
+                if not rule.should_fire(key, self._rng):
+                    continue
+                if rule.kind == "fail":
                     self.injected[site] = self.injected.get(site, 0) + 1
                     raise InjectedFault(site, key)
+                if rule.kind == "delay":
+                    self.delayed[site] = self.delayed.get(site, 0) + 1
+                else:
+                    self.hung[site] = self.hung.get(site, 0) + 1
+                slow = rule
+                break
+        if slow is None:
+            return
+        if slow.kind == "delay":
+            cancellable_sleep(slow.delay)
+        else:
+            wait_cancelled(self.hang_limit)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -171,6 +269,8 @@ class FaultInjector:
             self._rng = random.Random(self.seed)
             self.injected.clear()
             self.checked.clear()
+            self.delayed.clear()
+            self.hung.clear()
             for rules in self._rules.values():
                 for rule in rules:
                     rule.reset()
@@ -181,18 +281,30 @@ class FaultInjector:
             self._rules.clear()
             self.injected.clear()
             self.checked.clear()
+            self.delayed.clear()
+            self.hung.clear()
 
     def summary(self) -> dict[str, dict[str, int]]:
-        """Per-site ``{"checked": n, "injected": m}`` counts."""
+        """Per-site ``{"checked": n, "injected": m}`` counts.
+
+        Sites that served slow faults additionally report ``delayed``
+        and/or ``hung`` (omitted when zero, so crash-only runs keep the
+        two-key shape).
+        """
         with self._lock:
-            sites = set(self.checked) | set(self.injected)
-            return {
-                site: {
+            sites = set(self.checked) | set(self.injected) | set(self.delayed) | set(self.hung)
+            out: dict[str, dict[str, int]] = {}
+            for site in sorted(sites):
+                entry = {
                     "checked": self.checked.get(site, 0),
                     "injected": self.injected.get(site, 0),
                 }
-                for site in sorted(sites)
-            }
+                if self.delayed.get(site):
+                    entry["delayed"] = self.delayed[site]
+                if self.hung.get(site):
+                    entry["hung"] = self.hung[site]
+                out[site] = entry
+            return out
 
     @contextmanager
     def installed(self, context) -> Iterator["FaultInjector"]:
@@ -210,9 +322,16 @@ class FaultInjector:
     def from_env(cls, env: dict | None = None) -> "FaultInjector | None":
         """Build an injector from ``REPRO_CHAOS_*`` variables, or None.
 
-        ``REPRO_CHAOS_SITES`` is a comma-separated list of ``site=spec``
-        where spec is ``Nx`` (fail first N per key) or a float
-        probability; ``REPRO_CHAOS_SEED`` seeds the RNG (default 0).
+        ``REPRO_CHAOS_SITES`` is a comma-separated list of
+        ``site=spec[:modifier]`` clauses.  The spec is ``Nx`` (fire on
+        the first N checks per key) or a float probability; without a
+        modifier the fault is a crash, ``:delay=S`` makes it an
+        S-second stall and ``:hang`` a hang.  ``REPRO_CHAOS_SEED``
+        seeds the RNG (default 0).  Examples::
+
+            task.compute=1x              # every task's 1st attempt crashes
+            task.compute=2x:delay=0.5    # first 2 attempts stall 0.5s
+            shuffle.fetch=0.05:hang      # 5% of fetches hang
         """
         env = os.environ if env is None else env
         spec = env.get("REPRO_CHAOS_SITES", "").strip()
@@ -227,10 +346,24 @@ class FaultInjector:
             site, value = site.strip(), value.strip()
             if not value:
                 raise ValueError(f"malformed REPRO_CHAOS_SITES clause {clause!r}")
-            if value.endswith(("x", "X")):
-                injector.fail(site, times=int(value[:-1]))
+            value, _, modifier = value.partition(":")
+            value, modifier = value.strip(), modifier.strip()
+            shape: dict = (
+                {"times": int(value[:-1])}
+                if value.endswith(("x", "X"))
+                else {"probability": float(value)}
+            )
+            if not modifier:
+                injector.fail(site, **shape)
+            elif modifier == "hang":
+                injector.hang(site, **shape)
+            elif modifier.startswith("delay="):
+                injector.delay(site, float(modifier[len("delay="):]), **shape)
             else:
-                injector.fail(site, probability=float(value))
+                raise ValueError(
+                    f"malformed REPRO_CHAOS_SITES modifier {modifier!r} in "
+                    f"{clause!r}; expected 'delay=<seconds>' or 'hang'"
+                )
         return injector
 
     def __repr__(self) -> str:

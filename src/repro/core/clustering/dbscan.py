@@ -25,6 +25,7 @@ from typing import Sequence
 
 from repro.geometry.envelope import Envelope
 from repro.index.rtree import STRTree
+from repro.spark.cancellation import Heartbeat
 
 #: Cluster label for noise points.
 NOISE = -1
@@ -66,8 +67,12 @@ def local_dbscan(
             if math.hypot(points[j][0] - x, points[j][1] - y) <= eps
         ]
 
+    # Expansion can touch every point many times on dense data; poll for
+    # cancellation so a deadline can stop a runaway partition.
+    heartbeat = Heartbeat(every=256)
     next_label = 0
     for seed in range(n):
+        heartbeat.beat()
         if labels[seed] != _UNVISITED:
             continue
         seed_neighbours = neighbours(seed)
@@ -81,6 +86,7 @@ def local_dbscan(
         core[seed] = True
         queue = deque(seed_neighbours)
         while queue:
+            heartbeat.beat()
             j = queue.popleft()
             if labels[j] == NOISE:
                 labels[j] = label  # border point adoption

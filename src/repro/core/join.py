@@ -32,6 +32,7 @@ from repro.core.predicates import STPredicate
 from repro.core.stobject import STObject
 from repro.geometry.envelope import Envelope
 from repro.index.rtree import STRTree
+from repro.spark.cancellation import Heartbeat
 from repro.spark.rdd import RDD
 
 V = TypeVar("V")
@@ -121,6 +122,9 @@ class SpatialJoinRDD(RDD[tuple]):
     def compute(self, split: int) -> Iterator[tuple]:
         left_split, right_split = self._pairs[split]
         predicate = self._predicate
+        # A join partition can evaluate millions of candidate pairs; the
+        # heartbeat keeps a cancelled/overdue task from running it out.
+        heartbeat = Heartbeat(every=1024)
 
         if self._right_trees is not None:
             tree: STRTree = next(self._right_trees.iterator(right_split))
@@ -129,6 +133,7 @@ class SpatialJoinRDD(RDD[tuple]):
             for left_kv in self._left.iterator(left_split):
                 region = predicate.candidate_region(left_kv[0].geo.envelope)
                 for right_kv in tree.query(region):
+                    heartbeat.beat()
                     if predicate.evaluate(left_kv[0], right_kv[0]):
                         yield (left_kv, right_kv)
         else:
@@ -138,6 +143,7 @@ class SpatialJoinRDD(RDD[tuple]):
             for left_kv in self._left.iterator(left_split):
                 left_env = left_kv[0].geo.envelope
                 for right_kv in right_block:
+                    heartbeat.beat()
                     if predicate.envelope_test(
                         left_env, right_kv[0].geo.envelope
                     ) and predicate.evaluate(left_kv[0], right_kv[0]):

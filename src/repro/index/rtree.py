@@ -136,6 +136,11 @@ class STRTree(Generic[T]):
         """Group rows into runs of *cap* using Sort-Tile-Recursive order."""
         import math
 
+        from repro.spark.cancellation import Heartbeat
+
+        # Bulk-loading a large partition's index can take seconds; one
+        # beat per tile keeps the build cancellable under a deadline.
+        heartbeat = Heartbeat(every=64)
         n = len(rows)
         leaf_count = math.ceil(n / cap)
         slice_count = max(1, math.ceil(math.sqrt(leaf_count)))
@@ -143,7 +148,9 @@ class STRTree(Generic[T]):
         slice_size = math.ceil(n / slice_count)
         for vertical in _chunks(by_x, slice_size):
             by_y = sorted(vertical, key=lambda r: env_of(r).center()[1])
-            yield from _chunks(by_y, cap)
+            for tile in _chunks(by_y, cap):
+                heartbeat.beat()
+                yield tile
 
     # -- queries ---------------------------------------------------------------
 

@@ -39,10 +39,12 @@ def _format_attr(value) -> str:
 
 
 def _is_troubled(span: "Span") -> bool:
-    """Spans that recorded failures, aborts or degradation fallbacks."""
+    """Spans that failed, aborted, timed out, were cancelled or fell back."""
     return bool(
         span.attrs.get("failures")
         or span.attrs.get("aborted")
+        or span.attrs.get("timeout")
+        or span.attrs.get("cancelled")
         or span.name.endswith(".fallback")
     )
 

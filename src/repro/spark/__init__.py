@@ -21,7 +21,11 @@ STARK's algorithms are built against:
   exponential backoff (``max_task_failures`` attempts, recomputing from
   lineage), and exhausted retries abort the job with a typed
   :class:`~repro.spark.errors.JobAbortedError`; see :mod:`repro.chaos`
-  for the matching fault-injection harness.
+  for the matching fault-injection harness,
+- gray-failure resilience: cooperative cancellation
+  (:mod:`repro.spark.cancellation`), per-task/per-job deadlines with
+  typed :class:`~repro.spark.errors.TaskTimeoutError`, and speculative
+  execution of stragglers (first result wins, loser cancelled).
 
 The engine runs tasks in the driver process (optionally on a thread
 pool).  The *algorithmic* costs -- how many partitions a query touches,
@@ -32,18 +36,23 @@ depend on.
 
 from repro.spark.accumulator import Accumulator
 from repro.spark.broadcast import Broadcast
+from repro.spark.cancellation import CancelToken, Heartbeat, TaskCancelledError
 from repro.spark.context import SparkContext
-from repro.spark.errors import JobAbortedError, TaskError
+from repro.spark.errors import JobAbortedError, TaskError, TaskTimeoutError
 from repro.spark.partitioner import HashPartitioner, Partitioner
 from repro.spark.rdd import RDD
 
 __all__ = [
     "Accumulator",
     "Broadcast",
+    "CancelToken",
     "HashPartitioner",
+    "Heartbeat",
     "JobAbortedError",
     "Partitioner",
     "RDD",
     "SparkContext",
+    "TaskCancelledError",
     "TaskError",
+    "TaskTimeoutError",
 ]

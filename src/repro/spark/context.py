@@ -2,17 +2,34 @@
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import queue as queue_mod
+import math
+import statistics
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, TypeVar
 
 from repro.obs import NULL_TRACER, Tracer
 from repro.spark.accumulator import Accumulator
 from repro.spark.broadcast import Broadcast
-from repro.spark.errors import JobAbortedError, TaskError
+from repro.spark.cancellation import (
+    KIND_ABORT,
+    KIND_LOSER,
+    KIND_STOP,
+    KIND_TIMEOUT,
+    CancelToken,
+    Heartbeat,
+    TaskCancelledError,
+    cancellable_sleep,
+    current_token,
+    task_scope,
+)
+from repro.spark.errors import JobAbortedError, TaskError, TaskTimeoutError
 from repro.spark.partitioner import Partitioner
 from repro.spark.rdd import (
     RDD,
@@ -101,11 +118,16 @@ class Metrics:
     tasks_launched: int = 0
     tasks_failed: int = 0
     tasks_retried: int = 0
+    tasks_speculated: int = 0
+    tasks_cancelled: int = 0
+    tasks_timed_out: int = 0
+    speculation_wins: int = 0
     jobs_run: int = 0
     jobs_failed: int = 0
     shuffles_executed: int = 0
     shuffle_records_written: int = 0
     cache_hits: int = 0
+    cache_evictions: int = 0
     partitions_pruned: int = 0
     index_fallbacks: int = 0
 
@@ -118,24 +140,46 @@ class Metrics:
 
 
 class _CacheManager:
-    """Per-(rdd, partition) in-memory block store."""
+    """Per-(rdd, partition) in-memory block store with an optional LRU cap.
 
-    def __init__(self) -> None:
-        self._blocks: dict[tuple[int, int], list] = {}
+    ``max_entries`` bounds the number of cached partition blocks; when
+    exceeded, the least-recently-used block is dropped (and recomputed
+    from lineage on next access), with ``metrics.cache_evictions``
+    counting the drops.  Unbounded by default, matching Spark's
+    behaviour of evicting only under memory pressure.
+    """
+
+    def __init__(self, max_entries: int | None = None, metrics: Metrics | None = None) -> None:
+        self._blocks: OrderedDict[tuple[int, int], list] = OrderedDict()
         self._lock = threading.Lock()
+        self._max_entries = max_entries
+        self._metrics = metrics
 
     def get(self, rdd_id: int, split: int) -> list | None:
         with self._lock:
-            return self._blocks.get((rdd_id, split))
+            block = self._blocks.get((rdd_id, split))
+            if block is not None and self._max_entries is not None:
+                self._blocks.move_to_end((rdd_id, split))
+            return block
 
     def put(self, rdd_id: int, split: int, data: list) -> None:
         with self._lock:
             self._blocks[(rdd_id, split)] = data
+            if self._max_entries is not None:
+                self._blocks.move_to_end((rdd_id, split))
+                while len(self._blocks) > self._max_entries:
+                    self._blocks.popitem(last=False)
+                    if self._metrics is not None:
+                        self._metrics.cache_evictions += 1
 
     def evict_rdd(self, rdd_id: int) -> None:
         with self._lock:
             for key in [k for k in self._blocks if k[0] == rdd_id]:
                 del self._blocks[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocks)
 
     def clear(self) -> None:
         with self._lock:
@@ -156,17 +200,30 @@ class _ShuffleManager:
         self._ids = itertools.count()
         self._registered: dict[int, tuple[RDD, Partitioner, _Aggregator | None]] = {}
         self._outputs: dict[int, list[list[list]]] = {}
-        # Reentrant: a reduce task of one shuffle may trigger the map
-        # side of an upstream shuffle on the same thread (nested jobs run
-        # inline), so the lock must allow recursion.
-        self._lock = threading.RLock()
+        # One lock *per shuffle id* so independent shuffles run their map
+        # sides concurrently instead of serializing on a single manager
+        # lock.  Each is reentrant: a reduce task of one shuffle may
+        # trigger the map side of an upstream shuffle on the same thread
+        # (nested jobs run inline).  Lock ordering follows the lineage
+        # DAG (downstream shuffle -> upstream shuffle), so cross-shuffle
+        # acquisition cannot cycle.
+        self._manager_lock = threading.Lock()
+        self._locks: dict[int, threading.RLock] = {}
 
     def register(
         self, parent: RDD, partitioner: Partitioner, aggregator: _Aggregator | None
     ) -> int:
         shuffle_id = next(self._ids)
-        self._registered[shuffle_id] = (parent, partitioner, aggregator)
+        with self._manager_lock:
+            self._registered[shuffle_id] = (parent, partitioner, aggregator)
         return shuffle_id
+
+    def _lock_for(self, shuffle_id: int) -> threading.RLock:
+        with self._manager_lock:
+            lock = self._locks.get(shuffle_id)
+            if lock is None:
+                lock = self._locks[shuffle_id] = threading.RLock()
+            return lock
 
     def fetch(self, shuffle_id: int, reduce_split: int) -> Iterator[tuple]:
         injector = self._context.fault_injector
@@ -196,7 +253,7 @@ class _ShuffleManager:
         ready = self._outputs.get(shuffle_id)
         if ready is not None:
             return ready
-        with self._lock:
+        with self._lock_for(shuffle_id):
             ready = self._outputs.get(shuffle_id)
             if ready is not None:
                 return ready
@@ -235,13 +292,16 @@ class _ShuffleManager:
             # task touching few of the reduce partitions must not pay
             # for the rest, or high-partition-count shuffles (e.g. fine
             # tile grids) would go quadratic.
+            heartbeat = Heartbeat(every=1024)
             buckets: dict[int, list] = {}
             if aggregator is None:
                 for kv in it:
+                    heartbeat.beat()
                     buckets.setdefault(partitioner.get_partition(kv[0]), []).append(kv)
             else:
                 combined: dict[int, dict] = {}
                 for k, v in it:
+                    heartbeat.beat()
                     bucket = combined.setdefault(partitioner.get_partition(k), {})
                     if k in bucket:
                         bucket[k] = aggregator.merge_value(bucket[k], v)
@@ -273,9 +333,297 @@ class _ShuffleManager:
         return self._context.run_job(parent, map_task)
 
     def clear(self) -> None:
-        with self._lock:
+        with self._manager_lock:
             self._outputs.clear()
             self._registered.clear()
+            self._locks.clear()
+
+
+class _TaskAttempt:
+    """One scheduled attempt of one task in a pooled job."""
+
+    __slots__ = ("split", "number", "speculative", "token", "start", "span", "timed_out")
+
+    def __init__(self, split: int, number: int, speculative: bool, token: CancelToken) -> None:
+        self.split = split
+        self.number = number
+        self.speculative = speculative
+        self.token = token
+        #: Set by the worker when execution actually begins (queue time
+        #: does not count against the task deadline).
+        self.start: float | None = None
+        self.span = None
+        self.timed_out = False
+
+
+#: Sentinel pushed into a pooled job's outcome queue to wake the driver
+#: loop when its job token is cancelled from another thread.
+_WAKE = object()
+
+
+class _PooledJob:
+    """The event-driven driver loop for one thread-pool job.
+
+    The worker threads only *compute*; every scheduling decision --
+    retries (with backoff timed on the driver, never ``time.sleep`` on a
+    pool thread), per-task deadlines, whole-job deadlines, speculative
+    copies of stragglers, first-result-wins resolution and cancellation
+    of redundant attempts -- happens here, on the thread that called
+    ``run_job``.  The loop blocks on an outcome queue with a timeout
+    equal to the next scheduled event, so a job with no deadlines and no
+    failures costs no polling at all, while a hung task can never block
+    the driver past its deadline: the overdue attempt's token is
+    cancelled, a typed :class:`TaskTimeoutError` is recorded, and a
+    fresh attempt is launched without waiting for the hung one.
+    """
+
+    def __init__(self, ctx: "SparkContext", rdd: RDD, fn, splits: list[int],
+                 job_token: CancelToken, job_span) -> None:
+        self._ctx = ctx
+        self._rdd = rdd
+        self._fn = fn
+        self._splits = splits
+        self._job_token = job_token
+        self._job_span = job_span
+        self._label = _rdd_label(rdd)
+        self._outcomes: queue_mod.Queue = queue_mod.Queue()
+        self._results: dict[int, Any] = {}
+        self._failures: dict[int, list[TaskError]] = {s: [] for s in splits}
+        self._seq: dict[int, int] = {s: 0 for s in splits}
+        self._live: dict[int, list[_TaskAttempt]] = {s: [] for s in splits}
+        self._retry_heap: list[tuple[float, int, int]] = []  # (ready_at, order, split)
+        self._retry_order = itertools.count()
+        self._retry_pending: set[int] = set()
+        self._speculated: set[int] = set()
+        self._durations: list[float] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> list:
+        self._job_token.add_callback(lambda: self._outcomes.put(_WAKE))
+        for split in self._splits:
+            self._launch(split)
+        while len(self._results) < len(self._splits):
+            if self._job_token.cancelled:
+                self._abort_cancelled()
+            now = time.perf_counter()
+            self._fire_due_retries(now)
+            self._enforce_task_deadlines(now)
+            self._maybe_speculate(now)
+            try:
+                outcome = self._outcomes.get(timeout=self._next_wait(now))
+            except queue_mod.Empty:
+                continue
+            while True:
+                if outcome is not _WAKE:
+                    self._handle(outcome)
+                try:
+                    outcome = self._outcomes.get_nowait()
+                except queue_mod.Empty:
+                    break
+        return [self._results[s] for s in self._splits]
+
+    # -- launching ---------------------------------------------------------
+
+    def _launch(self, split: int, speculative: bool = False) -> None:
+        self._seq[split] += 1
+        attempt = _TaskAttempt(
+            split, self._seq[split], speculative, CancelToken(parent=self._job_token)
+        )
+        self._live[split].append(attempt)
+        if speculative:
+            self._speculated.add(split)
+            self._ctx.metrics.tasks_speculated += 1
+        try:
+            self._ctx._ensure_pool().submit(
+                self._ctx._attempt_worker,
+                self._rdd, self._fn, attempt, self._job_span, self._outcomes,
+            )
+        except RuntimeError as exc:  # pool shut down beneath us (stop())
+            self._live[split].remove(attempt)
+            self._abort(JobAbortedError(
+                self._label, split, self._seq[split], exc, self._failures[split]
+            ))
+
+    def _schedule_retry(self, split: int, failed_attempts: int) -> None:
+        self._ctx.metrics.tasks_retried += 1
+        delay = self._ctx.retry_backoff * (2 ** (failed_attempts - 1))
+        heapq.heappush(
+            self._retry_heap,
+            (time.perf_counter() + delay, next(self._retry_order), split),
+        )
+        self._retry_pending.add(split)
+
+    def _fire_due_retries(self, now: float) -> None:
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _ready, _order, split = heapq.heappop(self._retry_heap)
+            self._retry_pending.discard(split)
+            if split not in self._results:
+                self._launch(split)
+
+    # -- outcomes ----------------------------------------------------------
+
+    def _handle(self, outcome) -> None:
+        attempt, ok, payload = outcome
+        split = attempt.split
+        if attempt in self._live[split]:
+            self._live[split].remove(attempt)
+        if ok:
+            if attempt.start is not None:
+                self._durations.append(time.perf_counter() - attempt.start)
+            if split in self._results:
+                return  # a sibling already won; late result discarded
+            self._resolve(split, payload, attempt)
+            return
+        exc = payload
+        if isinstance(exc, JobAbortedError):
+            # A nested job already burned its own retry budget; terminal.
+            self._abort(exc)
+        if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+            self._cancel_live("job interrupted", KIND_ABORT)
+            raise exc
+        if isinstance(exc, TaskCancelledError):
+            # The driver initiated this (deadline, lost race, abort) and
+            # already did the accounting when it cancelled the token.
+            return
+        if split in self._results:
+            return  # stray failure of a redundant attempt
+        self._ctx.metrics.tasks_failed += 1
+        failures = self._failures[split]
+        failures.append(TaskError(self._label, split, attempt.number, exc))
+        if len(failures) >= self._ctx.max_task_failures:
+            self._abort(JobAbortedError(self._label, split, len(failures), exc, failures))
+        self._schedule_retry(split, len(failures))
+
+    def _resolve(self, split: int, value, attempt: _TaskAttempt) -> None:
+        self._results[split] = value
+        if attempt.speculative:
+            self._ctx.metrics.speculation_wins += 1
+        for other in self._live[split]:
+            if not other.timed_out:
+                self._ctx.metrics.tasks_cancelled += 1
+            other.token.cancel("task superseded by a completed attempt", KIND_LOSER)
+            if other.span is not None:
+                other.span.attrs["cancelled"] = True
+
+    # -- deadlines and speculation ----------------------------------------
+
+    def _enforce_task_deadlines(self, now: float) -> None:
+        timeout = self._ctx.task_timeout
+        if timeout is None:
+            return
+        for split, attempts in self._live.items():
+            if split in self._results:
+                continue
+            for attempt in attempts:
+                if attempt.timed_out or attempt.start is None:
+                    continue
+                if now - attempt.start < timeout:
+                    continue
+                attempt.timed_out = True
+                attempt.token.cancel(f"task timeout after {timeout:g}s", KIND_TIMEOUT)
+                self._ctx.metrics.tasks_timed_out += 1
+                self._ctx.metrics.tasks_failed += 1
+                record = TaskTimeoutError(self._label, split, attempt.number, timeout)
+                failures = self._failures[split]
+                failures.append(record)
+                if attempt.span is not None:
+                    attempt.span.note_failure(f"TaskTimeoutError: {record}")
+                    attempt.span.attrs["timeout"] = True
+                if len(failures) >= self._ctx.max_task_failures:
+                    self._abort(JobAbortedError(
+                        self._label, split, len(failures), record, failures
+                    ))
+                # Relaunch only if no healthy attempt is still racing
+                # (a live speculative copy *is* the retry).
+                if split not in self._retry_pending and not any(
+                    a is not attempt and not a.timed_out for a in attempts
+                ):
+                    self._schedule_retry(split, len(failures))
+
+    def _maybe_speculate(self, now: float) -> None:
+        ctx = self._ctx
+        if not ctx.speculation:
+            return
+        total = len(self._splits)
+        done = len(self._results)
+        if total < 2 or not self._durations:
+            return
+        if done < max(1, math.ceil(ctx.speculation_quantile * total)):
+            return
+        threshold = ctx.speculation_multiplier * statistics.median(self._durations)
+        for split in self._splits:
+            if split in self._results or split in self._speculated:
+                continue
+            if split in self._retry_pending:
+                continue
+            attempts = self._live[split]
+            if any(a.speculative for a in attempts):
+                continue
+            if any(
+                a.start is not None and not a.timed_out and now - a.start > threshold
+                for a in attempts
+            ):
+                self._launch(split, speculative=True)
+
+    def _next_wait(self, now: float) -> float | None:
+        """Seconds until the next scheduled event, or None to block."""
+        candidates: list[float] = []
+        if self._retry_heap:
+            candidates.append(self._retry_heap[0][0] - now)
+        timeout = self._ctx.task_timeout
+        if timeout is not None:
+            for attempts in self._live.values():
+                for attempt in attempts:
+                    if attempt.timed_out:
+                        continue
+                    if attempt.start is None:
+                        # Queued behind a busy pool; poll for its start.
+                        candidates.append(0.02)
+                    else:
+                        candidates.append(attempt.start + timeout - now)
+        if self._ctx.speculation and len(self._results) < len(self._splits):
+            candidates.append(self._ctx.speculation_interval)
+        if not candidates:
+            return None
+        return max(0.001, min(candidates))
+
+    # -- aborting ----------------------------------------------------------
+
+    def _cancel_live(self, reason: str, kind: str) -> None:
+        for attempts in self._live.values():
+            for attempt in attempts:
+                if not attempt.timed_out:
+                    self._ctx.metrics.tasks_cancelled += 1
+                attempt.token.cancel(reason, kind)
+                if attempt.span is not None:
+                    attempt.span.attrs["cancelled"] = True
+        self._retry_heap.clear()
+        self._retry_pending.clear()
+
+    def _abort(self, error: JobAbortedError) -> None:
+        self._cancel_live("job aborted", KIND_ABORT)
+        raise error
+
+    def _abort_cancelled(self) -> None:
+        """The job token was cancelled externally (timeout, stop, cancel)."""
+        split = next(s for s in self._splits if s not in self._results)
+        failures = list(self._failures[split])
+        if self._job_token.kind == KIND_TIMEOUT:
+            record = TaskTimeoutError(
+                self._label, split, max(1, self._seq[split]),
+                self._ctx.job_timeout or 0.0, scope="job",
+            )
+            failures.append(record)
+            self._ctx.metrics.tasks_timed_out += 1
+            cause: BaseException = record
+        else:
+            cause = TaskCancelledError(
+                self._job_token.reason or "job cancelled", self._job_token.kind
+            )
+        self._abort(JobAbortedError(
+            self._label, split, max(1, len(failures)), cause, failures
+        ))
 
 
 class SparkContext:
@@ -298,6 +646,13 @@ class SparkContext:
         max_task_failures: int = 4,
         retry_backoff: float = 0.05,
         fault_injector=None,
+        task_timeout: float | None = None,
+        job_timeout: float | None = None,
+        speculation: bool = False,
+        speculation_quantile: float = 0.75,
+        speculation_multiplier: float = 1.5,
+        speculation_interval: float = 0.02,
+        max_cache_entries: int | None = None,
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
@@ -307,6 +662,18 @@ class SparkContext:
             raise ValueError("max_task_failures must be >= 1")
         if retry_backoff < 0:
             raise ValueError("retry_backoff must be >= 0")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError("job_timeout must be positive")
+        if not 0.0 < speculation_quantile <= 1.0:
+            raise ValueError("speculation_quantile must be in (0, 1]")
+        if speculation_multiplier < 1.0:
+            raise ValueError("speculation_multiplier must be >= 1.0")
+        if speculation_interval <= 0:
+            raise ValueError("speculation_interval must be positive")
+        if max_cache_entries is not None and max_cache_entries < 1:
+            raise ValueError("max_cache_entries must be >= 1")
         self.app_name = app_name
         self.default_parallelism = parallelism
         self._executor_mode = executor
@@ -315,9 +682,9 @@ class SparkContext:
         #: only for micro-tests where shuffle cost is irrelevant.
         self.shuffle_serialization = shuffle_serialization
         self._rdd_ids = itertools.count()
-        self._cache = _CacheManager()
-        self._shuffle = _ShuffleManager(self)
         self.metrics = Metrics()
+        self._cache = _CacheManager(max_cache_entries, self.metrics)
+        self._shuffle = _ShuffleManager(self)
         #: The execution tracer.  Defaults to the shared no-op tracer;
         #: pass ``tracing=True`` (or a :class:`Tracer`) to record spans.
         self.tracer: Tracer = tracer or (Tracer() if tracing else NULL_TRACER)
@@ -326,14 +693,37 @@ class SparkContext:
         #: partition from lineage.
         self.max_task_failures = max_task_failures
         #: Base of the exponential retry backoff, in seconds: attempt
-        #: *n* sleeps ``retry_backoff * 2**(n-1)`` before re-running.
+        #: *n* waits ``retry_backoff * 2**(n-1)`` before re-running.  On
+        #: the thread-pool executor the wait is timed by the driver loop
+        #: -- a backing-off task never occupies a worker slot.
         self.retry_backoff = retry_backoff
         #: Optional :class:`repro.chaos.FaultInjector`; when set, the
         #: instrumented sites consult it.  Hot paths guard on ``is not
         #: None`` so the disabled case costs one attribute read.
         self.fault_injector = fault_injector
+        #: Per-task deadline in seconds (Spark's task reaper): an
+        #: attempt running longer is cooperatively cancelled, recorded
+        #: as a :class:`TaskTimeoutError`, and retried from lineage.
+        self.task_timeout = task_timeout
+        #: Whole-job deadline in seconds: a top-level job running longer
+        #: aborts with a job-scoped :class:`TaskTimeoutError` in its
+        #: failure list.  Nested jobs share their parent's budget.
+        self.job_timeout = job_timeout
+        #: Enable speculative execution (Spark's ``spark.speculation``):
+        #: once ``speculation_quantile`` of a job's tasks have finished,
+        #: a task running longer than ``speculation_multiplier`` x the
+        #: median runtime gets a second copy; first result wins, the
+        #: loser is cancelled.  Thread-pool executor only.
+        self.speculation = speculation
+        self.speculation_quantile = speculation_quantile
+        self.speculation_multiplier = speculation_multiplier
+        #: How often (seconds) the driver loop re-evaluates stragglers.
+        self.speculation_interval = speculation_interval
         self._pool: ThreadPoolExecutor | None = None
         self._in_job = threading.local()
+        self._stopped = False
+        self._active_jobs: set[CancelToken] = set()
+        self._jobs_lock = threading.Lock()
 
     def enable_tracing(self) -> Tracer:
         """Install (or return) a live :class:`Tracer` on this context."""
@@ -394,8 +784,16 @@ class SparkContext:
 
         Each task gets :attr:`max_task_failures` attempts, recomputing
         its partition from lineage every time; a task that keeps failing
-        aborts the job with :class:`JobAbortedError`.
+        aborts the job with :class:`JobAbortedError`.  Every attempt
+        runs under a :class:`CancelToken` descended from the job's, so
+        deadlines, speculation losses and :meth:`cancel_all_jobs` stop
+        in-flight work cooperatively.
         """
+        if self._stopped:
+            raise RuntimeError(
+                f"SparkContext {self.app_name!r} has been stopped; "
+                "create a new context to run jobs"
+            )
         num_partitions = rdd.num_partitions
         if partitions is not None:
             splits = list(partitions)
@@ -409,91 +807,57 @@ class SparkContext:
             splits = list(range(num_partitions))
         self.metrics.jobs_run += 1
         self.metrics.tasks_launched += len(splits)
+        nested = getattr(self._in_job, "active", False)
+        pooled = self._executor_mode == "threads" and not nested and len(splits) > 1
+        # Nested jobs chain their token under the enclosing task's, so a
+        # cancelled outer job reaches a shuffle map side levels deep.
+        job_token = CancelToken(parent=current_token())
+        self._register_job(job_token)
+        job_timer: threading.Timer | None = None
+        if self.job_timeout is not None and not nested:
+            job_timer = threading.Timer(
+                self.job_timeout,
+                job_token.cancel,
+                args=(f"job timeout after {self.job_timeout:g}s", KIND_TIMEOUT),
+            )
+            job_timer.daemon = True
+            job_timer.start()
         try:
             if self.tracer.enabled:
-                return self._run_job_traced(rdd, fn, splits)
-
-            def task(split: int) -> U:
-                # Mark this *worker thread* as inside a task so any nested
-                # job it triggers (e.g. a shuffle map side) runs inline
-                # instead of re-entering the pool and starving it.
-                previous = getattr(self._in_job, "active", False)
-                self._in_job.active = True
-                try:
-                    return self._run_task(rdd, fn, split)
-                finally:
-                    self._in_job.active = previous
-
-            nested = getattr(self._in_job, "active", False)
-            if self._executor_mode == "sequential" or nested or len(splits) <= 1:
-                return [task(s) for s in splits]
-            pool = self._ensure_pool()
-            return list(pool.map(task, splits))
+                return self._run_job_traced(rdd, fn, splits, pooled, nested, job_token)
+            if pooled:
+                return _PooledJob(self, rdd, fn, splits, job_token, None).run()
+            return self._run_job_inline(rdd, fn, splits, nested, job_token, None)
         except JobAbortedError:
             self.metrics.jobs_failed += 1
             raise
+        finally:
+            if job_timer is not None:
+                job_timer.cancel()
+            self._unregister_job(job_token)
 
-    def _run_task(
+    def _run_job_traced(
         self,
         rdd: RDD[T],
         fn: Callable[[Iterator[T]], U],
-        split: int,
-        task_span=None,
-    ) -> U:
-        """Run one task with retries; the scheduler's fault boundary.
-
-        Every attempt recomputes the partition from lineage (a cached
-        block is only reused if a previous attempt fully materialized
-        it, so a mid-computation failure never poisons the cache).  A
-        :class:`JobAbortedError` from a *nested* job is terminal -- the
-        inner job already spent its own retry budget, so re-driving it
-        from here would multiply attempts at every nesting level.
-        """
-        injector = self.fault_injector
-        failures: list[TaskError] = []
-        attempt = 0
-        while True:
-            attempt += 1
-            try:
-                if injector is not None:
-                    injector.check("task.compute", key=(rdd.id, split))
-                if task_span is None:
-                    return fn(rdd.iterator(split))
-                counted = _CountingIterator(rdd.iterator(split))
-                try:
-                    return fn(counted)
-                finally:
-                    task_span.attrs["records_in"] = counted.count
-                    if attempt > 1:
-                        task_span.attrs["attempt"] = attempt
-            except JobAbortedError:
-                raise
-            except Exception as exc:
-                self.metrics.tasks_failed += 1
-                failures.append(TaskError(_rdd_label(rdd), split, attempt, exc))
-                if task_span is not None:
-                    task_span.note_failure(f"{type(exc).__name__}: {exc}")
-                if attempt >= self.max_task_failures:
-                    raise JobAbortedError(
-                        _rdd_label(rdd), split, attempt, exc, failures
-                    ) from exc
-                self.metrics.tasks_retried += 1
-                if self.retry_backoff > 0:
-                    time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
-
-    def _run_job_traced(
-        self, rdd: RDD[T], fn: Callable[[Iterator[T]], U], splits: list[int]
+        splits: list[int],
+        pooled: bool,
+        nested: bool,
+        job_token: CancelToken,
     ) -> list[U]:
         """The tracing twin of :meth:`run_job`'s execution core.
 
         Opens a ``job`` span carrying the operator tag and pruning
         attribution of the target lineage, plus one ``task`` span per
-        partition with the records it consumed.  Task spans are parented
+        attempt with the records it consumed.  Task spans are parented
         to the job span explicitly because tasks may run on pool
         threads; nested jobs a task triggers attach beneath its span
-        through the worker thread's stack.  Retried attempts mark their
-        task span with ``failures``/``attempt``/``last_error`` attrs,
-        and an aborting job is flagged ``aborted``.
+        through the worker thread's stack.  Inline retries mark their
+        task span with ``failures``/``attempt``/``last_error`` attrs;
+        pooled retries and speculative copies open their own spans
+        (``attempt``/``speculative``); cancelled and overdue attempts
+        are flagged ``cancelled``/``timeout``, and an aborting job is
+        flagged ``aborted``.
         """
         tracer = self.tracer
         attrs: dict = {
@@ -505,28 +869,227 @@ class SparkContext:
         if pruned:
             attrs["partitions_pruned"] = pruned
         with tracer.span("job", kind="job", **attrs) as job_span:
-
-            def task(split: int) -> U:
-                previous = getattr(self._in_job, "active", False)
-                self._in_job.active = True
-                try:
-                    with tracer.span(
-                        "task", kind="task", parent=job_span, split=split
-                    ) as task_span:
-                        return self._run_task(rdd, fn, split, task_span)
-                finally:
-                    self._in_job.active = previous
-
             try:
-                nested = getattr(self._in_job, "active", False)
-                if self._executor_mode == "sequential" or nested or len(splits) <= 1:
-                    return [task(s) for s in splits]
-                pool = self._ensure_pool()
-                return list(pool.map(task, splits))
+                if pooled:
+                    return _PooledJob(self, rdd, fn, splits, job_token, job_span).run()
+                return self._run_job_inline(rdd, fn, splits, nested, job_token, job_span)
             except JobAbortedError as exc:
                 job_span.attrs["aborted"] = True
                 job_span.attrs["error"] = f"{type(exc.cause).__name__}: {exc.cause}"
                 raise
+            except TaskCancelledError:
+                # A nested job unwinding because its *enclosing* task was
+                # cancelled; the outer job does the accounting.
+                job_span.attrs["cancelled"] = True
+                raise
+
+    def _run_job_inline(
+        self,
+        rdd: RDD[T],
+        fn: Callable[[Iterator[T]], U],
+        splits: list[int],
+        nested: bool,
+        job_token: CancelToken,
+        job_span,
+    ) -> list[U]:
+        """Sequential execution on the calling thread (also nested jobs)."""
+
+        def task(split: int) -> U:
+            # Mark this thread as inside a task so any nested job it
+            # triggers (e.g. a shuffle map side) runs inline instead of
+            # re-entering the pool and starving it.
+            previous = getattr(self._in_job, "active", False)
+            self._in_job.active = True
+            try:
+                if job_span is not None:
+                    with self.tracer.span(
+                        "task", kind="task", parent=job_span, split=split
+                    ) as task_span:
+                        return self._run_task(rdd, fn, split, nested, job_token, task_span)
+                return self._run_task(rdd, fn, split, nested, job_token)
+            finally:
+                self._in_job.active = previous
+
+        return [task(s) for s in splits]
+
+    def _run_task(
+        self,
+        rdd: RDD[T],
+        fn: Callable[[Iterator[T]], U],
+        split: int,
+        nested: bool,
+        job_token: CancelToken,
+        task_span=None,
+    ) -> U:
+        """Run one task inline with retries; the scheduler's fault boundary.
+
+        Every attempt recomputes the partition from lineage (a cached
+        block is only reused if a previous attempt fully materialized
+        it, so a mid-computation failure never poisons the cache) under
+        its own :class:`CancelToken`; when ``task_timeout`` is set, a
+        watchdog timer cancels an overdue attempt, which surfaces here
+        as a retryable :class:`TaskTimeoutError`.  Cancellation of the
+        *job* (abort, stop, job timeout) is terminal.  A
+        :class:`JobAbortedError` from a *nested* job is also terminal --
+        the inner job already spent its own retry budget, so re-driving
+        it from here would multiply attempts at every nesting level.
+        """
+        injector = self.fault_injector
+        label = _rdd_label(rdd)
+        failures: list[TaskError] = []
+        attempt = 0
+        while True:
+            attempt += 1
+            token = CancelToken(parent=job_token)
+            watchdog: threading.Timer | None = None
+            if self.task_timeout is not None:
+                watchdog = threading.Timer(
+                    self.task_timeout,
+                    token.cancel,
+                    args=(f"task timeout after {self.task_timeout:g}s", KIND_TIMEOUT),
+                )
+                watchdog.daemon = True
+                watchdog.start()
+            try:
+                with task_scope(token):
+                    token.check()
+                    if injector is not None:
+                        injector.check("task.compute", key=(rdd.id, split))
+                    if task_span is None:
+                        return fn(rdd.iterator(split))
+                    counted = _CountingIterator(rdd.iterator(split))
+                    try:
+                        return fn(counted)
+                    finally:
+                        task_span.attrs["records_in"] = counted.count
+                        if attempt > 1:
+                            task_span.attrs["attempt"] = attempt
+            except JobAbortedError:
+                raise
+            except TaskCancelledError as exc:
+                if nested and job_token.cancelled:
+                    # The cancellation came from *above* this job (the
+                    # enclosing attempt timed out, lost a speculation
+                    # race, or its job aborted).  Unwind raw: the outer
+                    # scheduler owns the accounting and may retry the
+                    # enclosing task, which will re-run this nested job.
+                    if task_span is not None:
+                        task_span.attrs["cancelled"] = True
+                    raise
+                if job_token.cancelled or exc.kind != KIND_TIMEOUT:
+                    raise self._terminal_cancellation(
+                        exc, label, split, attempt, failures, task_span, job_token
+                    ) from exc
+                # Per-attempt deadline: typed failure, then retry.
+                self.metrics.tasks_timed_out += 1
+                self.metrics.tasks_failed += 1
+                record = TaskTimeoutError(label, split, attempt, self.task_timeout or 0.0)
+                failures.append(record)
+                if task_span is not None:
+                    task_span.note_failure(f"TaskTimeoutError: {record}")
+                    task_span.attrs["timeout"] = True
+                if attempt >= self.max_task_failures:
+                    raise JobAbortedError(label, split, attempt, record, failures) from exc
+                self.metrics.tasks_retried += 1
+                self._backoff(attempt, label, split, failures, job_token)
+            except Exception as exc:
+                self.metrics.tasks_failed += 1
+                failures.append(TaskError(label, split, attempt, exc))
+                if task_span is not None:
+                    task_span.note_failure(f"{type(exc).__name__}: {exc}")
+                if attempt >= self.max_task_failures:
+                    raise JobAbortedError(label, split, attempt, exc, failures) from exc
+                self.metrics.tasks_retried += 1
+                self._backoff(attempt, label, split, failures, job_token)
+            finally:
+                if watchdog is not None:
+                    watchdog.cancel()
+
+    def _terminal_cancellation(
+        self, exc, label, split, attempt, failures, task_span, job_token
+    ) -> JobAbortedError:
+        """Build the abort for a job-level cancellation of an inline task."""
+        if job_token.cancelled and job_token.kind == KIND_TIMEOUT:
+            record = TaskTimeoutError(
+                label, split, attempt, self.job_timeout or 0.0, scope="job"
+            )
+            failures.append(record)
+            self.metrics.tasks_timed_out += 1
+            if task_span is not None:
+                task_span.attrs["timeout"] = True
+            return JobAbortedError(label, split, attempt, record, failures)
+        self.metrics.tasks_cancelled += 1
+        if task_span is not None:
+            task_span.attrs["cancelled"] = True
+        return JobAbortedError(label, split, attempt, exc, failures)
+
+    def _backoff(self, attempt, label, split, failures, job_token) -> None:
+        """Exponential retry backoff; wakes early if the job is cancelled."""
+        if self.retry_backoff <= 0:
+            return
+        try:
+            cancellable_sleep(self.retry_backoff * (2 ** (attempt - 1)), token=job_token)
+        except TaskCancelledError as exc:
+            raise JobAbortedError(label, split, attempt, exc, failures) from exc
+
+    def _attempt_worker(self, rdd, fn, attempt: _TaskAttempt, job_span, outcomes) -> None:
+        """The pool-thread half of a pooled task attempt.
+
+        Pure computation: runs the partition function under the
+        attempt's cancel scope and reports (attempt, ok, payload) to the
+        driver loop.  Never raises -- even ``KeyboardInterrupt`` is
+        shipped back so the driver can cancel siblings and re-raise on
+        the calling thread.
+        """
+        previous = getattr(self._in_job, "active", False)
+        self._in_job.active = True
+        attempt.start = time.perf_counter()
+        try:
+            try:
+                with task_scope(attempt.token):
+                    attempt.token.check()
+                    if self.tracer.enabled and job_span is not None:
+                        attrs: dict = {"split": attempt.split}
+                        if attempt.number > 1:
+                            attrs["attempt"] = attempt.number
+                        if attempt.speculative:
+                            attrs["speculative"] = True
+                        with self.tracer.span(
+                            "task", kind="task", parent=job_span, **attrs
+                        ) as span:
+                            attempt.span = span
+                            try:
+                                value = self._compute_partition(rdd, fn, attempt.split, span)
+                            except TaskCancelledError as exc:
+                                span.attrs["cancelled"] = True
+                                if exc.kind == KIND_TIMEOUT:
+                                    span.attrs["timeout"] = True
+                                raise
+                            except JobAbortedError:
+                                raise
+                            except Exception as exc:
+                                span.note_failure(f"{type(exc).__name__}: {exc}")
+                                raise
+                    else:
+                        value = self._compute_partition(rdd, fn, attempt.split, None)
+            except BaseException as exc:
+                outcomes.put((attempt, False, exc))
+            else:
+                outcomes.put((attempt, True, value))
+        finally:
+            self._in_job.active = previous
+
+    def _compute_partition(self, rdd, fn, split: int, span):
+        injector = self.fault_injector
+        if injector is not None:
+            injector.check("task.compute", key=(rdd.id, split))
+        if span is None:
+            return fn(rdd.iterator(split))
+        counted = _CountingIterator(rdd.iterator(split))
+        try:
+            return fn(counted)
+        finally:
+            span.attrs["records_in"] = counted.count
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -541,10 +1104,45 @@ class SparkContext:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _register_job(self, token: CancelToken) -> None:
+        with self._jobs_lock:
+            self._active_jobs.add(token)
+
+    def _unregister_job(self, token: CancelToken) -> None:
+        with self._jobs_lock:
+            self._active_jobs.discard(token)
+
+    def cancel_all_jobs(self, reason: str = "cancelled by driver") -> int:
+        """Cancel every running job from any thread; returns jobs signalled.
+
+        Cooperative: each active job's token tree is cancelled, waking
+        blocked waits and making polling loops raise promptly.  Running
+        jobs abort with :class:`JobAbortedError`; the context itself
+        stays usable for new jobs.
+        """
+        with self._jobs_lock:
+            tokens = list(self._active_jobs)
+        for token in tokens:
+            token.cancel(reason, KIND_ABORT)
+        return len(tokens)
+
     def stop(self) -> None:
-        """Release the thread pool and drop all cached blocks."""
+        """Shut the context down: cancel jobs, release the pool, drop state.
+
+        Idempotent, and safe to call from another thread as a
+        killswitch -- in-flight jobs are cooperatively cancelled rather
+        than waited for.  A stopped context refuses new jobs
+        (:meth:`run_job` raises ``RuntimeError``); create a fresh
+        context instead.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        self.cancel_all_jobs(reason="context stopped")
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            # wait=False: cancelled cooperative tasks drain on their
+            # own; a truly wedged task must not block shutdown.
+            self._pool.shutdown(wait=False)
             self._pool = None
         self._cache.clear()
         self._shuffle.clear()

@@ -37,6 +37,41 @@ class TaskError(RuntimeError):
         )
 
 
+class TaskTimeoutError(TaskError):
+    """A task attempt exceeded its deadline and was cancelled.
+
+    Recorded by the watchdog side of the scheduler when ``task_timeout``
+    (or ``job_timeout``, with ``scope="job"``) expires: the attempt's
+    cancel token is fired, the overdue attempt is abandoned, and this
+    typed failure joins the task's failure list.  Like any other
+    failure it consumes one attempt of the task's retry budget, so a
+    task that *keeps* timing out aborts the job with these in
+    ``JobAbortedError.failures``.
+
+    Attributes
+    ----------
+    timeout : float
+        The deadline that expired, in seconds.
+    scope : str
+        ``"task"`` for a per-task deadline, ``"job"`` for a whole-job one.
+    """
+
+    def __init__(
+        self,
+        rdd: str,
+        split: int,
+        attempt: int,
+        timeout: float,
+        scope: str = "task",
+    ) -> None:
+        self.timeout = timeout
+        self.scope = scope
+        cause = RuntimeError(
+            f"{scope} deadline of {timeout:g}s exceeded; attempt cancelled"
+        )
+        super().__init__(rdd, split, attempt, cause)
+
+
 class JobAbortedError(RuntimeError):
     """A job gave up on a task after ``max_task_failures`` attempts.
 

@@ -31,6 +31,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.spark.cancellation import Heartbeat
 from repro.spark.partitioner import HashPartitioner, Partitioner
 
 T = TypeVar("T")
@@ -815,8 +816,11 @@ class CartesianRDD(RDD[tuple]):
         right_n = self._right.num_partitions
         left_split, right_split = divmod(split, right_n)
         left_rows = list(self._left.iterator(left_split))
+        # n*m pairs per task; poll so a cancelled task stops promptly.
+        heartbeat = Heartbeat(every=1024)
         for right_row in self._right.iterator(right_split):
             for left_row in left_rows:
+                heartbeat.beat()
                 yield (left_row, right_row)
 
 

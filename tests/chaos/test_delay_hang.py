@@ -1,0 +1,144 @@
+"""The slow-fault family: delay and hang injection plans."""
+
+import time
+
+import pytest
+
+from repro.chaos import FaultInjector, InjectedFault
+from repro.spark.context import SparkContext
+
+pytestmark = pytest.mark.chaos
+
+
+class TestPlanConstruction:
+    def test_delay_requires_positive_seconds(self):
+        with pytest.raises(ValueError):
+            FaultInjector().delay("task.compute", 0.0, times=1)
+        with pytest.raises(ValueError):
+            FaultInjector().delay("task.compute", -1.0, times=1)
+
+    def test_slow_plans_validate_sites_and_shapes(self):
+        with pytest.raises(ValueError):
+            FaultInjector().hang("no.such.site", times=1)
+        with pytest.raises(ValueError):
+            FaultInjector().delay("task.compute", 0.5)  # neither shape
+        with pytest.raises(ValueError):
+            FaultInjector().hang("task.compute", times=1, probability=0.5)
+
+
+class TestDelayFault:
+    def test_delay_stalls_then_proceeds(self):
+        injector = FaultInjector().delay(
+            "task.compute", 0.15, times=1, per_key=False
+        )
+        with SparkContext(
+            "delayed", executor="sequential", retry_backoff=0.0,
+            fault_injector=injector,
+        ) as sc:
+            start = time.perf_counter()
+            assert sorted(sc.parallelize(range(8), 4).collect()) == list(range(8))
+            elapsed = time.perf_counter() - start
+        # Exactly one stall (per_key=False, times=1), no failure at all.
+        assert elapsed >= 0.14
+        assert injector.delayed == {"task.compute": 1}
+        assert injector.injected == {}
+        assert sc.metrics.tasks_failed == 0
+
+    def test_delay_counts_per_key(self):
+        injector = FaultInjector().delay("task.compute", 0.02, times=1)
+        with SparkContext(
+            "delayed-per-key", executor="sequential", retry_backoff=0.0,
+            fault_injector=injector,
+        ) as sc:
+            sc.parallelize(range(8), 4).collect()
+        assert injector.delayed == {"task.compute": 4}
+
+
+class TestHangFault:
+    def test_hang_backstop_unwedges_runs_without_deadlines(self):
+        injector = FaultInjector(hang_limit=0.15).hang(
+            "task.compute", times=1, per_key=False
+        )
+        with SparkContext(
+            "hung", executor="sequential", retry_backoff=0.0,
+            fault_injector=injector,
+        ) as sc:
+            start = time.perf_counter()
+            assert sorted(sc.parallelize(range(8), 4).collect()) == list(range(8))
+            elapsed = time.perf_counter() - start
+        assert 0.14 <= elapsed < 5.0
+        assert injector.hung == {"task.compute": 1}
+
+
+class TestSummary:
+    def test_crash_only_summary_keeps_two_key_shape(self):
+        injector = FaultInjector().fail("task.compute", times=1, per_key=False)
+        with pytest.raises(InjectedFault):
+            injector.check("task.compute")
+        assert injector.summary() == {
+            "task.compute": {"checked": 1, "injected": 1}
+        }
+
+    def test_slow_faults_add_summary_keys(self):
+        injector = FaultInjector(hang_limit=0.01)
+        injector.delay("cache.get", 0.01, times=1, per_key=False)
+        injector.hang("index.load", times=1, per_key=False)
+        injector.check("cache.get")
+        injector.check("index.load")
+        injector.check("task.compute")
+        assert injector.summary() == {
+            "cache.get": {"checked": 1, "injected": 0, "delayed": 1},
+            "index.load": {"checked": 1, "injected": 0, "hung": 1},
+            "task.compute": {"checked": 1, "injected": 0},
+        }
+
+    def test_reset_clears_slow_counters(self):
+        injector = FaultInjector().delay("cache.get", 0.01, times=1, per_key=False)
+        injector.check("cache.get")
+        assert injector.delayed
+        injector.reset()
+        assert injector.delayed == {} and injector.hung == {}
+        injector.check("cache.get")  # plan rewound: fires again
+        assert injector.delayed == {"cache.get": 1}
+
+
+class TestEnvGrammar:
+    def test_parses_delay_modifier(self):
+        injector = FaultInjector.from_env(
+            {"REPRO_CHAOS_SITES": "task.compute=2x:delay=0.5"}
+        )
+        (rule,) = injector._rules["task.compute"]
+        assert rule.kind == "delay"
+        assert rule.delay == 0.5
+        assert rule.times == 2
+
+    def test_parses_hang_modifier_with_probability(self):
+        injector = FaultInjector.from_env(
+            {"REPRO_CHAOS_SITES": "shuffle.fetch=0.25:hang"}
+        )
+        (rule,) = injector._rules["shuffle.fetch"]
+        assert rule.kind == "hang"
+        assert rule.probability == 0.25
+
+    def test_bare_spec_stays_a_crash(self):
+        injector = FaultInjector.from_env({"REPRO_CHAOS_SITES": "task.compute=1x"})
+        (rule,) = injector._rules["task.compute"]
+        assert rule.kind == "fail"
+
+    def test_mixed_clause_list(self):
+        injector = FaultInjector.from_env(
+            {
+                "REPRO_CHAOS_SITES": (
+                    "task.compute=1x, cache.get=0.1:delay=0.2, index.load=1x:hang"
+                )
+            }
+        )
+        assert injector._rules["task.compute"][0].kind == "fail"
+        assert injector._rules["cache.get"][0].kind == "delay"
+        assert injector._rules["index.load"][0].kind == "hang"
+
+    def test_rejects_unknown_modifier(self):
+        with pytest.raises(ValueError, match="modifier"):
+            FaultInjector.from_env(
+                {"REPRO_CHAOS_SITES": "task.compute=1x:explode"}
+            )

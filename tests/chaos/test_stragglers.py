@@ -1,0 +1,202 @@
+"""End-to-end straggler and hang resilience.
+
+The acceptance scenario of the gray-failure layer: with an injected
+hang/delay on a task, a job with deadlines/speculation either completes
+with results identical to the fault-free run, or aborts within its
+deadline with a typed TaskTimeoutError -- it never blocks indefinitely.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.chaos import FaultInjector
+from repro.spark.cancellation import cancellable_sleep
+from repro.spark.context import SparkContext
+from repro.spark.errors import JobAbortedError, TaskTimeoutError
+
+pytestmark = pytest.mark.chaos
+
+
+class TestSpeculation:
+    def test_speculative_copy_beats_straggler(self):
+        with SparkContext(
+            "speculate",
+            parallelism=4,
+            executor="threads",
+            retry_backoff=0.0,
+            tracing=True,
+            speculation=True,
+            speculation_quantile=0.5,
+            speculation_multiplier=1.2,
+            speculation_interval=0.01,
+        ) as sc:
+            state = {"straggled": False}
+
+            def slow_once(it):
+                values = list(it)
+                if 0 in values and not state["straggled"]:
+                    state["straggled"] = True
+                    cancellable_sleep(30.0)  # the straggler; cancellable
+                return sum(values)
+
+            rdd = sc.parallelize(range(12), 6)
+            start = time.perf_counter()
+            totals = sc.run_job(rdd, slow_once)
+            elapsed = time.perf_counter() - start
+
+        with SparkContext("speculate-clean", executor="sequential") as clean_sc:
+            expected = clean_sc.run_job(
+                clean_sc.parallelize(range(12), 6), lambda it: sum(it)
+            )
+        assert totals == expected, "speculative result differs from fault-free run"
+        assert elapsed < 10.0, "speculation failed to rescue the straggler"
+        assert sc.metrics.tasks_speculated >= 1
+        assert sc.metrics.speculation_wins >= 1
+        assert sc.metrics.tasks_cancelled >= 1
+        assert sc.metrics.tasks_timed_out == 0
+        speculative_spans = [
+            span
+            for span in sc.tracer.root.walk()
+            if span.attrs.get("speculative")
+        ]
+        assert speculative_spans, "no speculative task span recorded"
+        cancelled_spans = [
+            span for span in sc.tracer.root.walk() if span.attrs.get("cancelled")
+        ]
+        assert cancelled_spans, "losing straggler span not marked cancelled"
+
+
+@pytest.mark.parametrize("executor", ["sequential", "threads"])
+class TestTaskDeadlines:
+    def test_hung_tasks_time_out_and_retries_recover(self, executor):
+        injector = FaultInjector().hang("task.compute", times=1)
+        with SparkContext(
+            f"hang-{executor}",
+            parallelism=4,
+            executor=executor,
+            retry_backoff=0.0,
+            task_timeout=0.3,
+            tracing=True,
+            fault_injector=injector,
+        ) as sc:
+            start = time.perf_counter()
+            result = sorted(sc.parallelize(range(8), 4).collect())
+            elapsed = time.perf_counter() - start
+
+        assert result == list(range(8))  # identical to the fault-free run
+        assert elapsed < 15.0, "job blocked instead of reaping hung tasks"
+        assert sc.metrics.tasks_timed_out == 4
+        assert sc.metrics.tasks_retried == 4
+        assert injector.hung == {"task.compute": 4}
+        timeout_spans = [
+            span for span in sc.tracer.root.walk() if span.attrs.get("timeout")
+        ]
+        assert timeout_spans, "no task span flagged timeout"
+
+    def test_persistent_hang_aborts_with_typed_failures(self, executor):
+        injector = FaultInjector().hang("task.compute", times=10)
+        with SparkContext(
+            f"hang-abort-{executor}",
+            parallelism=4,
+            executor=executor,
+            retry_backoff=0.0,
+            task_timeout=0.2,
+            max_task_failures=2,
+            fault_injector=injector,
+        ) as sc:
+            start = time.perf_counter()
+            with pytest.raises(JobAbortedError) as err:
+                sc.parallelize(range(8), 4).collect()
+            elapsed = time.perf_counter() - start
+
+        assert elapsed < 15.0, "abort did not happen within the deadline"
+        failures = err.value.failures
+        assert failures and all(isinstance(f, TaskTimeoutError) for f in failures)
+        assert all(f.scope == "task" for f in failures)
+        assert sc.metrics.jobs_failed >= 1
+        assert sc.metrics.tasks_timed_out >= 2
+
+
+@pytest.mark.parametrize("executor", ["sequential", "threads"])
+class TestJobTimeout:
+    def test_job_deadline_aborts_hung_job(self, executor):
+        injector = FaultInjector().hang("task.compute", times=10)
+        with SparkContext(
+            f"job-timeout-{executor}",
+            parallelism=4,
+            executor=executor,
+            retry_backoff=0.0,
+            job_timeout=0.4,
+            fault_injector=injector,
+        ) as sc:
+            start = time.perf_counter()
+            with pytest.raises(JobAbortedError) as err:
+                sc.parallelize(range(8), 4).collect()
+            elapsed = time.perf_counter() - start
+
+        assert elapsed < 10.0
+        timeouts = [
+            f for f in err.value.failures if isinstance(f, TaskTimeoutError)
+        ]
+        assert timeouts and timeouts[-1].scope == "job"
+
+
+class TestKillswitches:
+    def test_cancel_all_jobs_unblocks_hung_job(self):
+        injector = FaultInjector().hang("task.compute", times=10)
+        with SparkContext(
+            "cancel-all",
+            parallelism=4,
+            executor="threads",
+            retry_backoff=0.0,
+            fault_injector=injector,
+        ) as sc:
+            outcome: list = []
+
+            def run():
+                try:
+                    sc.parallelize(range(8), 4).collect()
+                    outcome.append("completed")
+                except JobAbortedError:
+                    outcome.append("aborted")
+
+            worker = threading.Thread(target=run)
+            worker.start()
+            time.sleep(0.3)  # let the tasks reach the hang
+            assert sc.cancel_all_jobs("operator intervention") >= 1
+            worker.join(timeout=10.0)
+            assert not worker.is_alive(), "cancel_all_jobs failed to unblock"
+            assert outcome == ["aborted"]
+            # The context stays usable for new work.
+            injector.clear()
+            assert sorted(sc.parallelize(range(4), 2).collect()) == [0, 1, 2, 3]
+
+    def test_stop_from_another_thread_is_a_killswitch(self):
+        injector = FaultInjector().hang("task.compute", times=10)
+        sc = SparkContext(
+            "stop-killswitch",
+            parallelism=4,
+            executor="threads",
+            retry_backoff=0.0,
+            fault_injector=injector,
+        )
+        outcome: list = []
+
+        def run():
+            try:
+                sc.parallelize(range(8), 4).collect()
+                outcome.append("completed")
+            except (JobAbortedError, RuntimeError):
+                outcome.append("stopped")
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        time.sleep(0.3)
+        sc.stop()
+        worker.join(timeout=10.0)
+        assert not worker.is_alive(), "stop() failed to unblock the hung job"
+        assert outcome == ["stopped"]
+        with pytest.raises(RuntimeError, match="stopped"):
+            sc.parallelize(range(4), 2).collect()

@@ -120,6 +120,8 @@ class TestPredicateProperties:
         if env.width < 1e-6 or env.height < 1e-6:
             return  # nearly degenerate: numerical classification unreliable
         shrunk = Polygon(shrunk_ring)
+        if shrunk.area < 1e-9 * env.width * env.height:
+            return  # sliver: large envelope but near-zero area, same problem
         assert pred.covers(poly, shrunk)
         assert pred.intersects(poly, shrunk)
 

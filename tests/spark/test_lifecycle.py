@@ -1,0 +1,110 @@
+"""Context lifecycle hardening: idempotent stop, LRU cache, shuffle locks."""
+
+import threading
+
+import pytest
+
+from repro.spark.context import SparkContext
+
+
+class TestStopSemantics:
+    def test_stop_is_idempotent(self):
+        context = SparkContext("stop-twice", executor="sequential")
+        context.parallelize(range(8), 4).count()
+        context.stop()
+        context.stop()  # second call is a no-op, not an error
+
+    def test_run_job_after_stop_raises(self):
+        context = SparkContext("stopped", executor="sequential")
+        rdd = context.parallelize(range(8), 4)
+        context.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            rdd.collect()
+
+    def test_stop_does_not_lazily_recreate_pool(self):
+        context = SparkContext("no-pool", parallelism=2)
+        context.parallelize(range(8), 4).count()
+        context.stop()
+        assert context._pool is None
+        with pytest.raises(RuntimeError):
+            context.parallelize(range(4), 2).collect()
+        assert context._pool is None
+
+    def test_context_manager_exit_stops(self):
+        with SparkContext("ctx-mgr", executor="sequential") as context:
+            assert context.parallelize(range(4), 2).count() == 4
+        with pytest.raises(RuntimeError):
+            context.parallelize(range(4), 2).count()
+
+
+class TestCacheLRU:
+    def test_unbounded_by_default(self):
+        with SparkContext("unbounded", executor="sequential") as sc:
+            rdd = sc.parallelize(range(100), 10).persist()
+            rdd.count()
+            assert len(sc._cache) == 10
+            assert sc.metrics.cache_evictions == 0
+
+    def test_cap_evicts_least_recently_used(self):
+        with SparkContext(
+            "lru", executor="sequential", max_cache_entries=2
+        ) as sc:
+            rdd = sc.parallelize(range(8), 4).persist()
+            assert sorted(rdd.collect()) == list(range(8))
+            assert len(sc._cache) == 2
+            assert sc.metrics.cache_evictions == 2
+            # Evicted blocks recompute from lineage; results unchanged.
+            assert sorted(rdd.collect()) == list(range(8))
+
+    def test_recent_block_survives_eviction(self):
+        with SparkContext(
+            "lru-order", executor="sequential", max_cache_entries=2
+        ) as sc:
+            a = sc.parallelize(range(4), 1).persist()
+            b = sc.parallelize(range(4, 8), 1).persist()
+            c = sc.parallelize(range(8, 12), 1).persist()
+            a.count()
+            b.count()
+            a.count()  # touch a: now b is the least recently used
+            c.count()  # evicts b's block
+            assert sc._cache.get(a.id, 0) is not None
+            assert sc._cache.get(b.id, 0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparkContext("bad", max_cache_entries=0)
+
+
+class TestShuffleLockGranularity:
+    def test_locks_are_per_shuffle_id(self):
+        with SparkContext("locks", executor="sequential") as sc:
+            lock_a = sc._shuffle._lock_for(0)
+            lock_b = sc._shuffle._lock_for(1)
+            assert lock_a is not lock_b
+            assert sc._shuffle._lock_for(0) is lock_a
+
+    def test_holding_one_shuffle_lock_does_not_block_another(self):
+        with SparkContext("indep-shuffles", parallelism=4) as sc:
+            blocked = sc.parallelize([(i % 3, i) for i in range(12)], 4).group_by_key()
+            free = sc.parallelize([(i % 3, i) for i in range(12, 24)], 4).group_by_key()
+            # Hold the *blocked* shuffle's map-side lock; the other
+            # shuffle must still complete on a different thread.
+            lock = sc._shuffle._lock_for(blocked._shuffle_id)
+            result: list = []
+            lock.acquire()
+            try:
+                worker = threading.Thread(
+                    target=lambda: result.append(dict(free.collect()))
+                )
+                worker.start()
+                worker.join(timeout=10.0)
+                assert not worker.is_alive(), "independent shuffle deadlocked"
+            finally:
+                lock.release()
+            assert result and {k: sorted(v) for k, v in result[0].items()} == {
+                0: [12, 15, 18, 21],
+                1: [13, 16, 19, 22],
+                2: [14, 17, 20, 23],
+            }
+            # And the held-then-released shuffle still works afterwards.
+            assert len(dict(blocked.collect())) == 3
