@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Compare executor backends on the core query mix; write machine-readable JSON.
+
+Runs filter / join / knn / dbscan once per executor backend
+(``sequential``, ``threads``, ``processes`` by default) over the same
+generated dataset and writes ``BENCH_executors.json``::
+
+    python benchmarks/run_bench.py --points 20000 --out BENCH_executors.json
+    python benchmarks/run_bench.py --executors threads,processes --repeat 3
+
+Each workload records wall time (best of ``--repeat``), the number of
+tasks launched, the workload's result value (sanity-checked identical
+across backends) and the speedup over the sequential backend.  The JSON
+schema is ``bench.executors/v1`` -- stable keys, suitable for CI
+artifact diffing.
+
+The ``processes`` backend spawns workers that re-import ``__main__``,
+so this script must be run as a file (as shown above), not piped to
+stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.clustering import dbscan
+from repro.core.filter import filter_live_index
+from repro.core.join import spatial_join
+from repro.core.knn import knn
+from repro.core.predicates import INTERSECTS
+from repro.core.stobject import STObject
+from repro.io.datagen import clustered_points, random_polygons
+from repro.partitioners.grid import GridPartitioner
+from repro.spark.context import SparkContext
+
+DEFAULT_EXECUTORS = ("sequential", "threads", "processes")
+DBSCAN_EPS = 12.0
+DBSCAN_MIN_PTS = 5
+
+
+def build_workloads(sc: SparkContext, points: int, parallelism: int):
+    """The shared dataset plus one closure per benchmarked workload.
+
+    Workload results are plain comparable values (counts, id tuples) so
+    the harness can assert backend equivalence.
+    """
+    pts = clustered_points(points, num_clusters=10, seed=1704)
+    rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(pts)], parallelism)
+    grid = GridPartitioner.from_rdd(rdd, 4)
+    partitioned = rdd.partition_by(grid).persist()
+    partitioned.count()  # materialize the cache before timing
+
+    window = STObject("POLYGON ((300 300, 700 300, 700 700, 300 700, 300 300))")
+    polys = random_polygons(
+        max(40, points // 100), mean_radius_fraction=0.03, seed=1704
+    )
+    polys_rdd = sc.parallelize([(STObject(p), i) for i, p in enumerate(polys)], 4)
+    query = STObject("POINT (500 500)")
+
+    def run_filter():
+        return filter_live_index(partitioned, window, INTERSECTS).count()
+
+    def run_join():
+        return spatial_join(partitioned, polys_rdd, INTERSECTS).count()
+
+    def run_knn():
+        best = knn(partitioned, query, 10)
+        return tuple(sorted(i for _d, (_st, i) in best))
+
+    def run_dbscan():
+        labelled = dbscan(partitioned, DBSCAN_EPS, DBSCAN_MIN_PTS)
+        clusters = {
+            label for _st, (_i, label) in labelled.collect() if label >= 0
+        }
+        return len(clusters)
+
+    return {
+        "filter": run_filter,
+        "join": run_join,
+        "knn": run_knn,
+        "dbscan": run_dbscan,
+    }
+
+
+def bench_backend(executor: str, points: int, parallelism: int, repeat: int) -> dict:
+    """Time every workload on one backend inside a fresh context."""
+    rows: dict[str, dict] = {}
+    with SparkContext(
+        f"bench-{executor}", parallelism=parallelism, executor=executor
+    ) as sc:
+        workloads = build_workloads(sc, points, parallelism)
+        for name, run in workloads.items():
+            best_wall = float("inf")
+            tasks = 0
+            result = None
+            for _ in range(repeat):
+                tasks_before = sc.metrics.tasks_launched
+                start = time.perf_counter()
+                result = run()
+                wall = time.perf_counter() - start
+                tasks = sc.metrics.tasks_launched - tasks_before
+                best_wall = min(best_wall, wall)
+            rows[name] = {"wall_s": best_wall, "tasks": tasks, "result": result}
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=20_000)
+    parser.add_argument(
+        "--executors",
+        default=",".join(DEFAULT_EXECUTORS),
+        help="comma-separated backends to benchmark",
+    )
+    parser.add_argument("--parallelism", type=int, default=8)
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="runs per workload; best wall time wins"
+    )
+    parser.add_argument("--out", default="BENCH_executors.json")
+    args = parser.parse_args()
+
+    executors = [name.strip() for name in args.executors.split(",") if name.strip()]
+    per_backend: dict[str, dict] = {}
+    for executor in executors:
+        print(f"== {executor} ==", flush=True)
+        per_backend[executor] = bench_backend(
+            executor, args.points, args.parallelism, args.repeat
+        )
+        for name, row in per_backend[executor].items():
+            print(f"  {name:<8} {row['wall_s'] * 1000:8.1f} ms  tasks={row['tasks']}")
+
+    # Backend equivalence: every workload must produce the same value
+    # everywhere -- a benchmark over diverging results is meaningless.
+    mismatches = []
+    workload_names = list(next(iter(per_backend.values()))) if per_backend else []
+    for name in workload_names:
+        values = {ex: per_backend[ex][name]["result"] for ex in executors}
+        if len({repr(v) for v in values.values()}) > 1:
+            mismatches.append((name, values))
+    if mismatches:
+        for name, values in mismatches:
+            print(f"RESULT MISMATCH in {name}: {values}", file=sys.stderr)
+        raise SystemExit(1)
+
+    baseline = per_backend.get("sequential")
+    report = {
+        "schema": "bench.executors/v1",
+        "created_unix": time.time(),
+        "host": {"cpus": os.cpu_count()},
+        "config": {
+            "points": args.points,
+            "parallelism": args.parallelism,
+            "repeat": args.repeat,
+        },
+        "workloads": {
+            name: {
+                executor: {
+                    "wall_s": per_backend[executor][name]["wall_s"],
+                    "tasks": per_backend[executor][name]["tasks"],
+                    "speedup_vs_sequential": (
+                        baseline[name]["wall_s"] / per_backend[executor][name]["wall_s"]
+                        if baseline is not None
+                        and per_backend[executor][name]["wall_s"] > 0
+                        else None
+                    ),
+                }
+                for executor in executors
+            }
+            for name in workload_names
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nreport written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,7 +41,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--points", type=int, default=5_000)
     parser.add_argument("--per-dim", type=int, default=4, help="grid cells per dimension")
-    parser.add_argument("--executor", default="threads", choices=["threads", "sequential"])
+    parser.add_argument(
+        "--executor",
+        default="threads",
+        choices=["threads", "sequential", "processes"],
+        help="task execution backend (processes = true multi-core worker pool)",
+    )
     parser.add_argument("--out", default=None, help="also write the trace as JSON")
     parser.add_argument(
         "--chaos",

@@ -39,16 +39,46 @@ V = TypeVar("V")
 W = TypeVar("W")
 
 
+def _partition_extent(it: Iterator[tuple[STObject, V]]) -> Envelope:
+    """One partition's merged envelope via mutable min/max accumulators.
+
+    ``Envelope.merge`` allocates a frozen instance per element; this
+    pass runs over *every* member of *every* partition before each
+    non-pruned join, so it accumulates four floats instead.  Module
+    level (not a closure) so the processes executor ships it by
+    reference.
+    """
+    min_x = min_y = float("inf")
+    max_x = max_y = float("-inf")
+    for key, _value in it:
+        env = key.geo.envelope
+        if env.min_x < min_x:
+            min_x = env.min_x
+        if env.min_y < min_y:
+            min_y = env.min_y
+        if env.max_x > max_x:
+            max_x = env.max_x
+        if env.max_y > max_y:
+            max_y = env.max_y
+    return Envelope(min_x, min_y, max_x, max_y)
+
+
 def partition_extents(rdd: RDD) -> list[Envelope]:
-    """The merged envelope of each partition's member geometries."""
+    """The merged envelope of each partition's member geometries.
 
-    def extent(it: Iterator[tuple[STObject, V]]) -> Envelope:
-        env = Envelope.empty()
-        for key, _value in it:
-            env = env.merge(key.geo.envelope)
-        return env
-
-    return rdd.context.run_job(rdd, extent)
+    Memoized on the RDD (``_partition_extents``): an RDD's contents are
+    immutable -- lineage is fixed at construction and recomputation is
+    deterministic -- so the extents can never change and repeated joins
+    or filters over the same RDD reuse the first scan.  (``persist`` /
+    ``unpersist`` only toggle caching of those same contents, so they
+    need no invalidation hook.)
+    """
+    cached = getattr(rdd, "_partition_extents", None)
+    if cached is not None:
+        return cached
+    extents = rdd.context.run_job(rdd, _partition_extent)
+    rdd._partition_extents = extents
+    return extents
 
 
 def candidate_partition_pairs(

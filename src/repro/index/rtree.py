@@ -29,6 +29,8 @@ T = TypeVar("T")
 
 DEFAULT_NODE_CAPACITY = 10
 
+_INF = float("inf")
+
 
 class _Node(Generic[T]):
     __slots__ = ("envelope", "children", "entries")
@@ -49,10 +51,21 @@ class _Node(Generic[T]):
 
 
 def _merge_envelopes(envelopes: Iterable[Envelope]) -> Envelope:
-    merged = Envelope.empty()
+    # Four float accumulators instead of one frozen Envelope allocation
+    # per merge: this runs for every node of every bulk-load, and tree
+    # builds happen once per join task.
+    min_x = min_y = _INF
+    max_x = max_y = -_INF
     for env in envelopes:
-        merged = merged.merge(env)
-    return merged
+        if env.min_x < min_x:
+            min_x = env.min_x
+        if env.min_y < min_y:
+            min_y = env.min_y
+        if env.max_x > max_x:
+            max_x = env.max_x
+        if env.max_y > max_y:
+            max_y = env.max_y
+    return Envelope(min_x, min_y, max_x, max_y)
 
 
 def _chunks(rows: Sequence, size: int) -> Iterator[Sequence]:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, TypeVar
 
 from repro.obs import NULL_TRACER, Tracer
+from repro.obs.tracer import shift_spans
 from repro.spark.accumulator import Accumulator
 from repro.spark.broadcast import Broadcast
 from repro.spark.cancellation import (
@@ -105,6 +106,21 @@ class _CountingIterator:
         value = next(self._it)
         self.count += 1
         return value
+
+
+#: The metric counters worker processes may contribute deltas to.  The
+#: scheduler counters (tasks_launched, tasks_retried, ...) are owned by
+#: the driver loop, which already accounts every attempt it schedules;
+#: merging those from workers too would double-count.
+WORKER_METRICS = frozenset(
+    {
+        "cache_hits",
+        "cache_evictions",
+        "index_fallbacks",
+        "shuffle_records_written",
+        "partitions_pruned",
+    }
+)
 
 
 @dataclass
@@ -284,53 +300,53 @@ class _ShuffleManager:
         aggregator: _Aggregator | None,
         shuffle_span=None,
     ) -> list[dict[int, list]]:
-        metrics = self._context.metrics
-        tracer = self._context.tracer
+        # The map side is itself a job over the parent RDD.  From inside
+        # a reduce task, run_job must not recurse into the pool
+        # (deadlock risk), so the context runs nested jobs inline; from
+        # the driver (processes-backend pre-materialization) it runs as
+        # a regular pooled job, so the map task must be a context-free
+        # picklable closure -- accounting happens here afterwards.
+        map_task = _make_map_task(
+            partitioner, aggregator, self._context.shuffle_serialization
+        )
+        results = self._context.run_job(parent, map_task)
+        outputs = [buckets for buckets, _written in results]
+        written = sum(w for _buckets, w in results)
+        self._context.metrics.shuffle_records_written += written
+        if shuffle_span is not None:
+            self._context.tracer.add_to(shuffle_span, "records_written", written)
+        return outputs
 
-        def map_task(it: Iterator[tuple]) -> dict[int, list]:
-            # Buckets are sparse (dict keyed by reduce partition): a map
-            # task touching few of the reduce partitions must not pay
-            # for the rest, or high-partition-count shuffles (e.g. fine
-            # tile grids) would go quadratic.
-            heartbeat = Heartbeat(every=1024)
-            buckets: dict[int, list] = {}
-            if aggregator is None:
-                for kv in it:
-                    heartbeat.beat()
-                    buckets.setdefault(partitioner.get_partition(kv[0]), []).append(kv)
-            else:
-                combined: dict[int, dict] = {}
-                for k, v in it:
-                    heartbeat.beat()
-                    bucket = combined.setdefault(partitioner.get_partition(k), {})
-                    if k in bucket:
-                        bucket[k] = aggregator.merge_value(bucket[k], v)
-                    else:
-                        bucket[k] = aggregator.create_combiner(v)
-                buckets = {pid: list(d.items()) for pid, d in combined.items()}
-            written = sum(len(b) for b in buckets.values())
-            metrics.shuffle_records_written += written
-            if shuffle_span is not None:
-                # Map tasks may run concurrently; the tracer serializes
-                # the counter update on the shared shuffle span.
-                tracer.add_to(shuffle_span, "records_written", written)
-            if self._context.shuffle_serialization:
-                # Spill through pickle: a real shuffle serializes every
-                # record to disk/network.  Reference-passing would hide
-                # the very cost that separates replication-based join
-                # strategies from STARK's single-assignment design.
-                import pickle
+    def ensure(self, shuffle_id: int) -> None:
+        """Materialize a shuffle's map outputs now (driver-side).
 
-                return {
-                    pid: pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
-                    for pid, rows in buckets.items()
-                }
-            return buckets
+        The processes backend calls this for every shuffle id reachable
+        from a job's payload *before* dispatching tasks, so workers only
+        ever fetch ready buckets.  If the map side itself hangs a
+        shuffle upstream, the recursion terminates: the map job's own
+        payload preparation ensures *its* upstream shuffles first.
+        """
+        self._ensure_map_outputs(shuffle_id)
 
-        # The map side is itself a job over the parent RDD.  run_job must
-        # not recurse into the pool (deadlock risk), so the context runs
-        # nested jobs inline.
-        return self._context.run_job(parent, map_task)
+    def serve_blocks(self, shuffle_id: int, reduce_split: int) -> tuple[bool, list]:
+        """Return one reduce partition's buckets for a worker fetch.
+
+        Shape: ``(serialized, chunks)`` -- one chunk per map output that
+        produced records for this partition, each a pickled blob when
+        shuffle serialization is on, a raw row list otherwise.  Unlike
+        :meth:`fetch`, no chaos check happens here: ``shuffle.fetch``
+        faults fire worker-side so they surface inside the task.
+        """
+        outputs = self._outputs.get(shuffle_id)
+        if outputs is None:
+            raise RuntimeError(
+                f"shuffle {shuffle_id} has no materialized map outputs; "
+                "processes jobs must ensure() their shuffles before dispatch"
+            )
+        return (
+            self._context.shuffle_serialization,
+            [out[reduce_split] for out in outputs if reduce_split in out],
+        )
 
     def clear(self) -> None:
         with self._manager_lock:
@@ -339,10 +355,66 @@ class _ShuffleManager:
             self._locks.clear()
 
 
+def _make_map_task(
+    partitioner: Partitioner, aggregator: _Aggregator | None, serialize: bool
+):
+    """Build the map-side task closure for one shuffle.
+
+    Module-level factory so the closure captures only picklable state
+    (partitioner, aggregator, a flag) -- never the context, metrics or
+    tracer -- and therefore ships to worker processes unchanged.  It
+    returns ``(buckets, records_written)``; the shuffle manager does
+    the metrics/tracing accounting driver-side.
+    """
+
+    def map_task(it: Iterator[tuple]) -> tuple[dict[int, Any], int]:
+        # Buckets are sparse (dict keyed by reduce partition): a map
+        # task touching few of the reduce partitions must not pay
+        # for the rest, or high-partition-count shuffles (e.g. fine
+        # tile grids) would go quadratic.
+        heartbeat = Heartbeat(every=1024)
+        buckets: dict[int, list] = {}
+        if aggregator is None:
+            for kv in it:
+                heartbeat.beat()
+                buckets.setdefault(partitioner.get_partition(kv[0]), []).append(kv)
+        else:
+            combined: dict[int, dict] = {}
+            for k, v in it:
+                heartbeat.beat()
+                bucket = combined.setdefault(partitioner.get_partition(k), {})
+                if k in bucket:
+                    bucket[k] = aggregator.merge_value(bucket[k], v)
+                else:
+                    bucket[k] = aggregator.create_combiner(v)
+            buckets = {pid: list(d.items()) for pid, d in combined.items()}
+        written = sum(len(b) for b in buckets.values())
+        if serialize:
+            # Spill through pickle: a real shuffle serializes every
+            # record to disk/network.  Reference-passing would hide
+            # the very cost that separates replication-based join
+            # strategies from STARK's single-assignment design.
+            import pickle
+
+            return (
+                {
+                    pid: pickle.dumps(rows, protocol=pickle.HIGHEST_PROTOCOL)
+                    for pid, rows in buckets.items()
+                },
+                written,
+            )
+        return buckets, written
+
+    return map_task
+
+
 class _TaskAttempt:
     """One scheduled attempt of one task in a pooled job."""
 
-    __slots__ = ("split", "number", "speculative", "token", "start", "span", "timed_out")
+    __slots__ = (
+        "split", "number", "speculative", "token", "start", "span",
+        "timed_out", "handle",
+    )
 
     def __init__(self, split: int, number: int, speculative: bool, token: CancelToken) -> None:
         self.split = split
@@ -354,6 +426,8 @@ class _TaskAttempt:
         self.start: float | None = None
         self.span = None
         self.timed_out = False
+        #: The process pool's task handle (processes backend only).
+        self.handle = None
 
 
 #: Sentinel pushed into a pooled job's outcome queue to wake the driver
@@ -435,15 +509,27 @@ class _PooledJob:
             self._speculated.add(split)
             self._ctx.metrics.tasks_speculated += 1
         try:
-            self._ctx._ensure_pool().submit(
-                self._ctx._attempt_worker,
-                self._rdd, self._fn, attempt, self._job_span, self._outcomes,
-            )
+            self._submit_attempt(attempt)
         except RuntimeError as exc:  # pool shut down beneath us (stop())
             self._live[split].remove(attempt)
             self._abort(JobAbortedError(
                 self._label, split, self._seq[split], exc, self._failures[split]
             ))
+
+    def _submit_attempt(self, attempt: _TaskAttempt) -> None:
+        """Hand one attempt to the execution backend (overridable)."""
+        self._ctx._ensure_pool().submit(
+            self._ctx._attempt_worker,
+            self._rdd, self._fn, attempt, self._job_span, self._outcomes,
+        )
+
+    def _cancel_attempt(self, attempt: _TaskAttempt, reason: str, kind: str) -> None:
+        """Stop one in-flight attempt (overridable).
+
+        The threads backend cancels cooperatively through the attempt's
+        token; the processes backend additionally kills the worker.
+        """
+        attempt.token.cancel(reason, kind)
 
     def _schedule_retry(self, split: int, failed_attempts: int) -> None:
         self._ctx.metrics.tasks_retried += 1
@@ -502,7 +588,9 @@ class _PooledJob:
         for other in self._live[split]:
             if not other.timed_out:
                 self._ctx.metrics.tasks_cancelled += 1
-            other.token.cancel("task superseded by a completed attempt", KIND_LOSER)
+            self._cancel_attempt(
+                other, "task superseded by a completed attempt", KIND_LOSER
+            )
             if other.span is not None:
                 other.span.attrs["cancelled"] = True
 
@@ -521,7 +609,9 @@ class _PooledJob:
                 if now - attempt.start < timeout:
                     continue
                 attempt.timed_out = True
-                attempt.token.cancel(f"task timeout after {timeout:g}s", KIND_TIMEOUT)
+                self._cancel_attempt(
+                    attempt, f"task timeout after {timeout:g}s", KIND_TIMEOUT
+                )
                 self._ctx.metrics.tasks_timed_out += 1
                 self._ctx.metrics.tasks_failed += 1
                 record = TaskTimeoutError(self._label, split, attempt.number, timeout)
@@ -595,7 +685,7 @@ class _PooledJob:
             for attempt in attempts:
                 if not attempt.timed_out:
                     self._ctx.metrics.tasks_cancelled += 1
-                attempt.token.cancel(reason, kind)
+                self._cancel_attempt(attempt, reason, kind)
                 if attempt.span is not None:
                     attempt.span.attrs["cancelled"] = True
         self._retry_heap.clear()
@@ -624,6 +714,114 @@ class _PooledJob:
         self._abort(JobAbortedError(
             self._label, split, max(1, len(failures)), cause, failures
         ))
+
+
+class _ProcessJob(_PooledJob):
+    """The processes-backend variant of the pooled driver loop.
+
+    Scheduling policy (retries, backoff, deadlines, abort handling) is
+    inherited unchanged from :class:`_PooledJob`; what differs is the
+    transport.  Attempts dispatch to a :class:`~repro.spark.procpool.
+    ProcessPool` as a serialized payload + split id; workers recompute
+    the partition from shipped lineage and send back the value plus the
+    *side data* a shared address space used to make free -- a metrics
+    delta, recorded accumulator terms, chaos counters and the task's
+    trace span -- which :meth:`_absorb` merges into driver state.
+    Cancellation is kill-based: :meth:`_cancel_attempt` still cancels
+    the driver-side token (so the inherited accounting is identical)
+    and then shoots the attempt's worker process; the pool synthesizes
+    a ``TaskCancelledError`` outcome that the inherited ``_handle``
+    already knows to ignore.
+    """
+
+    def __init__(self, ctx: "SparkContext", rdd: RDD, fn, splits: list[int],
+                 job_token: CancelToken, job_span, payload) -> None:
+        super().__init__(ctx, rdd, fn, splits, job_token, job_span)
+        self._payload = payload
+        self._pool = ctx._ensure_proc_pool()
+        injector = ctx.fault_injector
+        self._meta_base = {
+            "tracing": ctx.tracer.enabled,
+            "chaos": injector.worker_spec() if injector is not None else None,
+        }
+
+    def run(self) -> list:
+        try:
+            return super().run()
+        finally:
+            # Workers cache the payload bytes for the job's duration;
+            # the job is over, reclaim the memory.
+            self._pool.release_payload(self._payload.payload_id)
+
+    def _submit_attempt(self, attempt: _TaskAttempt) -> None:
+        meta = dict(self._meta_base, attempt=attempt.number)
+        outcomes = self._outcomes
+
+        def on_start() -> None:
+            attempt.start = time.perf_counter()
+
+        def on_outcome(ok: bool, out) -> None:
+            outcomes.put((attempt, ok, out))
+
+        attempt.handle = self._pool.submit(
+            self._payload, attempt.split, meta, on_start, on_outcome
+        )
+
+    def _cancel_attempt(self, attempt: _TaskAttempt, reason: str, kind: str) -> None:
+        attempt.token.cancel(reason, kind)
+        if attempt.handle is not None:
+            self._pool.kill(attempt.handle, TaskCancelledError(reason, kind))
+
+    def _handle(self, outcome) -> None:
+        attempt, ok, payload = outcome
+        if isinstance(payload, dict):
+            payload = self._absorb(attempt, ok, payload)
+        super()._handle((attempt, ok, payload))
+
+    def _absorb(self, attempt: _TaskAttempt, ok: bool, out: dict):
+        """Merge a worker outcome's side data; return the value/error.
+
+        Metrics deltas, chaos counters and trace spans merge for every
+        delivered outcome -- under threads, losing attempts also leave
+        those footprints.  Accumulator terms only replay for an attempt
+        whose *result is accepted* (first success per split), so a
+        retried or superseded attempt cannot double-count.
+        """
+        ctx = self._ctx
+        metrics = out.get("metrics")
+        if metrics:
+            for name, amount in metrics.items():
+                if name in WORKER_METRICS:
+                    setattr(ctx.metrics, name, getattr(ctx.metrics, name) + amount)
+        chaos = out.get("chaos")
+        if chaos and ctx.fault_injector is not None:
+            ctx.fault_injector.merge_worker_stats(chaos)
+        span = out.get("span")
+        if span is not None and ctx.tracer.enabled and self._job_span is not None:
+            shift_spans(span, attempt.start or time.perf_counter())
+            if attempt.number > 1:
+                span.attrs["attempt"] = attempt.number
+            if attempt.speculative:
+                span.attrs["speculative"] = True
+            ctx.tracer.attach(self._job_span, span)
+            attempt.span = span
+        if ok:
+            if attempt.split not in self._results:
+                accumulators = out.get("accumulators")
+                if accumulators:
+                    for acc_id, terms in accumulators.items():
+                        accumulator = self._payload.accumulators.get(acc_id)
+                        if accumulator is not None:
+                            for term in terms:
+                                accumulator.add(term)
+            return out.get("value")
+        error = out.get("error")
+        if not isinstance(error, BaseException):
+            error = RuntimeError(f"worker task failed: {error!r}")
+        remote_traceback = out.get("traceback")
+        if remote_traceback:
+            error.remote_traceback = remote_traceback
+        return error
 
 
 class SparkContext:
@@ -656,8 +854,14 @@ class SparkContext:
     ) -> None:
         if parallelism < 1:
             raise ValueError("parallelism must be >= 1")
-        if executor not in ("threads", "sequential"):
+        if executor not in ("threads", "sequential", "processes"):
             raise ValueError(f"unknown executor {executor!r}")
+        if executor == "processes" and speculation:
+            raise ValueError(
+                "speculation requires the threads executor: speculative "
+                "copies are cancelled cooperatively, which cannot cross a "
+                "process boundary (processes get kill-based deadlines instead)"
+            )
         if max_task_failures < 1:
             raise ValueError("max_task_failures must be >= 1")
         if retry_backoff < 0:
@@ -720,6 +924,8 @@ class SparkContext:
         #: How often (seconds) the driver loop re-evaluates stragglers.
         self.speculation_interval = speculation_interval
         self._pool: ThreadPoolExecutor | None = None
+        self._proc_pool = None
+        self._max_cache_entries = max_cache_entries
         self._in_job = threading.local()
         self._stopped = False
         self._active_jobs: set[CancelToken] = set()
@@ -808,7 +1014,14 @@ class SparkContext:
         self.metrics.jobs_run += 1
         self.metrics.tasks_launched += len(splits)
         nested = getattr(self._in_job, "active", False)
-        pooled = self._executor_mode == "threads" and not nested and len(splits) > 1
+        # Nested jobs always run inline -- under threads to avoid pool
+        # re-entry starvation, under processes to avoid shipping a job
+        # from within a job (the pool is not re-entrant either way).
+        pooled = (
+            self._executor_mode in ("threads", "processes")
+            and not nested
+            and len(splits) > 1
+        )
         # Nested jobs chain their token under the enclosing task's, so a
         # cancelled outer job reaches a shuffle map side levels deep.
         job_token = CancelToken(parent=current_token())
@@ -823,10 +1036,19 @@ class SparkContext:
             job_timer.daemon = True
             job_timer.start()
         try:
+            payload = None
+            if pooled and self._executor_mode == "processes":
+                # Serialize the task once for the whole job and
+                # materialize every shuffle its lineage crosses, so
+                # workers never trigger driver-side work they would
+                # have to wait on mid-task.
+                payload = self._prepare_process_payload(rdd, fn)
             if self.tracer.enabled:
-                return self._run_job_traced(rdd, fn, splits, pooled, nested, job_token)
+                return self._run_job_traced(
+                    rdd, fn, splits, pooled, nested, job_token, payload
+                )
             if pooled:
-                return _PooledJob(self, rdd, fn, splits, job_token, None).run()
+                return self._pooled_job(rdd, fn, splits, job_token, None, payload).run()
             return self._run_job_inline(rdd, fn, splits, nested, job_token, None)
         except JobAbortedError:
             self.metrics.jobs_failed += 1
@@ -844,6 +1066,7 @@ class SparkContext:
         pooled: bool,
         nested: bool,
         job_token: CancelToken,
+        payload=None,
     ) -> list[U]:
         """The tracing twin of :meth:`run_job`'s execution core.
 
@@ -871,7 +1094,9 @@ class SparkContext:
         with tracer.span("job", kind="job", **attrs) as job_span:
             try:
                 if pooled:
-                    return _PooledJob(self, rdd, fn, splits, job_token, job_span).run()
+                    return self._pooled_job(
+                        rdd, fn, splits, job_token, job_span, payload
+                    ).run()
                 return self._run_job_inline(rdd, fn, splits, nested, job_token, job_span)
             except JobAbortedError as exc:
                 job_span.attrs["aborted"] = True
@@ -1091,6 +1316,29 @@ class SparkContext:
         finally:
             span.attrs["records_in"] = counted.count
 
+    def _pooled_job(self, rdd, fn, splits, job_token, job_span, payload) -> _PooledJob:
+        """The driver loop for this context's parallel backend."""
+        if payload is not None:
+            return _ProcessJob(self, rdd, fn, splits, job_token, job_span, payload)
+        return _PooledJob(self, rdd, fn, splits, job_token, job_span)
+
+    def _prepare_process_payload(self, rdd, fn):
+        """Serialize a job's task and pre-materialize its shuffles.
+
+        Raises :class:`~repro.spark.serialization.TaskSerializationError`
+        before any task is dispatched if the closure violates the
+        shipping contract.  Materializing reachable shuffles here runs
+        each map side as a regular (driver-initiated, pooled) job whose
+        own payload preparation recurses depth-first into *its*
+        upstream shuffles -- workers then only ever fetch ready buckets.
+        """
+        from repro.spark.serialization import serialize_task
+
+        payload = serialize_task(self, rdd, fn)
+        for shuffle_id in payload.shuffle_ids:
+            self._shuffle.ensure(shuffle_id)
+        return payload
+
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
@@ -1098,6 +1346,25 @@ class SparkContext:
                 thread_name_prefix=f"{self.app_name}-task",
             )
         return self._pool
+
+    def _ensure_proc_pool(self):
+        if self._proc_pool is None:
+            if self._stopped:
+                raise RuntimeError("process pool is shut down")
+            from repro.spark.procpool import ProcessPool
+
+            self._proc_pool = ProcessPool(
+                self.default_parallelism,
+                {
+                    "app_name": self.app_name,
+                    "default_parallelism": self.default_parallelism,
+                    "shuffle_serialization": self.shuffle_serialization,
+                    "max_cache_entries": self._max_cache_entries,
+                },
+                self._shuffle.serve_blocks,
+                name=self.app_name,
+            )
+        return self._proc_pool
 
     def _next_rdd_id(self) -> int:
         return next(self._rdd_ids)
@@ -1144,6 +1411,9 @@ class SparkContext:
             # own; a truly wedged task must not block shutdown.
             self._pool.shutdown(wait=False)
             self._pool = None
+        if self._proc_pool is not None:
+            self._proc_pool.shutdown()
+            self._proc_pool = None
         self._cache.clear()
         self._shuffle.clear()
 

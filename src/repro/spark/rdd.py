@@ -57,7 +57,12 @@ class RDD(ABC, Generic[T]):
     ) -> None:
         from repro.spark.context import SparkContext  # cycle guard
 
-        assert isinstance(context, SparkContext)
+        # Tasks shipped to worker processes rebuild their lineage against
+        # the worker's task context (see repro.spark.worker), which quacks
+        # like a SparkContext without being one.
+        assert isinstance(context, SparkContext) or getattr(
+            context, "is_task_context", False
+        )
         self.context = context
         self.id = context._next_rdd_id()
         self.parents = tuple(parents)

@@ -1,0 +1,135 @@
+"""The ``processes`` executor: serialization, retries, kills, tracing.
+
+The equality suite (test_executor_equality.py) proves the backend
+computes the right answers; these tests pin down the machinery behind
+it -- lineage shipping over a real process boundary, per-worker caches,
+accumulator replay, deadline kills of hung workers, and the typed
+error when a task closure cannot be pickled.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.chaos import FaultInjector
+from repro.spark.context import SparkContext
+from repro.spark.serialization import TaskSerializationError
+
+
+@pytest.fixture
+def proc_sc():
+    context = SparkContext(
+        app_name="test-procs",
+        parallelism=2,
+        executor="processes",
+        retry_backoff=0.0,
+    )
+    yield context
+    context.stop()
+
+
+def test_collect_with_shuffle(proc_sc):
+    rdd = proc_sc.parallelize(range(100), 4).map(lambda x: (x % 5, x))
+    summed = dict(rdd.reduce_by_key(lambda a, b: a + b).collect())
+    expected: dict[int, int] = {}
+    for x in range(100):
+        expected[x % 5] = expected.get(x % 5, 0) + x
+    assert summed == expected
+    assert proc_sc.metrics.shuffles_executed == 1
+
+
+def test_broadcast_and_accumulator(proc_sc):
+    lookup = proc_sc.broadcast({i: i * 10 for i in range(20)})
+    seen = proc_sc.accumulator(0)
+
+    def translate(x):
+        seen.add(1)
+        return lookup.value[x]
+
+    result = sorted(proc_sc.parallelize(range(20), 4).map(translate).collect())
+    assert result == [i * 10 for i in range(20)]
+    # Accumulator terms ship home with each accepted attempt and are
+    # replayed exactly once on the driver.
+    assert seen.value == 20
+
+
+def test_retry_from_lineage(proc_sc):
+    injector = FaultInjector(seed=3).fail("task.compute", times=1)
+    with injector.installed(proc_sc):
+        result = sorted(proc_sc.parallelize(range(12), 3).map(lambda x: -x).collect())
+    assert result == sorted(-x for x in range(12))
+    assert proc_sc.metrics.tasks_failed == 3
+    assert proc_sc.metrics.tasks_retried == 3
+    assert injector.summary()["task.compute"]["injected"] == 3
+
+
+def test_hung_worker_is_killed_and_retried():
+    # A hang "fault" in a worker process cannot be cancelled
+    # cooperatively -- the driver's deadline enforcement must terminate
+    # the worker and re-run the attempt on a fresh one.
+    injector = FaultInjector(seed=5, hang_limit=30.0).hang("task.compute", times=1)
+    with SparkContext(
+        app_name="test-proc-hang",
+        parallelism=2,
+        executor="processes",
+        retry_backoff=0.0,
+        task_timeout=1.0,
+        fault_injector=injector,
+    ) as sc:
+        start = time.monotonic()
+        result = sorted(sc.parallelize(range(8), 2).map(lambda x: x + 1).collect())
+        elapsed = time.monotonic() - start
+        assert result == list(range(1, 9))
+        assert sc.metrics.tasks_timed_out == 2
+        assert sc.metrics.tasks_retried == 2
+        # Nowhere near the 30 s hang: the kill fired at the deadline.
+        assert elapsed < 15.0
+
+
+def test_speculation_rejected_under_processes():
+    with pytest.raises(ValueError, match="speculation"):
+        SparkContext(
+            app_name="bad", parallelism=2, executor="processes", speculation=True
+        )
+
+
+def test_unpicklable_closure_raises_typed_error(proc_sc):
+    lock = threading.Lock()  # locks cannot cross a process boundary
+    rdd = proc_sc.parallelize(range(8), 2).map(lambda x: (lock, x))
+    with pytest.raises(TaskSerializationError):
+        rdd.collect()
+
+
+def test_worker_partition_cache_survives_jobs(proc_sc):
+    # Worker processes keep their block cache between tasks; with soft
+    # split affinity a second action over a persisted RDD re-lands each
+    # split on the worker that already computed it.
+    rdd = proc_sc.parallelize(range(50), 2).map(lambda x: x * 3).persist()
+    assert rdd.count() == 50
+    assert proc_sc.metrics.cache_hits == 0
+    assert sorted(rdd.collect()) == sorted(x * 3 for x in range(50))
+    assert proc_sc.metrics.cache_hits >= 1
+
+
+def test_task_spans_ship_home():
+    with SparkContext(
+        app_name="test-proc-trace",
+        parallelism=2,
+        executor="processes",
+        retry_backoff=0.0,
+        tracing=True,
+    ) as sc:
+        assert sc.parallelize(range(30), 3).map(lambda x: x).count() == 30
+        jobs = [s for s in sc.tracer.root.children if s.name.startswith("job")]
+        assert len(jobs) == 1
+        tasks = [s for s in jobs[0].children if s.kind == "task"]
+        assert len(tasks) == 3
+        assert sorted(t.attrs["records_in"] for t in tasks) == [10, 10, 10]
+        for t in tasks:
+            # Spans were rebased from the worker clock onto the driver's:
+            # they must nest inside the job span's window.
+            assert t.start >= jobs[0].start
+            assert t.end <= jobs[0].end + 1e-6
