@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Streaming throughput and batch-latency benchmark; machine-readable JSON.
+
+Drives a :class:`~repro.streaming.context.StreamingContext` over a
+seeded :class:`~repro.streaming.sources.GeneratorSource` with a
+representative operator mix -- per-batch stream-static join plus a
+windowed DBSCAN hotspot pipeline -- and reports sustained throughput
+(records/s over the whole run) and batch-latency percentiles::
+
+    python benchmarks/run_stream.py --batches 40 --rate 500
+    python benchmarks/run_stream.py --executors sequential,threads --out BENCH_streaming.json
+
+Two drive modes are measured per executor backend:
+
+- ``drain`` -- batches are processed back-to-back with no pacing, the
+  sustained-throughput number (how fast the engine can go);
+- ``paced`` -- the threaded poll/process loop at ``--interval``, which
+  exercises the bounded queue and reports the latency a steady
+  producer would see (queueing time included).
+
+The JSON schema is ``bench.streaming/v1`` -- stable keys, suitable for
+CI artifact diffing.
+
+The ``processes`` backend spawns workers that re-import ``__main__``,
+so this script must be run as a file (as shown above), not piped to
+stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.core.stobject import STObject
+from repro.spark.context import SparkContext
+from repro.streaming import GeneratorSource, StreamingContext
+
+DEFAULT_EXECUTORS = ("sequential", "threads")
+
+#: Reference polygons for the stream-static join: a coarse grid of
+#: square "districts" over the generator's default bounds.
+def reference_grid(cells: int = 4, extent: float = 1000.0):
+    size = extent / cells
+    rows = []
+    for i in range(cells):
+        for j in range(cells):
+            x0, y0 = i * size, j * size
+            wkt = (
+                f"POLYGON (({x0} {y0}, {x0 + size} {y0}, "
+                f"{x0 + size} {y0 + size}, {x0} {y0 + size}, {x0} {y0}))"
+            )
+            rows.append((STObject(wkt), f"district-{i}-{j}"))
+    return rows
+
+
+def percentile(values: list[float], q: float) -> float | None:
+    """Nearest-rank percentile; None on empty input."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def build_pipeline(ssc: StreamingContext, args) -> None:
+    """The benchmarked operator mix over a seeded generator stream."""
+    events = ssc.generator_stream(
+        rate=args.rate,
+        time_step=1.0,
+        seed=args.seed,
+        limit=args.rate * args.batches,
+    )
+    joined = events.join_static(reference_grid())
+    joined.for_each_rdd(lambda _b, rdd: rdd.count())
+    window = events.window(length=float(args.window))
+    window.hotspots(eps=30.0, min_pts=5)
+
+
+def bench_drain(executor: str, args) -> dict:
+    """Back-to-back batches: sustained engine throughput."""
+    with SparkContext(
+        f"stream-bench-{executor}",
+        parallelism=args.parallelism,
+        executor=executor,
+    ) as sc:
+        ssc = StreamingContext(sc, batch_interval=args.interval)
+        build_pipeline(ssc, args)
+        start = time.perf_counter()
+        completed = ssc.run_batches(args.batches, batch_times=[0.0] * args.batches)
+        wall = time.perf_counter() - start
+        ssc.stop()
+        return summarize(ssc, wall, completed)
+
+
+def bench_paced(executor: str, args) -> dict:
+    """The threaded loop at the configured interval (queueing included)."""
+    with SparkContext(
+        f"stream-bench-{executor}-paced",
+        parallelism=args.parallelism,
+        executor=executor,
+    ) as sc:
+        ssc = StreamingContext(
+            sc,
+            batch_interval=args.interval,
+            max_pending_batches=args.max_pending,
+        )
+        build_pipeline(ssc, args)
+        start = time.perf_counter()
+        ssc.start()
+        deadline = start + args.batches * args.interval * 10 + 10.0
+        while (
+            ssc.metrics.records_ingested < args.rate * args.batches
+            and time.perf_counter() < deadline
+        ):
+            time.sleep(args.interval / 2)
+        ssc.stop()
+        wall = time.perf_counter() - start
+        return summarize(ssc, wall, ssc.metrics.batches_run)
+
+
+def summarize(ssc: StreamingContext, wall: float, completed: int) -> dict:
+    latencies = [latency for _b, _n, latency, _q in ssc.batch_latencies]
+    records = ssc.metrics.records_ingested
+    return {
+        "wall_s": wall,
+        "batches_completed": completed,
+        "records": records,
+        "records_per_s": records / wall if wall > 0 else None,
+        "batch_latency_s": {
+            "p50": percentile(latencies, 50),
+            "p95": percentile(latencies, 95),
+            "max": max(latencies) if latencies else None,
+        },
+        "metrics": ssc.metrics.snapshot(),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batches", type=int, default=30)
+    parser.add_argument("--rate", type=int, default=300, help="records per batch")
+    parser.add_argument("--window", type=float, default=5.0, help="event-time window length")
+    parser.add_argument("--interval", type=float, default=0.05, help="paced batch interval (s)")
+    parser.add_argument("--max-pending", type=int, default=4)
+    parser.add_argument("--parallelism", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=1704)
+    parser.add_argument(
+        "--executors",
+        default=",".join(DEFAULT_EXECUTORS),
+        help="comma-separated backends to benchmark",
+    )
+    parser.add_argument("--out", default="BENCH_streaming.json")
+    args = parser.parse_args()
+
+    executors = [name.strip() for name in args.executors.split(",") if name.strip()]
+    results: dict[str, dict] = {}
+    for executor in executors:
+        print(f"== {executor} ==", flush=True)
+        drain = bench_drain(executor, args)
+        paced = bench_paced(executor, args)
+        results[executor] = {"drain": drain, "paced": paced}
+        for mode, row in results[executor].items():
+            p50 = row["batch_latency_s"]["p50"]
+            p95 = row["batch_latency_s"]["p95"]
+            print(
+                f"  {mode:<6} {row['records_per_s'] or 0.0:10.0f} rec/s   "
+                f"p50={1000 * (p50 or 0):.1f} ms  p95={1000 * (p95 or 0):.1f} ms  "
+                f"batches={row['batches_completed']}"
+            )
+
+    report = {
+        "schema": "bench.streaming/v1",
+        "created_unix": time.time(),
+        "host": {"cpus": os.cpu_count()},
+        "config": {
+            "batches": args.batches,
+            "rate": args.rate,
+            "window": args.window,
+            "interval": args.interval,
+            "max_pending": args.max_pending,
+            "parallelism": args.parallelism,
+            "seed": args.seed,
+        },
+        "executors": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nreport written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Generate the Markdown API reference from live docstrings.
+
+Stdlib-only (``pkgutil`` + ``inspect``) so the docs build needs nothing
+beyond the package itself.  Every module under the documented packages
+is *imported* -- an import error anywhere fails the build, which is the
+point: the reference can never silently go stale against a broken tree.
+
+Output layout (``--out``, default ``docs/api``)::
+
+    docs/api/index.md             package overview with module links
+    docs/api/repro.core.filter.md one page per module
+
+Each page lists the module docstring, then every public class (with
+its public methods) and function, with signatures and docstrings.
+
+Usage::
+
+    PYTHONPATH=src python docs/gen_api.py --out docs/api
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import pkgutil
+import sys
+from pathlib import Path
+
+#: The documented surface: the paper-facing packages plus the engine.
+DEFAULT_PACKAGES = (
+    "repro.core",
+    "repro.spark",
+    "repro.streaming",
+    "repro.piglet",
+)
+
+
+def iter_module_names(package_name: str) -> list[str]:
+    """The package and every submodule under it, sorted, none skipped."""
+    package = importlib.import_module(package_name)
+    names = [package_name]
+    if hasattr(package, "__path__"):
+        for info in pkgutil.walk_packages(package.__path__, prefix=f"{package_name}."):
+            names.append(info.name)
+    return sorted(names)
+
+
+def public_members(module) -> tuple[list, list]:
+    """(classes, functions) defined in *module*, in source order."""
+    classes, functions = [], []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are documented where they are defined
+        if inspect.isclass(obj):
+            classes.append((name, obj))
+        elif inspect.isfunction(obj):
+            functions.append((name, obj))
+    def source_line(kv):
+        try:
+            return inspect.getsourcelines(kv[1])[1]
+        except (OSError, TypeError):
+            return 0
+
+    classes.sort(key=source_line)
+    functions.sort(key=source_line)
+    return classes, functions
+
+
+def signature_of(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (ValueError, TypeError):
+        return "(...)"
+
+
+def doc_of(obj) -> str:
+    return inspect.getdoc(obj) or "*Undocumented.*"
+
+
+def render_function(name: str, fn, heading: str = "###") -> list[str]:
+    return [
+        f"{heading} `{name}{signature_of(fn)}`",
+        "",
+        doc_of(fn),
+        "",
+    ]
+
+
+def render_class(name: str, cls) -> list[str]:
+    lines = [f"### class `{name}`", "", doc_of(cls), ""]
+    for attr, member in sorted(
+        vars(cls).items(), key=lambda kv: kv[0]
+    ):
+        if attr.startswith("_"):
+            continue
+        if inspect.isfunction(member):
+            lines += render_function(f"{name}.{attr}", member, heading="####")
+        elif isinstance(member, property):
+            doc = inspect.getdoc(member) or "*Undocumented.*"
+            lines += [f"#### property `{name}.{attr}`", "", doc, ""]
+    return lines
+
+
+def render_module(module) -> str:
+    classes, functions = public_members(module)
+    lines = [f"# `{module.__name__}`", "", doc_of(module), ""]
+    if classes:
+        lines.append("## Classes")
+        lines.append("")
+        for name, cls in classes:
+            lines += render_class(name, cls)
+    if functions:
+        lines.append("## Functions")
+        lines.append("")
+        for name, fn in functions:
+            lines += render_function(name, fn)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def first_line(text: str) -> str:
+    return text.strip().splitlines()[0] if text.strip() else ""
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="docs/api", help="output directory")
+    parser.add_argument(
+        "--packages",
+        default=",".join(DEFAULT_PACKAGES),
+        help="comma-separated package roots to document",
+    )
+    args = parser.parse_args()
+
+    packages = [p.strip() for p in args.packages.split(",") if p.strip()]
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    index = [
+        "# API reference",
+        "",
+        "Generated from live docstrings by `docs/gen_api.py`;",
+        "regenerate with `PYTHONPATH=src python docs/gen_api.py`.",
+        "",
+    ]
+    pages = 0
+    for package_name in packages:
+        index += [f"## `{package_name}`", ""]
+        for module_name in iter_module_names(package_name):
+            module = importlib.import_module(module_name)
+            page = render_module(module)
+            page_path = out_dir / f"{module_name}.md"
+            page_path.write_text(page)
+            summary = first_line(inspect.getdoc(module) or "")
+            index.append(f"- [`{module_name}`]({module_name}.md) — {summary}")
+            pages += 1
+        index.append("")
+    (out_dir / "index.md").write_text("\n".join(index).rstrip() + "\n")
+    print(f"wrote {pages} module pages + index to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

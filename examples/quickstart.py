@@ -7,15 +7,26 @@ with schema ``(id, category, time, wkt)`` is pre-processed into
 the listing: ``containedBy`` on the raw RDD and ``intersect`` on a
 live-indexed RDD.
 
-Run: ``python examples/quickstart.py``
+Run: ``python examples/quickstart.py [--executor sequential|threads|processes]``
 """
+
+import argparse
 
 from repro import STObject, SparkContext
 from repro.io.datagen import event_rows, uniform_points
 
 
 def main() -> None:
-    with SparkContext("quickstart") as sc:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--executor",
+        default="threads",
+        choices=("sequential", "threads", "processes"),
+        help="task execution backend",
+    )
+    args = parser.parse_args()
+
+    with SparkContext("quickstart", executor=args.executor) as sc:
         # --- pre-processing: rows with schema (id, category, time, wkt) ---
         rows = event_rows(
             uniform_points(5_000, seed=42), time_range=(0, 1_000), seed=43

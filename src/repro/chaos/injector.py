@@ -13,6 +13,8 @@ site                 fires in
 ``storage.read``     ``ObjectFileRDD`` / ``TextFileRDD`` part reads
 ``storage.write``    ``save_object_file`` / ``save_text_file`` part writes
 ``index.load``       persisted-index part reads (triggers live fallback)
+``source.poll``      ``StreamingContext`` polling a stream source
+``batch.run``        ``StreamingContext`` before processing a micro-batch
 ===================  ====================================================
 
 Two plan shapes exist per site:
@@ -74,6 +76,8 @@ SITES = frozenset(
         "storage.read",
         "storage.write",
         "index.load",
+        "source.poll",
+        "batch.run",
     }
 )
 

@@ -20,11 +20,13 @@ class UnionFind:
             self.add(element)
 
     def add(self, element: T) -> None:
+        """Register *element* as its own singleton set (idempotent)."""
         if element not in self._parent:
             self._parent[element] = element
             self._rank[element] = 0
 
     def find(self, element: T) -> T:
+        """The set representative of *element*, with path compression."""
         self.add(element)
         root = element
         while self._parent[root] != root:
@@ -47,6 +49,7 @@ class UnionFind:
         return root_a
 
     def connected(self, a: T, b: T) -> bool:
+        """True when *a* and *b* are in the same set."""
         return self.find(a) == self.find(b)
 
     def groups(self) -> dict[T, list[T]]:

@@ -40,6 +40,7 @@ class ColocationPattern:
 
     @property
     def participation_index(self) -> float:
+        """The smaller of the two participation ratios (pattern strength)."""
         return min(self.participation_a, self.participation_b)
 
     def __repr__(self) -> str:

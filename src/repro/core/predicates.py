@@ -49,6 +49,11 @@ def combine(
     return False  # mixed defined/undefined never matches
 
 
+def _identity_region(env: Envelope) -> Envelope:
+    """Default candidate region: the query envelope itself."""
+    return env
+
+
 @dataclass(frozen=True)
 class STPredicate:
     """A named spatio-temporal predicate.
@@ -70,7 +75,7 @@ class STPredicate:
     temporal: TemporalPredicate
     envelope_test: EnvelopeTest
     candidate_region: Callable[[Envelope], Envelope] = field(
-        default=lambda env: env
+        default=_identity_region
     )
 
     def evaluate(self, item: STObject, query: STObject) -> bool:

@@ -236,9 +236,11 @@ class LiveIndexedSpatialRDDFunctions:
 
     @property
     def rdd(self) -> RDD:
+        """The underlying (possibly repartitioned) RDD."""
         return self._rdd
 
     def intersects(self, query: STObject | str) -> RDD:
+        """Items intersecting the query, via a per-partition live R-tree."""
         return filter_ops.filter_live_index(
             self._rdd, _as_query(query), INTERSECTS, self._order
         )
@@ -247,11 +249,13 @@ class LiveIndexedSpatialRDDFunctions:
     intersect = intersects
 
     def contains(self, query: STObject | str) -> RDD:
+        """Items that completely contain the query, with live indexing."""
         return filter_ops.filter_live_index(
             self._rdd, _as_query(query), CONTAINS, self._order
         )
 
     def contained_by(self, query: STObject | str) -> RDD:
+        """Items completely contained by the query, with live indexing."""
         return filter_ops.filter_live_index(
             self._rdd, _as_query(query), CONTAINED_BY, self._order
         )
@@ -262,6 +266,7 @@ class LiveIndexedSpatialRDDFunctions:
         max_distance: float,
         distance_fn: str | DistanceFunction = euclidean,
     ) -> RDD:
+        """Items within *max_distance* of the query, with live indexing."""
         predicate = within_distance_predicate(max_distance, distance_fn)
         return filter_ops.filter_live_index(
             self._rdd, _as_query(query), predicate, self._order
@@ -273,6 +278,7 @@ class LiveIndexedSpatialRDDFunctions:
         predicate: str | STPredicate = INTERSECTS,
         prune_pairs: bool = True,
     ) -> RDD:
+        """Spatio-temporal join using this handle's index order."""
         other_rdd = other.rdd if isinstance(other, SpatialRDDFunctions) else other
         return join_ops.spatial_join(
             self._rdd,
@@ -306,9 +312,11 @@ class IndexedSpatialRDD:
 
     @property
     def partitioner(self) -> SpatialPartitioner | None:
+        """The spatial partitioner backing pruning, if one was used."""
         return self._partitioner
 
     def intersects(self, query: STObject | str) -> RDD:
+        """Items intersecting the query, answered from the stored trees."""
         return filter_ops.filter_indexed(
             self._trees, _as_query(query), INTERSECTS, self._partitioner
         )
@@ -316,11 +324,13 @@ class IndexedSpatialRDD:
     intersect = intersects
 
     def contains(self, query: STObject | str) -> RDD:
+        """Items that completely contain the query, from the stored trees."""
         return filter_ops.filter_indexed(
             self._trees, _as_query(query), CONTAINS, self._partitioner
         )
 
     def contained_by(self, query: STObject | str) -> RDD:
+        """Items completely contained by the query, from the stored trees."""
         return filter_ops.filter_indexed(
             self._trees, _as_query(query), CONTAINED_BY, self._partitioner
         )
@@ -331,12 +341,14 @@ class IndexedSpatialRDD:
         max_distance: float,
         distance_fn: str | DistanceFunction = euclidean,
     ) -> RDD:
+        """Items within *max_distance* of the query, from the stored trees."""
         predicate = within_distance_predicate(max_distance, distance_fn)
         return filter_ops.filter_indexed(
             self._trees, _as_query(query), predicate, self._partitioner
         )
 
     def knn(self, query: STObject | str, k: int) -> knn_ops.KnnResult:
+        """The k nearest items, pruned through the stored trees."""
         return knn_ops.knn_indexed(
             self._trees, _as_query(query), k, self._partitioner
         )

@@ -64,6 +64,7 @@ class STObject:
 
     @property
     def has_time(self) -> bool:
+        """True when the object carries a temporal component."""
         return self._time is not None
 
     # -- combined spatio-temporal relations (paper eqs. (1)-(3)) ----------

@@ -31,6 +31,7 @@ class Accumulator(Generic[T]):
         self._lock = threading.Lock()
 
     def add(self, term: T) -> None:
+        """Fold *term* into the running value (thread-safe)."""
         with self._lock:
             self._value = self._op(self._value, term)
 
@@ -40,6 +41,7 @@ class Accumulator(Generic[T]):
 
     @property
     def value(self) -> T:
+        """The current accumulated value (read on the driver)."""
         return self._value
 
     def __repr__(self) -> str:

@@ -35,6 +35,7 @@ class Broadcast(Generic[T]):
 
     @property
     def value(self) -> T:
+        """The broadcast payload; raises after :meth:`destroy`."""
         if self._destroyed:
             raise RuntimeError("attempted to use a destroyed broadcast variable")
         return self._value

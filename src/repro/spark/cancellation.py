@@ -140,6 +140,7 @@ class CancelToken:
 
     @property
     def cancelled(self) -> bool:
+        """True once the token (or an ancestor) has been cancelled."""
         return self._event.is_set()
 
     def check(self) -> None:
@@ -206,6 +207,7 @@ class Heartbeat:
         self._count = 0
 
     def beat(self) -> None:
+        """Tick once; every 2**k ticks, poll the token and maybe raise."""
         self._count += 1
         if self._token is not None and not (self._count & self._mask):
             self._token.check()

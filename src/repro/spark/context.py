@@ -148,10 +148,12 @@ class Metrics:
     index_fallbacks: int = 0
 
     def reset(self) -> None:
+        """Zero every counter."""
         for name in self.__dataclass_fields__:
             setattr(self, name, 0)
 
     def snapshot(self) -> dict[str, int]:
+        """The counters as a plain dict (a point-in-time copy)."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
 
@@ -949,6 +951,7 @@ class SparkContext:
         return ParallelCollectionRDD(self, data, num_slices or self.default_parallelism)
 
     def empty_rdd(self) -> RDD[Any]:
+        """An RDD with a single empty partition."""
         return ParallelCollectionRDD(self, [], 1)
 
     def text_file(self, path: str, num_slices: int | None = None) -> RDD[str]:

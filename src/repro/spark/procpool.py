@@ -342,6 +342,7 @@ class ProcessPool:
     # -- shutdown ------------------------------------------------------------
 
     def shutdown(self) -> None:
+        """Stop the workers and release their queues (idempotent)."""
         with self._lock:
             if self._stopped:
                 return

@@ -307,9 +307,11 @@ class RDD(ABC, Generic[T]):
     # -- pair-RDD transformations -------------------------------------------
 
     def keys(self) -> "RDD[Any]":
+        """The first element of every (key, value) pair."""
         return self.map(lambda kv: kv[0])
 
     def values(self) -> "RDD[Any]":
+        """The second element of every (key, value) pair."""
         return MapPartitionsRDD(
             self, lambda _split, it: (kv[1] for kv in it), preserves_partitioning=False
         )
@@ -323,6 +325,8 @@ class RDD(ABC, Generic[T]):
         )
 
     def flat_map_values(self, fn: Callable[[V], Iterable[U]]) -> "RDD[tuple[K, U]]":
+        """Expand each value to zero or more, keeping its key and
+        the key partitioning."""
         return MapPartitionsRDD(
             self,
             lambda _split, it: ((k, u) for k, v in it for u in fn(v)),
@@ -362,6 +366,7 @@ class RDD(ABC, Generic[T]):
     def reduce_by_key(
         self, fn: Callable[[V, V], V], partitioner: Partitioner | None = None
     ) -> "RDD[tuple[K, V]]":
+        """Merge each key's values with an associative *fn* (shuffles)."""
         return self.combine_by_key(lambda v: v, fn, fn, partitioner)
 
     def aggregate_by_key(
@@ -371,6 +376,8 @@ class RDD(ABC, Generic[T]):
         comb_fn: Callable[[U, U], U],
         partitioner: Partitioner | None = None,
     ) -> "RDD[tuple[K, U]]":
+        """Aggregate each key's values from *zero* with distinct
+        within-partition (*seq_fn*) and merge (*comb_fn*) steps."""
         import copy
 
         return self.combine_by_key(
@@ -380,6 +387,7 @@ class RDD(ABC, Generic[T]):
     def group_by_key(
         self, partitioner: Partitioner | None = None
     ) -> "RDD[tuple[K, list[V]]]":
+        """Collect each key's values into one list (shuffles)."""
         return self.combine_by_key(
             lambda v: [v],
             lambda acc, v: acc + [v],
@@ -390,6 +398,7 @@ class RDD(ABC, Generic[T]):
     def group_by(
         self, key_fn: Callable[[T], K], partitioner: Partitioner | None = None
     ) -> "RDD[tuple[K, list[T]]]":
+        """Group elements by ``key_fn(element)`` (shuffles)."""
         return self.map(lambda x: (key_fn(x), x)).group_by_key(partitioner)
 
     def join(
@@ -403,6 +412,7 @@ class RDD(ABC, Generic[T]):
     def left_outer_join(
         self, other: "RDD[tuple[K, U]]", partitioner: Partitioner | None = None
     ) -> "RDD[tuple[K, tuple[V, U | None]]]":
+        """Equi-join keeping every left key; unmatched pair with None."""
         def expand(pair: tuple[list, list]) -> list:
             left, right = pair
             if not right:
@@ -414,6 +424,7 @@ class RDD(ABC, Generic[T]):
     def right_outer_join(
         self, other: "RDD[tuple[K, U]]", partitioner: Partitioner | None = None
     ) -> "RDD[tuple[K, tuple[V | None, U]]]":
+        """Equi-join keeping every right key; unmatched pair with None."""
         def expand(pair: tuple[list, list]) -> list:
             left, right = pair
             if not left:
@@ -425,6 +436,7 @@ class RDD(ABC, Generic[T]):
     def full_outer_join(
         self, other: "RDD[tuple[K, U]]", partitioner: Partitioner | None = None
     ) -> "RDD[tuple[K, tuple[V | None, U | None]]]":
+        """Equi-join keeping keys from both sides; gaps become None."""
         def expand(pair: tuple[list, list]) -> list:
             left, right = pair
             if not left:
@@ -472,9 +484,11 @@ class RDD(ABC, Generic[T]):
         return sum(self.context.run_job(self, lambda it: sum(1 for _ in it)))
 
     def is_empty(self) -> bool:
+        """True when the RDD has no elements (computes at most one)."""
         return not self.take(1)
 
     def first(self) -> T:
+        """The first element; raises ``ValueError`` on an empty RDD."""
         rows = self.take(1)
         if not rows:
             raise ValueError("RDD is empty")
@@ -540,6 +554,8 @@ class RDD(ABC, Generic[T]):
         return acc
 
     def fold(self, zero: T, fn: Callable[[T, T], T]) -> T:
+        """Like :meth:`reduce` but seeded with *zero* per partition,
+        so it works on empty RDDs."""
         import copy
 
         def fold_partition(it: Iterator[T]) -> T:
@@ -556,6 +572,8 @@ class RDD(ABC, Generic[T]):
     def aggregate(
         self, zero: U, seq_fn: Callable[[U, T], U], comb_fn: Callable[[U, U], U]
     ) -> U:
+        """Fold to a different result type: *seq_fn* accumulates within
+        a partition, *comb_fn* merges the per-partition accumulators."""
         import copy
 
         def agg_partition(it: Iterator[T]) -> U:
@@ -570,6 +588,7 @@ class RDD(ABC, Generic[T]):
         return acc
 
     def sum(self) -> Any:
+        """Sum of the elements (0 on an empty RDD)."""
         return self.aggregate(0, lambda a, x: a + x, lambda a, b: a + b)
 
     def stats(self) -> "StatCounter":
@@ -585,24 +604,29 @@ class RDD(ABC, Generic[T]):
         return self.aggregate(StatCounter(), seq, comb)
 
     def mean(self) -> float:
+        """Arithmetic mean of a numeric RDD."""
         return self.stats().mean
 
     def stdev(self) -> float:
+        """Population standard deviation of a numeric RDD."""
         return self.stats().stdev
 
     def min(self, key: Callable[[T], Any] | None = None) -> T:
+        """Smallest element (by *key* if given); raises when empty."""
         rows = self.take_ordered(1, key=key)
         if not rows:
             raise ValueError("min of empty RDD")
         return rows[0]
 
     def max(self, key: Callable[[T], Any] | None = None) -> T:
+        """Largest element (by *key* if given); raises when empty."""
         rows = self.top(1, key=key)
         if not rows:
             raise ValueError("max of empty RDD")
         return rows[0]
 
     def count_by_key(self) -> dict[K, int]:
+        """Occurrences per key, collected to the driver (no shuffle)."""
         def count_partition(it: Iterator[tuple[K, V]]) -> dict[K, int]:
             counts: dict[K, int] = defaultdict(int)
             for k, _v in it:
@@ -616,12 +640,15 @@ class RDD(ABC, Generic[T]):
         return dict(totals)
 
     def count_by_value(self) -> dict[T, int]:
+        """Occurrences per distinct element, collected to the driver."""
         return self.map(lambda x: (x, None)).count_by_key()
 
     def foreach(self, fn: Callable[[T], None]) -> None:
+        """Run *fn* on every element for its side effects."""
         self.context.run_job(self, lambda it: [fn(x) for x in it] and None)
 
     def foreach_partition(self, fn: Callable[[Iterator[T]], None]) -> None:
+        """Run *fn* once per partition iterator for its side effects."""
         self.context.run_job(self, lambda it: fn(it))
 
     def save_as_object_file(self, path: str) -> None:
@@ -672,6 +699,7 @@ class StatCounter:
         self._max = -math_inf
 
     def merge_value(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
         self.count += 1
         delta = value - self._mean
         self._mean += delta / self.count
@@ -680,6 +708,7 @@ class StatCounter:
         self._max = max(self._max, value)
 
     def merge_counter(self, other: "StatCounter") -> None:
+        """Fold another counter in (parallel Welford merge)."""
         if other.count == 0:
             return
         if self.count == 0:
@@ -699,28 +728,33 @@ class StatCounter:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean; raises when no values were merged."""
         if self.count == 0:
             raise ValueError("mean of empty RDD")
         return self._mean
 
     @property
     def variance(self) -> float:
+        """Population variance; raises when no values were merged."""
         if self.count == 0:
             raise ValueError("variance of empty RDD")
         return self._m2 / self.count
 
     @property
     def stdev(self) -> float:
+        """Population standard deviation."""
         return self.variance ** 0.5
 
     @property
     def minimum(self) -> float:
+        """Smallest merged value; raises when no values were merged."""
         if self.count == 0:
             raise ValueError("min of empty RDD")
         return self._min
 
     @property
     def maximum(self) -> float:
+        """Largest merged value; raises when no values were merged."""
         if self.count == 0:
             raise ValueError("max of empty RDD")
         return self._max

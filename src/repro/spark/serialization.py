@@ -207,6 +207,7 @@ class TaskPickler(pickle.Pickler):
         self.accumulators: dict[int, Accumulator] = {}
 
     def persistent_id(self, obj):
+        """Replace context/broadcast/accumulator refs with stable ids."""
         if obj is self._context:
             return ("context",)
         if isinstance(obj, Broadcast):
@@ -228,6 +229,7 @@ class TaskPickler(pickle.Pickler):
         return None
 
     def reducer_override(self, obj):
+        """Serialize closures by value and cut lineage at shuffles."""
         if isinstance(obj, types.FunctionType) and not _importable(obj):
             return _reduce_dynamic_function(obj)
         if isinstance(obj, types.ModuleType):
@@ -260,6 +262,7 @@ class TaskUnpickler(pickle.Unpickler):
         self._resolver = resolver
 
     def persistent_load(self, pid):
+        """Resolve a :meth:`TaskPickler.persistent_id` tag to the live object."""
         return self._resolver(pid)
 
 

@@ -205,8 +205,10 @@ class TextFileRDD(RDD[str]):
 
 
 def object_file_rdd(context, path: str) -> RDD[Any]:
+    """An RDD over pickle part-files written by :func:`save_object_file`."""
     return ObjectFileRDD(context, path)
 
 
 def text_file_rdd(context, path: str, num_slices: int) -> RDD[str]:
+    """An RDD of lines from a text file or directory of part-files."""
     return TextFileRDD(context, path, num_slices)

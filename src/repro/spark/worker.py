@@ -147,6 +147,7 @@ class WorkerContext:
         return next(self._rdd_ids)
 
     def run_job(self, rdd, fn, partitions: Iterable[int] | None = None) -> list:
+        """Run a nested job inline inside this worker's current task."""
         # Nested jobs inside a worker task run bare inline: retries,
         # deadlines and chaos belong to the enclosing attempt, which the
         # driver already schedules and (if need be) kills as a whole.
@@ -158,6 +159,7 @@ class WorkerContext:
     # -- persistent-id resolution -------------------------------------------
 
     def resolve(self, pid: tuple):
+        """Map a pickled persistent-id tag to this worker's live object."""
         tag = pid[0]
         if tag == "context":
             return self
@@ -173,9 +175,11 @@ class WorkerContext:
         raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
 
     def store_broadcast(self, broadcast_id: int, blob: bytes) -> None:
+        """Cache a broadcast payload's pickled bytes for later use."""
         self._broadcast_blobs[broadcast_id] = blob
 
     def get_broadcast(self, broadcast_id: int) -> Broadcast:
+        """The broadcast variable, unpickled once and cached thereafter."""
         cached = self._broadcast_objects.get(broadcast_id)
         if cached is not None:
             return cached
@@ -193,6 +197,7 @@ class WorkerContext:
     # -- per-task lifecycle --------------------------------------------------
 
     def begin_task(self, task_id: int, meta: dict) -> None:
+        """Reset per-task state (metrics, tracer, accumulator terms)."""
         self._current_task = task_id
         self.metrics.reset()
         self._acc_terms = {}
@@ -207,6 +212,7 @@ class WorkerContext:
     # -- shuffle-fetch plumbing ----------------------------------------------
 
     def request_blocks(self, shuffle_id: int, reduce_split: int):
+        """Fetch one reduce split's shuffle blocks from the driver."""
         self._conn.send(("fetch", self._current_task, shuffle_id, reduce_split))
         while True:
             msg = self._conn.recv()

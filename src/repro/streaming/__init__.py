@@ -1,0 +1,81 @@
+"""Micro-batch spatio-temporal event streaming.
+
+The event-processing layer of the reproduction: STARK runs its
+operators over Spark Streaming's discretized-stream model, and this
+package is that model over the local batch engine.  A
+:class:`StreamingContext` wraps a :class:`~repro.spark.context.
+SparkContext` and chops unbounded sources into micro-batches; each
+batch flows through lazy :class:`DStream` transformation chains whose
+spatial face (:class:`SpatialDStream`) carries the paper's predicate
+filters, stream-static joins against a broadcast R-tree, and
+event-time windows over which the batch kNN and DBSCAN operators run
+unchanged.
+
+Typical use::
+
+    from repro.spark.context import SparkContext
+    from repro.streaming import StreamingContext
+
+    sc = SparkContext(parallelism=4)
+    ssc = StreamingContext(sc, batch_interval=0.1)
+    source, events = ssc.queue_stream()
+    hotspots = events.window(length=10.0).hotspots(eps=1.0, min_pts=3)
+    source.push(batch_of_records)
+    ssc.run_batch(batch_time=0.0)
+    ssc.stop()
+"""
+
+from repro.streaming.context import (
+    STRAGGLER_POLICIES,
+    StreamingContext,
+    StreamingError,
+    StreamMetrics,
+)
+from repro.streaming.dstream import (
+    DStream,
+    Sink,
+    SpatialDStream,
+    SpatialWindowedStream,
+    WindowedStream,
+)
+from repro.streaming.operators import (
+    StaticPredicate,
+    build_static_index,
+    broadcast_static_index,
+    relax_static,
+    stream_static_join,
+    within_distance_join_plan,
+)
+from repro.streaming.sources import (
+    DirectorySource,
+    GeneratorSource,
+    QueueSource,
+    StreamSource,
+)
+from repro.streaming.window import Window, WindowSpec, WindowState, event_span
+
+__all__ = [
+    "STRAGGLER_POLICIES",
+    "StreamingContext",
+    "StreamingError",
+    "StreamMetrics",
+    "DStream",
+    "SpatialDStream",
+    "WindowedStream",
+    "SpatialWindowedStream",
+    "Sink",
+    "Window",
+    "WindowSpec",
+    "WindowState",
+    "event_span",
+    "StreamSource",
+    "QueueSource",
+    "DirectorySource",
+    "GeneratorSource",
+    "StaticPredicate",
+    "build_static_index",
+    "broadcast_static_index",
+    "relax_static",
+    "stream_static_join",
+    "within_distance_join_plan",
+]

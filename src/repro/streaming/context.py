@@ -1,0 +1,585 @@
+"""The micro-batch streaming driver: ``StreamingContext``.
+
+The event-processing half of the paper: STARK layers its operators over
+Spark *Streaming*, whose execution model is discretization -- chop the
+unbounded input into micro-batches and run each through the batch
+engine.  This module is that loop, built on the substrate the previous
+layers provide:
+
+- each batch's transformations run as ordinary jobs on the wrapped
+  :class:`~repro.spark.context.SparkContext` (any executor backend:
+  ``sequential``, ``threads`` or ``processes``);
+- per-batch **deadlines** reuse :mod:`repro.spark.cancellation`: the
+  batch runs under a :class:`CancelToken` a watchdog timer cancels, so
+  every job the batch launches -- levels deep -- aborts cooperatively
+  when the batch overruns, and the *straggler policy* then decides:
+  ``"skip"`` drops the overdue batch (counted) and moves on, ``"fail"``
+  stops the stream;
+- **backpressure** is a bounded pending-batch queue between the poller
+  and the processor: when processing falls behind, the poller blocks
+  instead of buffering unboundedly (``backpressure_waits`` counts the
+  stalls);
+- the chaos sites ``source.poll`` and ``batch.run`` let the
+  :mod:`repro.chaos` injector exercise the loop: a poll fault skips
+  that source's tick (records stay queued at the source), a batch fault
+  is retried up to ``max_batch_failures`` like a failed task;
+- with tracing enabled every batch opens a ``batch`` span recording
+  records, queue depth, attempts and outcome, and
+  :attr:`StreamingContext.batch_latencies` keeps the latency series the
+  benchmark reports percentiles from.
+
+Two drive modes share the same processing core: :meth:`run_batch` /
+:meth:`run_batches` execute synchronously on the caller's thread (the
+deterministic mode the tests use), while :meth:`start` runs the
+poll/process loop on background threads at ``batch_interval`` pace.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.spark.cancellation import (
+    KIND_TIMEOUT,
+    CancelToken,
+    TaskCancelledError,
+    task_scope,
+)
+from repro.spark.context import SparkContext
+from repro.spark.errors import JobAbortedError, TaskTimeoutError
+from repro.spark.rdd import RDD
+from repro.streaming.dstream import DStream, SpatialDStream, _WindowConsumer
+from repro.streaming.sources import (
+    DirectorySource,
+    GeneratorSource,
+    QueueSource,
+    StreamSource,
+)
+
+#: The straggler policies: drop an overdue batch, or stop the stream.
+STRAGGLER_POLICIES = ("skip", "fail")
+
+
+class StreamingError(RuntimeError):
+    """A stream-level failure (a batch exhausted its attempts under the
+    ``"fail"`` policy, or the stream was driven after stopping)."""
+
+
+@dataclass
+class StreamMetrics:
+    """Counters describing a stream's execution, for tests and reports."""
+
+    #: Batches fully processed (outputs ran, window state committed).
+    batches_run: int = 0
+    #: Batches abandoned after exhausting ``max_batch_failures``.
+    batches_failed: int = 0
+    #: Batches dropped by the straggler policy (deadline overrun).
+    batches_skipped: int = 0
+    #: Re-runs of failed batches (attempt 2 and later).
+    batch_retries: int = 0
+    #: Source polls attempted (one per source per tick).
+    polls: int = 0
+    #: Polls that raised (chaos or source errors); the tick reads empty.
+    poll_failures: int = 0
+    #: Records successfully polled across all sources.
+    records_ingested: int = 0
+    #: Event-time windows closed and fired.
+    windows_emitted: int = 0
+    #: Batches that found the pending queue full (backpressure stalls).
+    backpressure_waits: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of every counter."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+
+class _Batch:
+    """One polled micro-batch waiting to be processed."""
+
+    __slots__ = ("batch_id", "time", "records", "created", "queue_depth")
+
+    def __init__(self, batch_id: int, batch_time: float, records: dict) -> None:
+        self.batch_id = batch_id
+        #: Event-time fallback for untimed records (ingestion time).
+        self.time = batch_time
+        #: ``id(input_node) -> list[Record]`` for every input stream.
+        self.records = records
+        self.created = time.perf_counter()
+        self.queue_depth = 0
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(rows) for rows in self.records.values())
+
+
+class _InputDStream(SpatialDStream):
+    """The root node of a stream: wraps one :class:`StreamSource`."""
+
+    def __init__(self, ssc: "StreamingContext", source: StreamSource) -> None:
+        super().__init__(ssc, parent=None, transform_fn=None, name=f"input:{source.name}")
+        self.source = source
+
+    def _derived_type(self) -> type:
+        return SpatialDStream
+
+
+class StreamingContext:
+    """Micro-batch streaming over a :class:`SparkContext` (see module doc).
+
+    Parameters
+    ----------
+    sc:
+        The batch context every micro-batch runs its jobs on.  Not
+        owned: stopping the stream leaves *sc* usable.
+    batch_interval:
+        Poll/process cadence in seconds for the threaded drive mode.
+    max_pending_batches:
+        Bound of the pending-batch queue between poller and processor;
+        the backpressure knob.
+    batch_timeout:
+        Per-batch deadline in seconds (None disables).  Overruns are
+        handled by *straggler_policy*.
+    straggler_policy:
+        ``"skip"`` drops an overdue batch and keeps going (counted in
+        ``metrics.batches_skipped``); ``"fail"`` stops the stream with
+        a :class:`StreamingError`.
+    max_batch_failures:
+        Attempts a batch gets before it counts as failed (timeouts are
+        not retried -- the straggler policy owns those).
+    num_slices:
+        Partitions per batch RDD (default: the context's parallelism,
+        capped by the batch's record count).
+    """
+
+    def __init__(
+        self,
+        sc: SparkContext,
+        batch_interval: float = 0.1,
+        max_pending_batches: int = 4,
+        batch_timeout: float | None = None,
+        straggler_policy: str = "skip",
+        max_batch_failures: int = 2,
+        num_slices: int | None = None,
+    ) -> None:
+        if batch_interval <= 0:
+            raise ValueError(f"batch_interval must be positive, got {batch_interval}")
+        if max_pending_batches < 1:
+            raise ValueError(
+                f"max_pending_batches must be >= 1, got {max_pending_batches}"
+            )
+        if batch_timeout is not None and batch_timeout <= 0:
+            raise ValueError(f"batch_timeout must be positive, got {batch_timeout}")
+        if straggler_policy not in STRAGGLER_POLICIES:
+            raise ValueError(
+                f"straggler_policy must be one of {STRAGGLER_POLICIES}, "
+                f"got {straggler_policy!r}"
+            )
+        if max_batch_failures < 1:
+            raise ValueError(f"max_batch_failures must be >= 1, got {max_batch_failures}")
+        if num_slices is not None and num_slices < 1:
+            raise ValueError(f"num_slices must be >= 1, got {num_slices}")
+        self._sc = sc
+        self.batch_interval = batch_interval
+        self.max_pending_batches = max_pending_batches
+        self.batch_timeout = batch_timeout
+        self.straggler_policy = straggler_policy
+        self.max_batch_failures = max_batch_failures
+        self.num_slices = num_slices
+        self.metrics = StreamMetrics()
+        #: ``(batch_id, records, latency_s, queue_depth)`` per processed
+        #: batch -- latency measured from poll to completion, so queued
+        #: time under backpressure counts, as it should.
+        self.batch_latencies: list[tuple[int, int, float, int]] = []
+        self._inputs: list[_InputDStream] = []
+        self._outputs: list[tuple[DStream, object]] = []
+        self._windows: list[_WindowConsumer] = []
+        self._ids = itertools.count()
+        self._stopped = False
+        self._started = False
+        self._stop_event = threading.Event()
+        self._queue: queue_mod.Queue = queue_mod.Queue(maxsize=max_pending_batches)
+        self._poller: threading.Thread | None = None
+        self._processor: threading.Thread | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def spark_context(self) -> SparkContext:
+        """The wrapped batch context."""
+        return self._sc
+
+    # -- stream creation ---------------------------------------------------
+
+    def stream(self, source: StreamSource) -> SpatialDStream:
+        """Create an input stream from any :class:`StreamSource`."""
+        if self._stopped:
+            raise StreamingError("cannot add streams to a stopped StreamingContext")
+        node = _InputDStream(self, source)
+        self._inputs.append(node)
+        return node
+
+    def queue_stream(self, batches=()) -> tuple[QueueSource, SpatialDStream]:
+        """An in-memory stream; returns ``(source, stream)`` so the
+        caller can keep pushing batches into the source."""
+        source = QueueSource(batches)
+        return source, self.stream(source)
+
+    def directory_stream(
+        self,
+        path: str,
+        format: str = "events",
+        on_error: str = "raise",
+    ) -> SpatialDStream:
+        """Watch *path* for new event/GeoJSON files (see
+        :class:`~repro.streaming.sources.DirectorySource`)."""
+        return self.stream(DirectorySource(path, format=format, on_error=on_error))
+
+    def generator_stream(self, **kwargs) -> SpatialDStream:
+        """A seeded synthetic event stream (see
+        :class:`~repro.streaming.sources.GeneratorSource`)."""
+        return self.stream(GeneratorSource(**kwargs))
+
+    # -- registration hooks (called by DStream) ----------------------------
+
+    def _register_output(self, node: DStream, fn) -> None:
+        self._outputs.append((node, fn))
+
+    def _register_window(self, consumer: _WindowConsumer) -> None:
+        self._windows.append(consumer)
+
+    def _batch_rdd(self, records: list) -> RDD:
+        """Build one batch's (or window's) RDD from collected records."""
+        if not records:
+            return self._sc.parallelize([], 1)
+        slices = self.num_slices or self._sc.default_parallelism
+        return self._sc.parallelize(records, min(slices, len(records)))
+
+    # -- polling -----------------------------------------------------------
+
+    def _poll_inputs(self, batch_id: int) -> dict:
+        """Poll every source once; a failed poll reads empty for the tick.
+
+        The ``source.poll`` chaos site fires *before* the actual poll,
+        so an injected fault delays delivery (records stay queued at
+        the source) rather than losing data -- the realistic failure
+        mode of a flaky ingest endpoint.
+        """
+        injector = self._sc.fault_injector
+        records: dict[int, list] = {}
+        for node in self._inputs:
+            self.metrics.polls += 1
+            rows: list = []
+            try:
+                if injector is not None:
+                    injector.check("source.poll", key=(node.source.name, batch_id))
+                rows = node.source.poll()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                self.metrics.poll_failures += 1
+                rows = []
+            records[id(node)] = rows
+            self.metrics.records_ingested += len(rows)
+        return records
+
+    # -- the processing core ----------------------------------------------
+
+    def _process(self, batch: _Batch) -> bool:
+        """Run one batch through outputs and windows; True if it completed.
+
+        The retry envelope mirrors the task scheduler's: non-timeout
+        failures re-run the whole batch up to ``max_batch_failures``
+        attempts (window absorption is idempotent per batch id, so a
+        retry cannot double-count), while a deadline overrun goes
+        straight to the straggler policy.  Under ``"fail"`` the stream
+        records the error and every later drive call raises it.
+        """
+        tracer = self._sc.tracer
+        injector = self._sc.fault_injector
+        with tracer.span(
+            "batch",
+            kind="batch",
+            batch_id=batch.batch_id,
+            records=batch.total_records,
+            queue_depth=batch.queue_depth,
+        ) as span:
+            attempt = 0
+            while True:
+                attempt += 1
+                token = CancelToken()
+                timer: threading.Timer | None = None
+                if self.batch_timeout is not None:
+                    timer = threading.Timer(
+                        self.batch_timeout,
+                        token.cancel,
+                        args=(
+                            f"batch timeout after {self.batch_timeout:g}s",
+                            KIND_TIMEOUT,
+                        ),
+                    )
+                    timer.daemon = True
+                    timer.start()
+                try:
+                    with task_scope(token):
+                        if injector is not None:
+                            injector.check("batch.run", key=batch.batch_id)
+                        base = {
+                            node_id: self._batch_rdd(rows)
+                            for node_id, rows in batch.records.items()
+                        }
+                        for node, fn in self._outputs:
+                            fn(batch.batch_id, node._compute(base))
+                        for consumer in self._windows:
+                            rows = consumer.node._compute(base).collect()
+                            consumer.absorb(batch.batch_id, rows, batch.time)
+                        fired = 0
+                        for consumer in self._windows:
+                            fired += consumer.fire(self)
+                        token.check()
+                    self.metrics.windows_emitted += fired
+                    self.metrics.batches_run += 1
+                    if tracer.enabled:
+                        span.attrs["windows"] = fired
+                        if attempt > 1:
+                            span.attrs["attempts"] = attempt
+                    self._record_latency(batch)
+                    return True
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as exc:
+                    if self._timed_out(exc, token):
+                        self.metrics.batches_skipped += 1
+                        span.attrs["skipped"] = True
+                        span.attrs["timeout"] = True
+                        self._record_latency(batch)
+                        if self.straggler_policy == "fail":
+                            self._error = StreamingError(
+                                f"batch {batch.batch_id} exceeded its "
+                                f"{self.batch_timeout:g}s deadline"
+                            )
+                            self._error.__cause__ = exc
+                            return False
+                        return False
+                    if attempt < self.max_batch_failures:
+                        self.metrics.batch_retries += 1
+                        span.note_failure(f"{type(exc).__name__}: {exc}")
+                        continue
+                    self.metrics.batches_failed += 1
+                    span.attrs["failed"] = True
+                    span.note_failure(f"{type(exc).__name__}: {exc}")
+                    self._record_latency(batch)
+                    if self.straggler_policy == "fail":
+                        self._error = StreamingError(
+                            f"batch {batch.batch_id} failed after "
+                            f"{attempt} attempt(s): {exc}"
+                        )
+                        self._error.__cause__ = exc
+                    return False
+                finally:
+                    if timer is not None:
+                        timer.cancel()
+
+    @staticmethod
+    def _timed_out(exc: BaseException, token: CancelToken) -> bool:
+        """Did this failure come from a deadline rather than a fault?
+
+        Covers the batch's own deadline (the token the watchdog
+        cancelled) and job-level deadline aborts bubbling up from the
+        scheduler (``sc.job_timeout`` / exhausted task timeouts).
+        """
+        if token.cancelled and token.kind == KIND_TIMEOUT:
+            return True
+        if isinstance(exc, TaskCancelledError) and exc.kind == KIND_TIMEOUT:
+            return True
+        if isinstance(exc, JobAbortedError):
+            cause = exc.cause
+            if isinstance(cause, TaskTimeoutError):
+                return True
+            if isinstance(cause, TaskCancelledError) and cause.kind == KIND_TIMEOUT:
+                return True
+        return False
+
+    def _record_latency(self, batch: _Batch) -> None:
+        self.batch_latencies.append(
+            (
+                batch.batch_id,
+                batch.total_records,
+                time.perf_counter() - batch.created,
+                batch.queue_depth,
+            )
+        )
+
+    # -- synchronous drive (deterministic; what the tests use) -------------
+
+    def run_batch(self, batch_time: float | None = None) -> bool:
+        """Poll every source once and process the batch on this thread.
+
+        *batch_time* is the event-time fallback for untimed records
+        (default: wall clock).  Returns True when the batch completed,
+        False when it was skipped or failed under the ``"skip"``
+        policy; under ``"fail"`` a failed batch raises.
+        """
+        self._check_drivable()
+        batch_id = next(self._ids)
+        records = self._poll_inputs(batch_id)
+        batch = _Batch(
+            batch_id, time.time() if batch_time is None else batch_time, records
+        )
+        ok = self._process(batch)
+        if self._error is not None:
+            self._stop_threads_only()
+            raise self._error
+        return ok
+
+    def run_batches(self, n: int, batch_times: list[float] | None = None) -> int:
+        """Run *n* synchronous batches; returns how many completed."""
+        if batch_times is not None and len(batch_times) != n:
+            raise ValueError("batch_times must have exactly n entries")
+        completed = 0
+        for i in range(n):
+            completed += bool(
+                self.run_batch(None if batch_times is None else batch_times[i])
+            )
+        return completed
+
+    def _check_drivable(self) -> None:
+        if self._stopped:
+            raise StreamingError("StreamingContext has been stopped")
+        if self._error is not None:
+            raise self._error
+        if self._started:
+            raise StreamingError(
+                "cannot drive batches synchronously while the loop threads run"
+            )
+
+    # -- threaded drive ----------------------------------------------------
+
+    def start(self) -> None:
+        """Start the poll/process loop on background threads.
+
+        The poller ticks every ``batch_interval`` seconds and enqueues
+        polled batches into the bounded pending queue (blocking, with
+        ``backpressure_waits`` accounting, when the processor lags);
+        the processor drains the queue through the same core
+        :meth:`run_batch` uses.
+        """
+        self._check_drivable()
+        self._started = True
+        self._stop_event.clear()
+        self._poller = threading.Thread(
+            target=self._poll_loop, name="stream-poller", daemon=True
+        )
+        self._processor = threading.Thread(
+            target=self._process_loop, name="stream-processor", daemon=True
+        )
+        self._processor.start()
+        self._poller.start()
+
+    def _poll_loop(self) -> None:
+        next_tick = time.monotonic()
+        while not self._stop_event.is_set():
+            batch_id = next(self._ids)
+            records = self._poll_inputs(batch_id)
+            batch = _Batch(batch_id, time.time(), records)
+            batch.queue_depth = self._queue.qsize()
+            stalled = False
+            while not self._stop_event.is_set():
+                try:
+                    self._queue.put(batch, timeout=0.05)
+                    break
+                except queue_mod.Full:
+                    if not stalled:
+                        stalled = True
+                        self.metrics.backpressure_waits += 1
+            next_tick += self.batch_interval
+            wait = next_tick - time.monotonic()
+            if wait > 0:
+                self._stop_event.wait(wait)
+            else:
+                # Fell behind; re-anchor so ticks don't bunch up.
+                next_tick = time.monotonic()
+
+    def _process_loop(self) -> None:
+        while True:
+            try:
+                batch = self._queue.get(timeout=0.05)
+            except queue_mod.Empty:
+                if self._stop_event.is_set():
+                    return
+                continue
+            try:
+                self._process(batch)
+            except (KeyboardInterrupt, SystemExit):
+                return
+            except BaseException as exc:  # defensive: core shouldn't raise
+                self._error = StreamingError(f"batch processing crashed: {exc}")
+                self._error.__cause__ = exc
+            if self._error is not None:
+                self._stop_event.set()
+                return
+
+    def await_termination(self, timeout: float | None = None) -> bool:
+        """Block until the stream stops (or *timeout*); raise its error.
+
+        Returns True when the stream terminated within the timeout.
+        """
+        if self._poller is None:
+            if self._error is not None:
+                raise self._error
+            return self._stopped
+        terminated = self._stop_event.wait(timeout)
+        if terminated and self._error is not None:
+            raise self._error
+        return terminated
+
+    def _stop_threads_only(self) -> None:
+        self._stop_event.set()
+        for thread in (self._poller, self._processor):
+            if thread is not None and thread.is_alive():
+                thread.join(timeout=5.0)
+        self._poller = self._processor = None
+        self._started = False
+
+    def stop(self, flush: bool = True, drain: bool = True) -> None:
+        """Stop the stream; idempotent, safe from any thread.
+
+        With *drain* the processor finishes the batches already queued
+        before exiting; with *flush* every still-open event-time window
+        is closed and fired, so no buffered record is silently lost.
+        The wrapped :class:`SparkContext` is left running -- the caller
+        owns its lifecycle.
+        """
+        if self._stopped:
+            return
+        self._stop_threads_only()
+        if drain:
+            while True:
+                try:
+                    batch = self._queue.get_nowait()
+                except queue_mod.Empty:
+                    break
+                if self._error is None:
+                    self._process(batch)
+        if flush and self._error is None:
+            fired = 0
+            for consumer in self._windows:
+                fired += consumer.flush(self)
+            self.metrics.windows_emitted += fired
+        for node in self._inputs:
+            node.source.close()
+        self._stopped = True
+
+    def __enter__(self) -> "StreamingContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "stopped" if self._stopped else ("running" if self._started else "idle")
+        return (
+            f"StreamingContext(interval={self.batch_interval:g}s, "
+            f"inputs={len(self._inputs)}, {state})"
+        )

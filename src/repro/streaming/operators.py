@@ -1,0 +1,158 @@
+"""Spatio-temporal operators over micro-batch streams.
+
+The streaming layer does not re-implement the paper's operators -- it
+routes micro-batches and windows through the *batch* operators in
+:mod:`repro.core`, so every result is by construction what a batch run
+over the same records would produce.  What lives here is the one
+genuinely stream-shaped operator: the **stream-static join**.
+
+A stream-static join matches each incoming event against a fixed
+reference dataset (region polygons, points of interest, ...).  Shipping
+the reference with every batch would repeat the dominant cost per
+batch, so the reference is indexed once into an
+:class:`~repro.index.rtree.STRTree` and broadcast; each batch then
+probes the tree per partition -- the same build-once/probe-many design
+STARK uses for its repartition join, applied across batches instead of
+across partitions (GeoFlink's "spatial join with a static side" shape).
+
+Candidate pruning mirrors :func:`repro.core.predicates.
+within_distance_predicate`: envelope probes are only *valid* pruning
+for intersection-style predicates and the Euclidean metric; any other
+distance function degrades to a full reference scan so candidates stay
+complete, and the exact predicate then decides.
+
+**Temporal semantics.**  The paper's combined predicate (eqs. (1)-(3))
+rejects a mixed pair where exactly one side has a temporal component.
+That is the right rule between two *event* datasets, but a static
+reference (region polygons, POIs) is a standing fact, not an event:
+it is valid at every instant.  The join therefore evaluates the full
+combined predicate only when both sides carry time, and falls back to
+the spatial predicate alone when either side is untimed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.core.predicates import STPredicate, combine
+from repro.core.stobject import STObject
+from repro.geometry.distance import DistanceFunction, euclidean, resolve
+from repro.index.rtree import STRTree
+from repro.spark.broadcast import Broadcast
+from repro.spark.cancellation import Heartbeat
+from repro.spark.rdd import RDD
+
+Record = tuple[STObject, Any]
+
+
+@dataclass(frozen=True)
+class StaticPredicate(STPredicate):
+    """An :class:`STPredicate` with the static-side temporal relaxation.
+
+    The paper's combined semantics reject a pair where exactly one side
+    has a temporal component; for stream operators that rule would make
+    every timed event miss every untimed query or reference object.
+    This variant treats an untimed side as valid at all times: the
+    spatial predicate alone decides.  Two timed sides keep the full
+    combined semantics.
+    """
+
+    def evaluate(self, item: STObject, query: STObject) -> bool:
+        """Spatial-only when either side is untimed; else the full predicate."""
+        if item.time is None or query.time is None:
+            return self.spatial(item.geo, query.geo)
+        return combine(self.spatial, self.temporal, item, query)
+
+
+def relax_static(predicate: STPredicate) -> STPredicate:
+    """Wrap *predicate* with the static-side temporal relaxation."""
+    if isinstance(predicate, StaticPredicate):
+        return predicate
+    return StaticPredicate(
+        f"static({predicate.name})",
+        predicate.spatial,
+        predicate.temporal,
+        predicate.envelope_test,
+        predicate.candidate_region,
+    )
+
+
+def build_static_index(
+    reference: "RDD | Sequence[Record]", order: int = 10
+) -> STRTree:
+    """Materialize the static side of a stream-static join as an STR-tree.
+
+    *reference* is an ``RDD[(STObject, V)]`` or a plain sequence of such
+    pairs; it is collected to the driver (the static side is assumed to
+    fit -- the same assumption a Spark broadcast join makes) and
+    bulk-loaded into one tree.
+    """
+    rows = reference.collect() if isinstance(reference, RDD) else list(reference)
+    return STRTree(((st.geo.envelope, (st, v)) for st, v in rows), node_capacity=order)
+
+
+def broadcast_static_index(
+    sc, reference: "RDD | Sequence[Record]", order: int = 10
+) -> Broadcast:
+    """Build and broadcast the static index once for a whole stream."""
+    return sc.broadcast(build_static_index(reference, order))
+
+
+def stream_static_join(
+    batch_rdd: RDD,
+    index: Broadcast,
+    predicate: STPredicate,
+    envelope_margin: float = 0.0,
+    prune: bool = True,
+) -> RDD:
+    """Join one micro-batch against a broadcast static index.
+
+    Returns ``RDD[((stream_st, stream_v), (static_st, static_v))]`` --
+    one pair per matching combination, the same contract as
+    :func:`repro.core.join.spatial_join`.
+
+    ``envelope_margin`` widens the probe envelope (the Euclidean
+    ``withinDistance`` case); ``prune=False`` disables envelope probing
+    entirely and scans the full reference per record (required for
+    non-Euclidean metrics, where envelope distance proves nothing).
+
+    The predicate is oriented like :func:`repro.core.join.spatial_join`:
+    ``evaluate(stream_item, static_item)``, with the static-side
+    temporal relaxation of :func:`relax_static`.
+    """
+    predicate = relax_static(predicate)
+
+    def join_partition(it: Iterator[Record]) -> Iterator[tuple]:
+        tree: STRTree = index.value
+        heartbeat = Heartbeat(every=256)
+        for st, value in it:
+            heartbeat.beat()
+            if prune:
+                probe = st.geo.envelope
+                if envelope_margin > 0.0:
+                    probe = probe.buffer(envelope_margin)
+                candidates = tree.query(probe)
+            else:
+                candidates = [entry for _env, entry in tree.iter_entries()]
+            for ref_st, ref_value in candidates:
+                if predicate.evaluate(st, ref_st):
+                    yield ((st, value), (ref_st, ref_value))
+
+    return batch_rdd.map_partitions(join_partition).set_name("stream.join_static")
+
+
+def within_distance_join_plan(
+    max_distance: float, distance_fn: "str | DistanceFunction" = euclidean
+) -> tuple[float, bool]:
+    """The ``(envelope_margin, prune)`` pair for a withinDistance join.
+
+    Euclidean gets envelope pruning with the distance as margin; every
+    other metric disables pruning (see module docstring).
+    """
+    if max_distance < 0:
+        raise ValueError("max_distance must be non-negative")
+    fn = resolve(distance_fn)
+    if fn is euclidean:
+        return (max_distance, True)
+    return (0.0, False)

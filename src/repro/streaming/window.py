@@ -1,0 +1,193 @@
+"""Event-time windowing for spatio-temporal streams.
+
+The paper models events as :class:`~repro.core.stobject.STObject`
+values whose temporal component is an instant or an interval, and its
+combined predicates (eqs. (1)-(3)) are *intersection* semantics over
+those temporal components.  Windowing inherits exactly that rule: a
+record belongs to every window whose time interval its own temporal
+component intersects.  An instant therefore lands in one tumbling
+window (or ``length / slide`` sliding windows), while an interval-timed
+event -- a concert spanning an evening -- lands in every window it
+overlaps, the streaming analogue of the paper's interval-aware
+``intersects``.
+
+Two pieces live here:
+
+- :class:`WindowSpec` -- the pure assignment arithmetic for tumbling
+  (``slide == length``) and sliding (``slide < length``) windows aligned
+  to multiples of ``slide`` from ``origin``;
+- :class:`WindowState` -- the per-stream accumulator that buckets
+  arriving records into open windows and closes a window once the
+  *watermark* (max event end time seen, minus the allowed lateness)
+  passes its end.  Records arriving after their window closed are
+  counted as ``late_dropped`` rather than silently lost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.core.stobject import STObject
+
+
+@dataclass(frozen=True, order=True)
+class Window:
+    """One half-open event-time window ``[start, end)``."""
+
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        """The window's extent in event-time units."""
+        return self.end - self.start
+
+    def contains_time(self, t: float) -> bool:
+        """True when instant *t* falls inside ``[start, end)``."""
+        return self.start <= t < self.end
+
+    def intersects_span(self, t_start: float, t_end: float) -> bool:
+        """True when the closed span ``[t_start, t_end]`` overlaps this
+        window -- the temporal half of the paper's eq. (1)."""
+        return t_start < self.end and t_end >= self.start
+
+    def __repr__(self) -> str:
+        return f"Window[{self.start:g}, {self.end:g})"
+
+
+class WindowSpec:
+    """Tumbling/sliding window assignment arithmetic.
+
+    ``length`` is the window extent; ``slide`` (default ``length``,
+    which makes the windows tumbling) is the distance between
+    consecutive window starts.  Window starts are the multiples of
+    ``slide`` offset by ``origin``, so assignment is O(windows-hit) and
+    needs no per-window state.
+    """
+
+    __slots__ = ("length", "slide", "origin")
+
+    def __init__(self, length: float, slide: float | None = None, origin: float = 0.0) -> None:
+        if length <= 0:
+            raise ValueError(f"window length must be positive, got {length}")
+        slide = length if slide is None else slide
+        if slide <= 0:
+            raise ValueError(f"window slide must be positive, got {slide}")
+        if slide > length:
+            raise ValueError(
+                f"slide ({slide}) must not exceed length ({length}); "
+                "gapped windows would drop records between windows"
+            )
+        self.length = float(length)
+        self.slide = float(slide)
+        self.origin = float(origin)
+
+    @property
+    def is_tumbling(self) -> bool:
+        """True when windows do not overlap (slide equals length)."""
+        return self.slide == self.length
+
+    def assign(self, t_start: float, t_end: float | None = None) -> list[Window]:
+        """Every window the span ``[t_start, t_end]`` intersects, ascending.
+
+        With ``t_end`` omitted the record is an instant.  The result is
+        never empty: any event time hits at least one window.
+        """
+        if t_end is None:
+            t_end = t_start
+        if t_end < t_start:
+            raise ValueError(f"span end {t_end} precedes start {t_start}")
+        # Earliest window whose [start, start+length) can still reach
+        # t_start; latest window starting at or before t_end.
+        first = math.floor((t_start - self.origin - self.length) / self.slide) + 1
+        last = math.floor((t_end - self.origin) / self.slide)
+        windows = []
+        for k in range(first, last + 1):
+            start = self.origin + k * self.slide
+            window = Window(start, start + self.length)
+            if window.intersects_span(t_start, t_end):
+                windows.append(window)
+        return windows
+
+    def __repr__(self) -> str:
+        shape = "tumbling" if self.is_tumbling else f"sliding/{self.slide:g}"
+        return f"WindowSpec(length={self.length:g}, {shape})"
+
+
+def event_span(st: STObject, fallback: float) -> tuple[float, float]:
+    """The ``(start, end)`` event-time span of a record's key.
+
+    Spatial-only records (no temporal component) take *fallback* --
+    the streaming engine passes the batch's ingestion time, so untimed
+    data still flows through windows deterministically.
+    """
+    time = st.time
+    if time is None:
+        return (fallback, fallback)
+    return (time.start, time.end)
+
+
+class WindowState:
+    """Accumulates one stream's records into open event-time windows.
+
+    ``add_batch`` buckets a batch of ``(STObject, value)`` records into
+    every window their temporal component intersects, then advances the
+    watermark to ``max event end seen - lateness``.  ``advance`` drains
+    the windows whose end the watermark passed, in ascending window
+    order -- the closed-window contents are exactly what a batch
+    recomputation over that window's records would see, which is the
+    property the correctness tests assert.
+    """
+
+    def __init__(self, spec: WindowSpec, lateness: float = 0.0) -> None:
+        if lateness < 0:
+            raise ValueError(f"lateness must be >= 0, got {lateness}")
+        self.spec = spec
+        self.lateness = lateness
+        self.watermark = -math.inf
+        #: Open windows: window -> arrival-ordered records.
+        self._open: dict[Window, list[tuple[STObject, Any]]] = {}
+        #: Ends of windows already emitted, to classify late arrivals.
+        self._closed_horizon = -math.inf
+        self.late_dropped = 0
+
+    def add_batch(self, records: list[tuple[STObject, Any]], batch_time: float) -> None:
+        """Bucket *records* into open windows and advance the watermark."""
+        max_end = self.watermark + self.lateness
+        for st, value in records:
+            t_start, t_end = event_span(st, batch_time)
+            if t_end > max_end:
+                max_end = t_end
+            placed = False
+            for window in self.spec.assign(t_start, t_end):
+                if window.end <= self._closed_horizon:
+                    continue  # this window already fired
+                self._open.setdefault(window, []).append((st, value))
+                placed = True
+            if not placed:
+                self.late_dropped += 1
+        self.watermark = max(self.watermark, max_end - self.lateness)
+
+    def advance(self) -> list[tuple[Window, list[tuple[STObject, Any]]]]:
+        """Close and return every window the watermark has passed."""
+        ready = sorted(w for w in self._open if w.end <= self.watermark)
+        out = []
+        for window in ready:
+            out.append((window, self._open.pop(window)))
+            self._closed_horizon = max(self._closed_horizon, window.end)
+        return out
+
+    def flush(self) -> list[tuple[Window, list[tuple[STObject, Any]]]]:
+        """Close every remaining window (stream shutdown), ascending."""
+        ready = sorted(self._open)
+        out = [(window, self._open.pop(window)) for window in ready]
+        if ready:
+            self._closed_horizon = max(self._closed_horizon, ready[-1].end)
+        return out
+
+    @property
+    def open_windows(self) -> int:
+        """How many windows currently hold buffered records."""
+        return len(self._open)

@@ -36,6 +36,22 @@ class TestExamples:
         lines = [l for l in proc.stdout.splitlines() if "events" in l]
         assert len(lines) >= 2
 
+    def test_quickstart_processes_executor(self):
+        # worker processes recompute the listing's queries from lineage;
+        # the printed counts must match the default-executor run
+        proc = run([f"{REPO}/examples/quickstart.py", "--executor", "processes"])
+        assert proc.returncode == 0, proc.stderr
+        baseline = run([f"{REPO}/examples/quickstart.py", "--executor", "sequential"])
+        assert baseline.returncode == 0, baseline.stderr
+        assert proc.stdout == baseline.stdout
+
+    def test_streaming_events(self):
+        proc = run([f"{REPO}/examples/streaming_events.py"])
+        assert proc.returncode == 0, proc.stderr
+        assert "hotspots per closed window:" in proc.stdout
+        assert "cluster 0:" in proc.stdout  # the seeded harbour hotspot
+        assert "'batches_run': 6" in proc.stdout
+
     def test_workflow_persistence(self):
         proc = run([f"{REPO}/examples/workflow_persistence.py"])
         assert proc.returncode == 0, proc.stderr

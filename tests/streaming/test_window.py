@@ -1,0 +1,169 @@
+"""Event-time window arithmetic and watermark state.
+
+WindowSpec assignment is pure arithmetic, so these tests enumerate the
+paper's temporal cases directly: instants in tumbling and sliding
+windows, interval events spanning several windows (eq. (1) intersection
+semantics), origin offsets, and the boundary conventions of the
+half-open ``[start, end)`` window.  WindowState adds the watermark:
+lateness, out-of-order absorption, late-drop accounting and shutdown
+flush.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.stobject import STObject
+from repro.streaming.window import Window, WindowSpec, WindowState, event_span
+
+
+class TestWindow:
+    def test_half_open_boundaries(self):
+        w = Window(0.0, 10.0)
+        assert w.contains_time(0.0)
+        assert w.contains_time(9.999)
+        assert not w.contains_time(10.0)
+        assert w.length == 10.0
+
+    def test_span_intersection(self):
+        w = Window(10.0, 20.0)
+        assert w.intersects_span(5.0, 10.0)  # touches start (closed span)
+        assert w.intersects_span(19.9, 25.0)
+        assert not w.intersects_span(20.0, 30.0)  # starts at open end
+        assert not w.intersects_span(0.0, 9.0)
+
+    def test_ordering(self):
+        assert Window(0.0, 10.0) < Window(10.0, 20.0)
+
+
+class TestWindowSpec:
+    def test_tumbling_instant_hits_one_window(self):
+        spec = WindowSpec(10.0)
+        assert spec.is_tumbling
+        assert spec.assign(3.0) == [Window(0.0, 10.0)]
+        assert spec.assign(10.0) == [Window(10.0, 20.0)]
+        assert spec.assign(-1.0) == [Window(-10.0, 0.0)]
+
+    def test_sliding_instant_hits_length_over_slide_windows(self):
+        spec = WindowSpec(10.0, slide=5.0)
+        assert spec.assign(7.0) == [Window(0.0, 10.0), Window(5.0, 15.0)]
+
+    def test_interval_spans_every_overlapping_window(self):
+        spec = WindowSpec(10.0)
+        # A "concert" lasting from t=8 to t=25 intersects three windows.
+        assert spec.assign(8.0, 25.0) == [
+            Window(0.0, 10.0),
+            Window(10.0, 20.0),
+            Window(20.0, 30.0),
+        ]
+
+    def test_origin_offsets_window_grid(self):
+        spec = WindowSpec(10.0, origin=3.0)
+        assert spec.assign(3.0) == [Window(3.0, 13.0)]
+        assert spec.assign(2.9) == [Window(-7.0, 3.0)]
+
+    def test_assignment_never_empty(self):
+        for spec in (WindowSpec(10.0), WindowSpec(10.0, 2.5), WindowSpec(7.0, 3.0)):
+            for t in (-13.7, 0.0, 0.1, 5.0, 123.456):
+                windows = spec.assign(t)
+                assert windows, (spec, t)
+                assert all(w.contains_time(t) for w in windows)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WindowSpec(0.0)
+        with pytest.raises(ValueError):
+            WindowSpec(10.0, slide=0.0)
+        with pytest.raises(ValueError):
+            WindowSpec(10.0, slide=11.0)  # gapped windows drop records
+        with pytest.raises(ValueError):
+            WindowSpec(10.0).assign(5.0, 4.0)
+
+
+class TestEventSpan:
+    def test_instant_interval_and_untimed(self):
+        assert event_span(STObject("POINT (0 0)", 5.0), 99.0) == (5.0, 5.0)
+        assert event_span(STObject("POINT (0 0)", 5.0, 8.0), 99.0) == (5.0, 8.0)
+        assert event_span(STObject("POINT (0 0)"), 99.0) == (99.0, 99.0)
+
+
+def _rec(t: float, value, t_end: float | None = None):
+    st = STObject("POINT (0 0)", t) if t_end is None else STObject("POINT (0 0)", t, t_end)
+    return (st, value)
+
+
+class TestWindowState:
+    def test_watermark_closes_passed_windows(self):
+        state = WindowState(WindowSpec(10.0))
+        state.add_batch([_rec(1.0, "a"), _rec(2.0, "b")], batch_time=0.0)
+        assert state.advance() == []  # watermark at 2.0 < window end
+        state.add_batch([_rec(11.0, "c")], batch_time=0.0)
+        closed = state.advance()
+        assert [w for w, _ in closed] == [Window(0.0, 10.0)]
+        assert [v for _, v in closed[0][1]] == ["a", "b"]
+
+    def test_lateness_delays_closing_and_absorbs_stragglers(self):
+        state = WindowState(WindowSpec(10.0), lateness=5.0)
+        state.add_batch([_rec(1.0, "a"), _rec(12.0, "b")], batch_time=0.0)
+        # Watermark is 12 - 5 = 7: window [0, 10) is still open.
+        assert state.advance() == []
+        state.add_batch([_rec(3.0, "late-but-allowed")], batch_time=0.0)
+        state.add_batch([_rec(16.0, "c")], batch_time=0.0)
+        closed = state.advance()
+        assert [w for w, _ in closed] == [Window(0.0, 10.0)]
+        assert [v for _, v in closed[0][1]] == ["a", "late-but-allowed"]
+        assert state.late_dropped == 0
+
+    def test_late_records_are_counted_not_silently_lost(self):
+        state = WindowState(WindowSpec(10.0))
+        state.add_batch([_rec(1.0, "a"), _rec(25.0, "b")], batch_time=0.0)
+        state.advance()  # closes [0,10) and [10,20) would not have fired (empty)
+        state.add_batch([_rec(2.0, "too-late")], batch_time=0.0)
+        assert state.late_dropped == 1
+
+    def test_interval_record_lands_in_every_window(self):
+        state = WindowState(WindowSpec(10.0))
+        state.add_batch([_rec(5.0, "span", t_end=15.0)], batch_time=0.0)
+        state.add_batch([_rec(31.0, "tick")], batch_time=0.0)
+        closed = dict(state.advance())
+        assert [v for _, v in closed[Window(0.0, 10.0)]] == ["span"]
+        assert [v for _, v in closed[Window(10.0, 20.0)]] == ["span"]
+
+    def test_untimed_records_use_batch_time(self):
+        state = WindowState(WindowSpec(10.0))
+        state.add_batch([(STObject("POINT (0 0)"), "x")], batch_time=4.0)
+        state.add_batch([_rec(20.0, "tick")], batch_time=0.0)
+        closed = state.advance()
+        assert [w for w, _ in closed] == [Window(0.0, 10.0)]
+
+    def test_flush_closes_everything_ascending(self):
+        state = WindowState(WindowSpec(10.0))
+        state.add_batch([_rec(25.0, "c"), _rec(1.0, "a"), _rec(14.0, "b")], batch_time=0.0)
+        flushed = state.flush()
+        assert [w for w, _ in flushed] == [
+            Window(0.0, 10.0),
+            Window(10.0, 20.0),
+            Window(20.0, 30.0),
+        ]
+        assert state.open_windows == 0
+
+    def test_advance_returns_ascending_windows(self):
+        state = WindowState(WindowSpec(10.0))
+        state.add_batch([_rec(15.0, "b"), _rec(1.0, "a")], batch_time=0.0)
+        state.add_batch([_rec(40.0, "d")], batch_time=0.0)
+        closed = state.advance()
+        assert [w for w, _ in closed] == [Window(0.0, 10.0), Window(10.0, 20.0)]
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(ValueError):
+            WindowState(WindowSpec(10.0), lateness=-1.0)
+
+    def test_watermark_monotone_under_out_of_order_batches(self):
+        state = WindowState(WindowSpec(10.0))
+        state.add_batch([_rec(12.0, "b")], batch_time=0.0)
+        first = state.watermark
+        state.add_batch([_rec(3.0, "a")], batch_time=0.0)
+        assert state.watermark == first  # older data never regresses it
+        assert math.isfinite(state.watermark)
