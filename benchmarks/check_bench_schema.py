@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Validate streaming benchmark reports against ``bench.streaming/v1``.
+
+CI runs the streaming benchmark in smoke mode and then checks both the
+fresh report and the committed canonical ``BENCH_streaming.json`` with
+this script, so schema drift (renamed keys, missing sections, a broken
+correctness gate) fails the build instead of silently producing
+artifacts downstream tooling cannot diff::
+
+    python benchmarks/check_bench_schema.py BENCH_streaming.json
+    python benchmarks/check_bench_schema.py fresh.json BENCH_streaming.json
+
+Exit status 0 when every file conforms; 1 with a per-file reason
+otherwise.  The checker validates structure and invariants (the
+``results_equal`` gate must be true, walls and speedup positive) --
+it deliberately does not compare timings across runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA = "bench.streaming/v1"
+
+#: Required keys of one drain/paced throughput row.
+THROUGHPUT_KEYS = {
+    "wall_s",
+    "batches_completed",
+    "records",
+    "records_per_s",
+    "batch_latency_s",
+    "metrics",
+}
+LATENCY_KEYS = {"p50", "p95", "max"}
+
+#: Required keys of the incremental-vs-recompute section.
+INCREMENTAL_KEYS = {
+    "window_length",
+    "window_slide",
+    "windows_fired",
+    "records",
+    "recompute_wall_s",
+    "incremental_wall_s",
+    "speedup",
+    "results_equal",
+    "store",
+}
+STORE_KEYS = {"inserts", "removes", "cell_rebuilds"}
+
+CONFIG_KEYS = {
+    "batches",
+    "rate",
+    "window",
+    "interval",
+    "max_pending",
+    "parallelism",
+    "seed",
+}
+
+
+class SchemaError(ValueError):
+    """One human-readable schema violation."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`SchemaError` with *message* unless *condition*."""
+    if not condition:
+        raise SchemaError(message)
+
+
+def check_number(value, label: str, positive: bool = False) -> None:
+    """*value* must be an int/float (bools excluded); optionally > 0."""
+    require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        f"{label} must be a number, got {value!r}",
+    )
+    if positive:
+        require(value > 0, f"{label} must be positive, got {value!r}")
+
+
+def check_throughput_row(row: dict, label: str) -> None:
+    """One ``drain``/``paced`` measurement block."""
+    require(isinstance(row, dict), f"{label} must be an object")
+    missing = THROUGHPUT_KEYS - row.keys()
+    require(not missing, f"{label} missing keys: {sorted(missing)}")
+    check_number(row["wall_s"], f"{label}.wall_s", positive=True)
+    check_number(row["batches_completed"], f"{label}.batches_completed")
+    check_number(row["records"], f"{label}.records")
+    latency = row["batch_latency_s"]
+    require(isinstance(latency, dict), f"{label}.batch_latency_s must be an object")
+    missing = LATENCY_KEYS - latency.keys()
+    require(not missing, f"{label}.batch_latency_s missing keys: {sorted(missing)}")
+    require(isinstance(row["metrics"], dict), f"{label}.metrics must be an object")
+
+
+def check_incremental(section: dict, label: str = "incremental") -> None:
+    """The incremental-vs-recompute block, including its invariants."""
+    require(isinstance(section, dict), f"{label} must be an object")
+    missing = INCREMENTAL_KEYS - section.keys()
+    require(not missing, f"{label} missing keys: {sorted(missing)}")
+    require(
+        section["results_equal"] is True,
+        f"{label}.results_equal must be true -- the incremental path "
+        "diverged from window recomputation",
+    )
+    check_number(section["recompute_wall_s"], f"{label}.recompute_wall_s", positive=True)
+    check_number(section["incremental_wall_s"], f"{label}.incremental_wall_s", positive=True)
+    check_number(section["speedup"], f"{label}.speedup", positive=True)
+    check_number(section["windows_fired"], f"{label}.windows_fired", positive=True)
+    store = section["store"]
+    require(isinstance(store, dict), f"{label}.store must be an object")
+    missing = STORE_KEYS - store.keys()
+    require(not missing, f"{label}.store missing keys: {sorted(missing)}")
+    for key in STORE_KEYS:
+        check_number(store[key], f"{label}.store.{key}")
+
+
+def check_report(report: dict) -> None:
+    """Validate one parsed report; raises :class:`SchemaError` on drift."""
+    require(isinstance(report, dict), "report must be a JSON object")
+    require(
+        report.get("schema") == SCHEMA,
+        f"schema must be {SCHEMA!r}, got {report.get('schema')!r}",
+    )
+    check_number(report.get("created_unix"), "created_unix", positive=True)
+    host = report.get("host")
+    require(isinstance(host, dict) and "cpus" in host, "host.cpus missing")
+    config = report.get("config")
+    require(isinstance(config, dict), "config must be an object")
+    missing = CONFIG_KEYS - config.keys()
+    require(not missing, f"config missing keys: {sorted(missing)}")
+
+    executors = report.get("executors")
+    require(isinstance(executors, dict), "executors must be an object")
+    for name, modes in executors.items():
+        require(isinstance(modes, dict), f"executors.{name} must be an object")
+        for mode in ("drain", "paced"):
+            require(mode in modes, f"executors.{name} missing mode {mode!r}")
+            check_throughput_row(modes[mode], f"executors.{name}.{mode}")
+
+    require("incremental" in report, "incremental section missing")
+    if report["incremental"] is not None:
+        check_incremental(report["incremental"])
+    require(
+        executors or report["incremental"] is not None,
+        "report carries neither throughput nor incremental results",
+    )
+
+
+def main(argv: list[str]) -> int:
+    """Check every file named on the command line; 0 iff all conform."""
+    if not argv:
+        print("usage: check_bench_schema.py REPORT.json [REPORT.json ...]")
+        return 1
+    status = 0
+    for path in argv:
+        try:
+            with open(path) as fh:
+                report = json.load(fh)
+            check_report(report)
+        except (OSError, json.JSONDecodeError, SchemaError) as exc:
+            print(f"FAIL {path}: {exc}")
+            status = 1
+        else:
+            print(f"ok   {path}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -18,8 +18,18 @@ Two drive modes are measured per executor backend:
   exercises the bounded queue and reports the latency a steady
   producer would see (queueing time included).
 
+``--mode incremental`` instead measures the keyed-state layer: the
+same seeded stream is run twice over sliding windows (4x overlap by
+default), once through the buffered ``window()`` path that recomputes
+every closing window with the batch operators, and once through the
+``continuous()`` path answering from the incrementally maintained
+per-cell indexes.  The two result sets are asserted identical (the
+correctness gate) and the report carries ``speedup = recompute_wall /
+incremental_wall`` plus the store's bookkeeping counters.
+
 The JSON schema is ``bench.streaming/v1`` -- stable keys, suitable for
-CI artifact diffing.
+CI artifact diffing (``benchmarks/check_bench_schema.py`` validates a
+report against it).
 
 The ``processes`` backend spawns workers that re-import ``__main__``,
 so this script must be run as a file (as shown above), not piped to
@@ -33,11 +43,21 @@ import json
 import os
 import time
 
+from repro.core.knn import knn
+from repro.core.predicates import INTERSECTS
 from repro.core.stobject import STObject
 from repro.spark.context import SparkContext
 from repro.streaming import GeneratorSource, StreamingContext
+from repro.streaming.operators import relax_static
 
 DEFAULT_EXECUTORS = ("sequential", "threads")
+
+#: The standing queries for the incremental-vs-recompute comparison:
+#: a central range box and a central kNN probe over the generator's
+#: default 1000x1000 extent.
+INC_RANGE_QUERY = "POLYGON ((300 300, 700 300, 700 700, 300 700, 300 300))"
+INC_KNN_QUERY = "POINT (500 500)"
+INC_K = 10
 
 #: Reference polygons for the stream-static join: a coarse grid of
 #: square "districts" over the generator's default bounds.
@@ -120,6 +140,100 @@ def bench_paced(executor: str, args) -> dict:
         return summarize(ssc, wall, ssc.metrics.batches_run)
 
 
+def canon_window_results(range_sink, knn_sink) -> dict:
+    """Order-insensitive canonical form of the two query sinks, keyed
+    by window bounds -- the equality gate between the two paths."""
+    out: dict = {}
+    for window, rows in range_sink.results():
+        key = (window.start, window.end)
+        out.setdefault(key, {})["range"] = sorted(v for _st, v in rows)
+    for window, rows in knn_sink.results():
+        key = (window.start, window.end)
+        out.setdefault(key, {})["knn"] = sorted(
+            (round(d, 9), v) for d, (_st, v) in rows
+        )
+    return out
+
+
+def bench_incremental(args) -> dict:
+    """Sliding-window recompute vs keyed incremental state, same stream.
+
+    Both runs drain the same seeded generator on the sequential
+    executor (no scheduling noise), fire the same windows, and answer
+    the same standing range + kNN queries; results must match exactly.
+    """
+    length = float(args.window)
+    slide = float(args.slide) if args.slide else length / 4.0
+    query = STObject(INC_RANGE_QUERY)
+    probe = STObject(INC_KNN_QUERY)
+    predicate = relax_static(INTERSECTS)
+
+    def drive(build):
+        with SparkContext(
+            "stream-bench-incremental",
+            parallelism=args.parallelism,
+            executor="sequential",
+        ) as sc:
+            ssc = StreamingContext(sc, batch_interval=args.interval)
+            events = ssc.generator_stream(
+                rate=args.rate,
+                time_step=1.0,
+                seed=args.seed,
+                limit=args.rate * args.batches,
+            )
+            sinks = build(events)
+            start = time.perf_counter()
+            ssc.run_batches(args.batches, batch_times=[0.0] * args.batches)
+            ssc.stop()
+            wall = time.perf_counter() - start
+            return wall, sinks, ssc
+
+    def build_recompute(events):
+        win = events.window(length=length, slide=slide)
+        range_sink = win.apply(
+            lambda _w, rdd: [
+                (st, v) for st, v in rdd.collect() if predicate.evaluate(st, query)
+            ]
+        )
+        return {"range": range_sink, "knn": win.knn(probe, INC_K)}
+
+    def build_incremental(events):
+        cont = events.continuous(length=length, slide=slide)
+        return {
+            "range": cont.range(query),
+            "knn": cont.knn(probe, INC_K),
+            "consumer": cont.consumer,
+        }
+
+    recompute_wall, rec_sinks, _ = drive(build_recompute)
+    incremental_wall, inc_sinks, _ = drive(build_incremental)
+
+    rec_canon = canon_window_results(rec_sinks["range"], rec_sinks["knn"])
+    inc_canon = canon_window_results(inc_sinks["range"], inc_sinks["knn"])
+    if rec_canon != inc_canon:
+        raise SystemExit(
+            "incremental results diverge from window recomputation: "
+            f"{len(rec_canon)} vs {len(inc_canon)} windows"
+        )
+
+    store = inc_sinks["consumer"].store
+    return {
+        "window_length": length,
+        "window_slide": slide,
+        "windows_fired": len(inc_canon),
+        "records": args.rate * args.batches,
+        "recompute_wall_s": recompute_wall,
+        "incremental_wall_s": incremental_wall,
+        "speedup": recompute_wall / incremental_wall if incremental_wall > 0 else None,
+        "results_equal": True,
+        "store": {
+            "inserts": store.inserts if store else 0,
+            "removes": store.removes if store else 0,
+            "cell_rebuilds": store.cell_rebuilds if store else 0,
+        },
+    }
+
+
 def summarize(ssc: StreamingContext, wall: float, completed: int) -> dict:
     latencies = [latency for _b, _n, latency, _q in ssc.batch_latencies]
     records = ssc.metrics.records_ingested
@@ -142,6 +256,17 @@ def main() -> None:
     parser.add_argument("--batches", type=int, default=30)
     parser.add_argument("--rate", type=int, default=300, help="records per batch")
     parser.add_argument("--window", type=float, default=5.0, help="event-time window length")
+    parser.add_argument(
+        "--slide",
+        type=float,
+        default=None,
+        help="window slide for incremental mode (default: window / 4)",
+    )
+    parser.add_argument(
+        "--mode",
+        default="throughput,incremental",
+        help="comma-separated subset of {throughput, incremental}",
+    )
     parser.add_argument("--interval", type=float, default=0.05, help="paced batch interval (s)")
     parser.add_argument("--max-pending", type=int, default=4)
     parser.add_argument("--parallelism", type=int, default=4)
@@ -154,21 +279,39 @@ def main() -> None:
     parser.add_argument("--out", default="BENCH_streaming.json")
     args = parser.parse_args()
 
+    modes = {name.strip() for name in args.mode.split(",") if name.strip()}
+    unknown = modes - {"throughput", "incremental"}
+    if unknown:
+        raise SystemExit(f"unknown --mode entries: {sorted(unknown)}")
+
     executors = [name.strip() for name in args.executors.split(",") if name.strip()]
     results: dict[str, dict] = {}
-    for executor in executors:
-        print(f"== {executor} ==", flush=True)
-        drain = bench_drain(executor, args)
-        paced = bench_paced(executor, args)
-        results[executor] = {"drain": drain, "paced": paced}
-        for mode, row in results[executor].items():
-            p50 = row["batch_latency_s"]["p50"]
-            p95 = row["batch_latency_s"]["p95"]
-            print(
-                f"  {mode:<6} {row['records_per_s'] or 0.0:10.0f} rec/s   "
-                f"p50={1000 * (p50 or 0):.1f} ms  p95={1000 * (p95 or 0):.1f} ms  "
-                f"batches={row['batches_completed']}"
-            )
+    if "throughput" in modes:
+        for executor in executors:
+            print(f"== {executor} ==", flush=True)
+            drain = bench_drain(executor, args)
+            paced = bench_paced(executor, args)
+            results[executor] = {"drain": drain, "paced": paced}
+            for mode, row in results[executor].items():
+                p50 = row["batch_latency_s"]["p50"]
+                p95 = row["batch_latency_s"]["p95"]
+                print(
+                    f"  {mode:<6} {row['records_per_s'] or 0.0:10.0f} rec/s   "
+                    f"p50={1000 * (p50 or 0):.1f} ms  p95={1000 * (p95 or 0):.1f} ms  "
+                    f"batches={row['batches_completed']}"
+                )
+
+    incremental = None
+    if "incremental" in modes:
+        print("== incremental vs recompute ==", flush=True)
+        incremental = bench_incremental(args)
+        print(
+            f"  recompute={incremental['recompute_wall_s'] * 1000:.1f} ms  "
+            f"incremental={incremental['incremental_wall_s'] * 1000:.1f} ms  "
+            f"speedup=x{incremental['speedup']:.2f}  "
+            f"windows={incremental['windows_fired']}  "
+            f"rebuilds={incremental['store']['cell_rebuilds']}"
+        )
 
     report = {
         "schema": "bench.streaming/v1",
@@ -184,6 +327,7 @@ def main() -> None:
             "seed": args.seed,
         },
         "executors": results,
+        "incremental": incremental,
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)

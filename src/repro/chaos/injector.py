@@ -15,6 +15,7 @@ site                 fires in
 ``index.load``       persisted-index part reads (triggers live fallback)
 ``source.poll``      ``StreamingContext`` polling a stream source
 ``batch.run``        ``StreamingContext`` before processing a micro-batch
+``state.update``     keyed streaming state, before a batch is absorbed
 ===================  ====================================================
 
 Two plan shapes exist per site:
@@ -78,6 +79,7 @@ SITES = frozenset(
         "index.load",
         "source.poll",
         "batch.run",
+        "state.update",
     }
 )
 

@@ -98,7 +98,11 @@ def point_segment_distance(p: Coord, a: Coord, b: Coord) -> float:
     dx, dy = bx - ax, by - ay
     seg_len_sq = dx * dx + dy * dy
     if seg_len_sq <= _EPS:
-        return math.hypot(px - ax, py - ay)
+        # Degenerate (or near-degenerate) segment: the projection is
+        # numerically meaningless, but the segment still has two
+        # endpoints -- take the nearer one, so a point coinciding with
+        # ``b`` measures 0, not the tiny segment's length.
+        return min(math.hypot(px - ax, py - ay), math.hypot(px - bx, py - by))
     t = ((px - ax) * dx + (py - ay) * dy) / seg_len_sq
     t = max(0.0, min(1.0, t))
     cx, cy = ax + t * dx, ay + t * dy

@@ -32,6 +32,7 @@ from repro.streaming.context import (
     StreamMetrics,
 )
 from repro.streaming.dstream import (
+    ContinuousWindowedStream,
     DStream,
     Sink,
     SpatialDStream,
@@ -52,6 +53,16 @@ from repro.streaming.sources import (
     QueueSource,
     StreamSource,
 )
+from repro.streaming.state import (
+    CellState,
+    ContinuousJoinStatic,
+    ContinuousKnn,
+    ContinuousQuery,
+    ContinuousRange,
+    KeyedStateStore,
+    KeyedWindowState,
+    StateConsumer,
+)
 from repro.streaming.window import Window, WindowSpec, WindowState, event_span
 
 __all__ = [
@@ -63,7 +74,16 @@ __all__ = [
     "SpatialDStream",
     "WindowedStream",
     "SpatialWindowedStream",
+    "ContinuousWindowedStream",
     "Sink",
+    "CellState",
+    "KeyedStateStore",
+    "KeyedWindowState",
+    "StateConsumer",
+    "ContinuousQuery",
+    "ContinuousRange",
+    "ContinuousKnn",
+    "ContinuousJoinStatic",
     "Window",
     "WindowSpec",
     "WindowState",

@@ -90,6 +90,13 @@ class StreamMetrics:
     windows_emitted: int = 0
     #: Batches that found the pending queue full (backpressure stalls).
     backpressure_waits: int = 0
+    #: Records whose *every* window had already fired on arrival
+    #: (summed over all window/state consumers).
+    late_records_dropped: int = 0
+    #: Per-window contributions lost to already-fired windows -- a
+    #: partially-late record still lands in its open windows, but each
+    #: closed window it missed counts here.
+    late_window_drops: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of every counter."""
@@ -339,6 +346,7 @@ class StreamingContext:
                             fired += consumer.fire(self)
                         token.check()
                     self.metrics.windows_emitted += fired
+                    self._refresh_lateness()
                     self.metrics.batches_run += 1
                     if tracer.enabled:
                         span.attrs["windows"] = fired
@@ -400,6 +408,18 @@ class StreamingContext:
             if isinstance(cause, TaskCancelledError) and cause.kind == KIND_TIMEOUT:
                 return True
         return False
+
+    def _refresh_lateness(self) -> None:
+        """Mirror the per-consumer lateness counters into the metrics."""
+        dropped = drops = 0
+        for consumer in self._windows:
+            state = consumer.state
+            if state is None:
+                continue
+            dropped += state.late_dropped
+            drops += state.late_window_drops
+        self.metrics.late_records_dropped = dropped
+        self.metrics.late_window_drops = drops
 
     def _record_latency(self, batch: _Batch) -> None:
         self.batch_latencies.append(
@@ -567,6 +587,7 @@ class StreamingContext:
             for consumer in self._windows:
                 fired += consumer.flush(self)
             self.metrics.windows_emitted += fired
+            self._refresh_lateness()
         for node in self._inputs:
             node.source.close()
         self._stopped = True

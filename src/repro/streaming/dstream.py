@@ -37,6 +37,7 @@ from repro.core.predicates import (
 from repro.core.stobject import STObject
 from repro.geometry.distance import DistanceFunction, euclidean
 from repro.spark.rdd import RDD
+from repro.geometry.envelope import Envelope
 from repro.streaming.operators import (
     broadcast_static_index,
     relax_static,
@@ -307,6 +308,49 @@ class SpatialDStream(DStream):
         self._ssc._register_window(consumer)
         return SpatialWindowedStream(self._ssc, consumer)
 
+    def continuous(
+        self,
+        length: float,
+        slide: float | None = None,
+        lateness: float = 0.0,
+        origin: float = 0.0,
+        universe: "Envelope | None" = None,
+        grid: int = 8,
+        node_capacity: int = 10,
+    ) -> "ContinuousWindowedStream":
+        """Continuous queries over keyed, grid-partitioned window state.
+
+        The incremental alternative to :meth:`window` for sliding
+        windows: instead of buffering every record once per overlapping
+        window and recomputing each closed window with the batch
+        operators, records are assigned to grid cells at ingest and
+        held in a :class:`~repro.streaming.state.KeyedStateStore` --
+        one copy each, indexed once -- and the standing queries
+        registered on the returned stream answer each closing window
+        from the per-cell structures.  Results are identical to the
+        batch recomputation; only the cost profile changes (a window
+        advance touches entering/leaving records, not the whole
+        window).
+
+        ``universe`` fixes the grid up front (``grid`` cells per
+        dimension); without it the first non-empty batch's bounding box
+        is used -- placement only affects pruning granularity, never
+        results.
+        """
+        from repro.streaming.state import StateConsumer
+
+        spec = WindowSpec(length, slide, origin)
+        consumer = StateConsumer(
+            self,
+            spec,
+            lateness=lateness,
+            universe=universe,
+            grid=grid,
+            node_capacity=node_capacity,
+        )
+        self._ssc._register_window(consumer)
+        return ContinuousWindowedStream(self._ssc, consumer)
+
     # camelCase aliases matching the paper's Scala API
     containedBy = contained_by
     withinDistance = within_distance
@@ -334,11 +378,19 @@ class _WindowConsumer:
         self._pending: deque[tuple[Window, list[Record]]] = deque()
 
     def absorb(self, batch_id: int, records: list[Record], batch_time: float) -> None:
-        """Add one batch's records to window state (idempotent per batch)."""
+        """Add one batch's records to window state (idempotent per batch).
+
+        The batch is marked absorbed only after ``add_batch`` succeeded
+        -- marking first would make a fault mid-absorption silently
+        drop the batch on retry (the retry would see the mark and skip
+        re-absorbing records that never landed).  ``add_batch`` stages
+        its mutations after all validation, so a failure leaves no
+        partial state for the retry to double-count.
+        """
         if self._absorbed_batch == batch_id:
             return
-        self._absorbed_batch = batch_id
         self.state.add_batch(records, batch_time)
+        self._absorbed_batch = batch_id
         self._pending.extend(self.state.advance())
 
     def fire(self, ssc) -> int:
@@ -460,3 +512,82 @@ class SpatialWindowedStream(WindowedStream):
         return self.apply(summarize)
 
     kNN = knn
+
+
+class ContinuousWindowedStream:
+    """Standing queries over the keyed state store (see
+    :meth:`SpatialDStream.continuous`).
+
+    Each method registers one :class:`~repro.streaming.state.
+    ContinuousQuery` and returns its :class:`Sink` of ``(window,
+    result)`` pairs.  Every result is pinned equal to running the
+    corresponding batch operator over exactly that window's records --
+    the contract the streaming state tests assert -- while the engine
+    only ever touches records entering or leaving the window set.
+    """
+
+    def __init__(self, ssc, consumer) -> None:
+        self._ssc = ssc
+        self._consumer = consumer
+
+    @property
+    def spec(self) -> WindowSpec:
+        """The window shape this stream groups by."""
+        return self._consumer.spec
+
+    @property
+    def consumer(self):
+        """The underlying :class:`~repro.streaming.state.StateConsumer`
+        (store access for tests, metrics and dashboards)."""
+        return self._consumer
+
+    def range(self, query: "STObject | str", predicate: "str | STPredicate" = INTERSECTS) -> Sink:
+        """Continuous range/predicate query (default: paper eq. (1)).
+
+        Per closed window: the window's records matching *predicate*
+        against *query*, answered from the cell-pruned per-cell R-trees
+        -- equal to :func:`repro.core.filter.filter_no_index` over the
+        window under the static-side temporal relaxation.
+        """
+        from repro.streaming.state import ContinuousRange
+
+        return self._consumer.add_query(ContinuousRange(query, predicate)).sink
+
+    def knn(
+        self,
+        query: "STObject | str",
+        k: int,
+        distance_fn: "str | DistanceFunction" = euclidean,
+    ) -> Sink:
+        """Continuous k-nearest-neighbours of *query*.
+
+        Per closed window: ascending ``[(distance, (STObject, value))]``
+        equal to :func:`repro.core.knn.knn` over the window, answered
+        from a per-query heap fed cells in ascending bound order.
+        """
+        from repro.streaming.state import ContinuousKnn
+
+        return self._consumer.add_query(ContinuousKnn(query, k, distance_fn)).sink
+
+    def intersects_static(
+        self,
+        reference: "RDD | list[Record]",
+        predicate: "str | STPredicate" = INTERSECTS,
+        order: int = 10,
+    ) -> Sink:
+        """Continuous stream-static join against a fixed reference set.
+
+        Each record is probed against the reference R-tree exactly once
+        at ingest; per closed window the cached matches of the window's
+        records are emitted -- ``((stream_st, stream_v), (ref_st,
+        ref_v))`` pairs, equal to :func:`~repro.streaming.operators.
+        stream_static_join` over the window's records.
+        """
+        from repro.streaming.state import ContinuousJoinStatic
+
+        rows = reference.collect() if isinstance(reference, RDD) else list(reference)
+        return self._consumer.add_query(
+            ContinuousJoinStatic(rows, predicate, order)
+        ).sink
+
+    intersectsStatic = intersects_static

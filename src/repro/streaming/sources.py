@@ -145,20 +145,34 @@ class DirectorySource(StreamSource):
         except FileNotFoundError:
             return []
         records: list[Record] = []
+        staged: list[str] = []
         for entry in entries:
             if entry in self._seen or entry.startswith("."):
                 continue
             full = os.path.join(self.path, entry)
             if not os.path.isfile(full):
                 continue
-            self._seen.add(entry)
             if self.format == "geojson":
                 records.extend(read_geojson(full))
             else:
                 records.extend(self._parse_event_file(full))
+            staged.append(entry)
+        # Files are marked seen only after the whole poll parsed: a
+        # transient read failure (partially-written file, injected
+        # storage fault) raises before this point, nothing is committed,
+        # and the failed tick delivered no records -- so the next poll
+        # re-reads the same files and no record is lost or duplicated.
+        self._seen.update(staged)
         return records
 
     def close(self) -> None:
+        """Release resources; the seen-file set is *kept* so a stopped
+        and restarted stream over the same directory does not re-ingest
+        every file as duplicates (use :meth:`reset` to start over)."""
+
+    def reset(self) -> None:
+        """Forget every seen file: the next poll re-ingests the whole
+        directory.  The explicit restart-from-scratch escape hatch."""
         self._seen.clear()
 
 

@@ -1,0 +1,678 @@
+"""Keyed, grid-partitioned streaming state with incremental per-cell indexes.
+
+The GeoFlink observation (PAPERS.md): recomputing every sliding window
+from scratch wastes exactly the work the windows share.  With windows of
+length ``L`` sliding by ``S``, each record participates in ``L / S``
+windows, and the batch path pays for it that many times -- one RDD
+build, one scan, one index pass per window.  This module distributes
+the *stream itself* instead: events are assigned to grid cells at
+ingest (the same fixed grid as :class:`~repro.partitioners.grid.
+GridPartitioner`), each cell keeps an object registry plus incrementally
+maintained query structures, and a sliding-window advance touches only
+the records entering (one insert each) and leaving (one evict each) --
+every record is indexed exactly once no matter how many windows it
+spans.
+
+Three layers live here:
+
+- :class:`CellState` -- one grid cell: a registry of live records, a
+  generation-rebuilt per-cell STR-tree (STR packing is build-once, so
+  "incremental" means *cell-local lazy rebuild*: mutations mark the
+  cell dirty and the next query that actually needs this cell rebuilds
+  just it -- untouched cells keep their tree across any number of
+  window advances), and spatial + temporal extents for pruning (the
+  hybrid-index motivation: temporal extents let later layers prune
+  cells in time as well as space);
+- :class:`KeyedStateStore` -- the keyed store: cell assignment by
+  centroid (reusing the grid partitioner's arithmetic), insert/remove
+  by record id, and the continuous query algorithms -- cell-pruned
+  range queries through the per-cell trees and kNN with a per-query
+  best-k heap fed cell by cell in ascending lower-bound order;
+- :class:`KeyedWindowState` -- the windowing contract of
+  :class:`~repro.streaming.window.WindowState` (watermark, lateness,
+  closed-horizon, late counters) re-based on the store: one copy of
+  each record lives in the store with a reference count of open windows,
+  and eviction is driven by the watermark passing a record's last
+  window.
+
+Pruning stays *correct* under the paper's centroid assignment rule: a
+non-point geometry can stick out of its cell, so queries prune on the
+cell's **live extent** (bounds grown by member envelopes), which grows
+eagerly on insert and is recomputed exactly on the next tree rebuild
+after removals -- conservative in between, never lossy.
+
+The continuous query classes (:class:`ContinuousRange`,
+:class:`ContinuousKnn`, :class:`ContinuousJoinStatic`) pin their
+results to the batch operators: a fired window's answer is equal to
+running the corresponding :mod:`repro.core` operator over exactly that
+window's records, which is the property the streaming state tests
+assert record for record.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.knn import query_radius
+from repro.core.predicates import INTERSECTS, STPredicate, resolve_predicate
+from repro.core.stobject import STObject
+from repro.geometry.distance import DistanceFunction, euclidean, resolve
+from repro.geometry.envelope import Envelope
+from repro.index.rtree import STRTree
+from repro.partitioners.grid import GridPartitioner
+from repro.streaming.operators import build_static_index, relax_static
+from repro.streaming.window import Window, WindowSpec, event_span
+
+Record = tuple[STObject, Any]
+
+_INF = float("inf")
+
+
+class CellState:
+    """One grid cell: registry, lazily rebuilt tree, live extents."""
+
+    __slots__ = (
+        "registry",
+        "_tree",
+        "_dirty",
+        "_min_x",
+        "_min_y",
+        "_max_x",
+        "_max_y",
+        "t_min",
+        "t_max",
+        "rebuilds",
+    )
+
+    def __init__(self) -> None:
+        #: rid -> (STObject, value, t_start, t_end)
+        self.registry: dict[int, tuple[STObject, Any, float, float]] = {}
+        self._tree: STRTree | None = None
+        self._dirty = False
+        # Live spatial extent as bare floats: insert is the hottest path
+        # in the store, and growing four numbers beats allocating a new
+        # Envelope per record.
+        self._min_x = self._min_y = _INF
+        self._max_x = self._max_y = -_INF
+        #: Temporal extent of live members (conservative after removes).
+        self.t_min = _INF
+        self.t_max = -_INF
+        #: Generation rebuilds performed (the incremental-cost metric).
+        self.rebuilds = 0
+
+    def __len__(self) -> int:
+        return len(self.registry)
+
+    def insert(self, rid: int, st: STObject, value: Any, t_start: float, t_end: float) -> None:
+        """Add one record; extents grow eagerly, the tree goes stale."""
+        self.registry[rid] = (st, value, t_start, t_end)
+        env = st.geo.envelope
+        if env.min_x < self._min_x:
+            self._min_x = env.min_x
+        if env.min_y < self._min_y:
+            self._min_y = env.min_y
+        if env.max_x > self._max_x:
+            self._max_x = env.max_x
+        if env.max_y > self._max_y:
+            self._max_y = env.max_y
+        if t_start < self.t_min:
+            self.t_min = t_start
+        if t_end > self.t_max:
+            self.t_max = t_end
+        self._dirty = True
+
+    def remove(self, rid: int) -> None:
+        """Drop one record; extents stay conservative until a rebuild."""
+        self.registry.pop(rid, None)
+        self._dirty = True
+
+    @property
+    def extent(self) -> Envelope:
+        """The live spatial extent (exact after a rebuild, else grown-only)."""
+        return Envelope(self._min_x, self._min_y, self._max_x, self._max_y)
+
+    def intersects_time(self, t_start: float, t_end: float) -> bool:
+        """Can any live member's span intersect ``[t_start, t_end]``?
+
+        Uses the cell's temporal extent -- the per-cell analogue of the
+        hybrid spatio-temporal index's partition time pruning.
+        """
+        return bool(self.registry) and self.t_min <= t_end and self.t_max >= t_start
+
+    def tree(self, node_capacity: int) -> STRTree:
+        """The cell's STR-tree over live entries, rebuilt only when stale.
+
+        The rebuild also recomputes the exact spatial and temporal
+        extents, shrinking whatever slack removals left behind.
+        """
+        if self._tree is None or self._dirty:
+            self._tree = STRTree(
+                ((row[0].geo.envelope, rid) for rid, row in self.registry.items()),
+                node_capacity=node_capacity,
+            )
+            env = self._tree.envelope
+            self._min_x, self._min_y = env.min_x, env.min_y
+            self._max_x, self._max_y = env.max_x, env.max_y
+            self.t_min = min((row[2] for row in self.registry.values()), default=_INF)
+            self.t_max = max((row[3] for row in self.registry.values()), default=-_INF)
+            self._dirty = False
+            self.rebuilds += 1
+        return self._tree
+
+
+class KeyedStateStore:
+    """A grid-keyed registry of live stream records with per-cell indexes.
+
+    ``universe`` fixes the grid (``grid`` cells per dimension) the way
+    :class:`~repro.partitioners.grid.GridPartitioner` lays it out;
+    records outside the universe clamp into border cells, and pruning
+    stays exact because it reads live extents, not designed bounds.
+    """
+
+    def __init__(
+        self,
+        universe: Envelope,
+        grid: int = 8,
+        node_capacity: int = 10,
+    ) -> None:
+        if universe.is_empty:
+            raise ValueError("state store universe must be non-empty")
+        self.node_capacity = node_capacity
+        self._partitioner = GridPartitioner((), grid, universe=universe)
+        self._cells: dict[int, CellState] = {}
+        self._locations: dict[int, int] = {}
+        self._retired_rebuilds = 0
+        self.inserts = 0
+        self.removes = 0
+
+    @property
+    def partitioner(self) -> GridPartitioner:
+        """The grid the store keys by."""
+        return self._partitioner
+
+    @property
+    def size(self) -> int:
+        """Live records currently held."""
+        return len(self._locations)
+
+    @property
+    def cells_used(self) -> int:
+        """Grid cells currently holding at least one record."""
+        return len(self._cells)
+
+    @property
+    def cell_rebuilds(self) -> int:
+        """Total generation rebuilds across all cells so far."""
+        return sum(c.rebuilds for c in self._cells.values()) + self._retired_rebuilds
+
+    def insert(self, rid: int, st: STObject, value: Any, t_start: float, t_end: float) -> None:
+        """Assign the record to its centroid's cell and index it there."""
+        # Inline the partitioner's centroid rule: this is the store's
+        # hottest path and get_partition's generic key dispatch costs
+        # more than the grid arithmetic itself.
+        centroid = st.geo.centroid()
+        pid = self._partitioner.partition_of_point(centroid.x, centroid.y)
+        cell = self._cells.get(pid)
+        if cell is None:
+            cell = self._cells[pid] = CellState()
+        cell.insert(rid, st, value, t_start, t_end)
+        self._locations[rid] = pid
+        self.inserts += 1
+
+    def remove(self, rid: int) -> None:
+        """Evict one record by id (no-op for unknown ids)."""
+        pid = self._locations.pop(rid, None)
+        if pid is None:
+            return
+        cell = self._cells[pid]
+        cell.remove(rid)
+        if not cell.registry:
+            self._retired_rebuilds += cell.rebuilds
+            del self._cells[pid]
+        self.removes += 1
+
+    # -- window membership -------------------------------------------------
+
+    def iter_window(self, window: Window | None) -> Iterator[tuple[int, STObject, Any]]:
+        """Every live ``(rid, STObject, value)`` whose span intersects
+        *window* (all live records when *window* is None)."""
+        for cell in self._cells.values():
+            if window is not None and not cell.intersects_time(window.start, window.end):
+                continue
+            for rid, (st, value, t_start, t_end) in cell.registry.items():
+                if window is None or window.intersects_span(t_start, t_end):
+                    yield rid, st, value
+
+    def window_records(self, window: Window | None) -> list[Record]:
+        """The window's records as ``(STObject, value)`` pairs -- what a
+        batch recomputation over the window would be given."""
+        return [(st, value) for _rid, st, value in self.iter_window(window)]
+
+    # -- continuous queries ------------------------------------------------
+
+    def query_range(
+        self,
+        query: STObject,
+        predicate: STPredicate = INTERSECTS,
+        window: Window | None = None,
+    ) -> list[Record]:
+        """Records matching *predicate* against *query* inside *window*.
+
+        Cells are pruned by live extent against the predicate's
+        candidate region (and by temporal extent against the window);
+        surviving cells answer from their R-tree, and candidates are
+        refined with the exact predicate -- the live-indexing shape of
+        :func:`repro.core.filter.filter_live_index`, scoped to the
+        touched cells only.  Equal to the batch filter over the
+        window's records under the static-side relaxation.
+        """
+        predicate = relax_static(resolve_predicate(predicate))
+        region = predicate.candidate_region(query.geo.envelope)
+        out: list[Record] = []
+        for cell in self._cells.values():
+            if not cell.extent.intersects(region):
+                continue
+            if window is not None and not cell.intersects_time(window.start, window.end):
+                continue
+            registry = cell.registry
+            for rid in cell.tree(self.node_capacity).query(region):
+                st, value, t_start, t_end = registry[rid]
+                if window is not None and not window.intersects_span(t_start, t_end):
+                    continue
+                if predicate.evaluate(st, query):
+                    out.append((st, value))
+        return out
+
+    def query_knn(
+        self,
+        query: STObject,
+        k: int,
+        window: Window | None = None,
+        distance_fn: "str | DistanceFunction" = euclidean,
+    ) -> list[tuple[float, Record]]:
+        """The *k* records nearest *query* inside *window*, ascending.
+
+        A per-query best-k heap is fed cell by cell in ascending
+        lower-bound order (cell extent distance to the query centroid,
+        slackened by the query radius exactly like :func:`repro.core.
+        knn.knn`); the search stops as soon as the next cell's bound
+        cannot beat the current k-th distance.  Non-Euclidean metrics
+        make envelope bounds inadmissible, so they scan every live cell
+        -- correctness over speed, matching the batch operator.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        fn = resolve(distance_fn)
+        centroid = query.geo.centroid()
+        slack = query_radius(query.geo)
+        prune = fn is euclidean
+
+        ranked = []
+        for cell in self._cells.values():
+            if window is not None and not cell.intersects_time(window.start, window.end):
+                continue
+            bound = (
+                max(0.0, cell.extent.distance_to_point(centroid.x, centroid.y) - slack)
+                if prune
+                else 0.0
+            )
+            ranked.append((bound, cell))
+        ranked.sort(key=lambda pair: pair[0])
+
+        # A max-heap of the k best (negated distance, tie, record).
+        best: list[tuple[float, int, Record]] = []
+        tie = itertools.count()
+        for bound, cell in ranked:
+            if prune and len(best) == k and bound > -best[0][0]:
+                break
+            for _rid, (st, value, t_start, t_end) in cell.registry.items():
+                if window is not None and not window.intersects_span(t_start, t_end):
+                    continue
+                if (
+                    prune
+                    and len(best) == k
+                    and st.geo.envelope.distance_to_point(centroid.x, centroid.y) - slack
+                    > -best[0][0]
+                ):
+                    continue  # envelope bound already beaten
+                d = fn(st.geo, query.geo)
+                if len(best) < k:
+                    heapq.heappush(best, (-d, next(tie), (st, value)))
+                elif d < -best[0][0]:
+                    heapq.heapreplace(best, (-d, next(tie), (st, value)))
+        return sorted(((-nd, record) for nd, _t, record in best), key=lambda p: p[0])
+
+
+class KeyedWindowState:
+    """Event-time windowing over a :class:`KeyedStateStore`.
+
+    The watermark/lateness/closed-horizon contract of
+    :class:`~repro.streaming.window.WindowState`, with one crucial
+    difference: records are not buffered per window.  Each record is
+    inserted into the store exactly once, its open windows are counted
+    by reference, and the watermark passing a record's *last* window
+    evicts it -- the entering/leaving-only cost profile of the module
+    docstring.
+
+    ``add_batch`` stages its work in two passes -- all window
+    assignment (the part that can raise) first, all mutation second --
+    so a failed batch leaves no partial state behind and a retried
+    batch cannot double-insert.
+    """
+
+    def __init__(self, spec: WindowSpec, store: KeyedStateStore, lateness: float = 0.0) -> None:
+        if lateness < 0:
+            raise ValueError(f"lateness must be >= 0, got {lateness}")
+        self.spec = spec
+        self.store = store
+        self.lateness = lateness
+        self.watermark = -_INF
+        self._closed_horizon = -_INF
+        #: window -> live record count (a window fires when it closes).
+        self._window_counts: dict[Window, int] = {}
+        #: (last window end, rid) eviction heap.
+        self._eviction: list[tuple[float, int]] = []
+        self._ids = itertools.count()
+        #: Records whose every window had already fired on arrival.
+        self.late_dropped = 0
+        #: Per-window contributions lost to already-fired windows.
+        self.late_window_drops = 0
+
+    def add_batch(
+        self, records: list[Record], batch_time: float
+    ) -> list[tuple[int, STObject, Any]]:
+        """Insert *records* into the store and advance the watermark.
+
+        Returns the inserted ``(rid, STObject, value)`` rows so per-record
+        query hooks (the stream-static join's ingest-time probe) run
+        exactly once per accepted record.
+        """
+        max_end = self.watermark + self.lateness
+        staged: list[tuple[STObject, Any, float, float, list[Window]]] = []
+        late_records = late_windows = 0
+        assign = self.spec.assign
+        horizon = self._closed_horizon
+        for st, value in records:
+            t_start, t_end = event_span(st, batch_time)
+            if t_end > max_end:
+                max_end = t_end
+            windows = assign(t_start, t_end)
+            live = [w for w in windows if w.end > horizon]
+            late_windows += len(windows) - len(live)
+            if not live:
+                late_records += 1
+                continue
+            staged.append((st, value, t_start, t_end, live))
+        inserted: list[tuple[int, STObject, Any]] = []
+        counts = self._window_counts
+        insert = self.store.insert
+        for st, value, t_start, t_end, live in staged:
+            rid = next(self._ids)
+            insert(rid, st, value, t_start, t_end)
+            heapq.heappush(self._eviction, (live[-1].end, rid))
+            for window in live:
+                counts[window] = counts.get(window, 0) + 1
+            inserted.append((rid, st, value))
+        self.late_dropped += late_records
+        self.late_window_drops += late_windows
+        self.watermark = max(self.watermark, max_end - self.lateness)
+        return inserted
+
+    def ready_windows(self) -> list[Window]:
+        """Windows the watermark has passed, ascending (not yet closed --
+        their records stay queryable until :meth:`close_window`)."""
+        return sorted(w for w in self._window_counts if w.end <= self.watermark)
+
+    def close_window(self, window: Window) -> list[int]:
+        """Mark *window* fired: advance the closed horizon and evict every
+        record whose last window has now closed.  Returns evicted rids."""
+        self._window_counts.pop(window, None)
+        if window.end > self._closed_horizon:
+            self._closed_horizon = window.end
+        evicted: list[int] = []
+        while self._eviction and self._eviction[0][0] <= self._closed_horizon:
+            _end, rid = heapq.heappop(self._eviction)
+            self.store.remove(rid)
+            evicted.append(rid)
+        return evicted
+
+    def flush_windows(self) -> list[Window]:
+        """Every still-open window, ascending (stream shutdown)."""
+        return sorted(self._window_counts)
+
+    @property
+    def open_windows(self) -> int:
+        """How many windows currently have live records."""
+        return len(self._window_counts)
+
+
+# -- continuous queries ----------------------------------------------------
+
+
+class ContinuousQuery:
+    """One standing query evaluated against the store per closed window.
+
+    Subclasses implement :meth:`evaluate`; :meth:`on_insert` /
+    :meth:`on_evict` are the incremental hooks (the stream-static join
+    matches each record once, at ingest).  Results accumulate in
+    ``sink`` as ``(window, result)`` pairs, the windowed-sink contract.
+    """
+
+    def __init__(self) -> None:
+        from repro.streaming.dstream import Sink
+
+        self.sink = Sink()
+
+    def on_insert(self, rid: int, st: STObject, value: Any) -> None:
+        """Incremental per-record hook at ingest (default: nothing)."""
+
+    def on_evict(self, rid: int) -> None:
+        """Incremental per-record hook at eviction (default: nothing)."""
+
+    def evaluate(self, store: KeyedStateStore, window: Window) -> Any:
+        """The window's result (subclass responsibility)."""
+        raise NotImplementedError
+
+    def emit(self, store: KeyedStateStore, window: Window) -> None:
+        """Evaluate and record one closed window."""
+        self.sink.append(window, self.evaluate(store, window))
+
+
+class ContinuousRange(ContinuousQuery):
+    """Continuous range/predicate filter (default: paper eq. (1))."""
+
+    def __init__(self, query: "STObject | str", predicate: "str | STPredicate" = INTERSECTS) -> None:
+        super().__init__()
+        self.query = query if isinstance(query, STObject) else STObject(query)
+        self.predicate = relax_static(resolve_predicate(predicate))
+
+    def evaluate(self, store: KeyedStateStore, window: Window) -> list[Record]:
+        return store.query_range(self.query, self.predicate, window)
+
+
+class ContinuousKnn(ContinuousQuery):
+    """Continuous k-nearest-neighbours of a fixed query object."""
+
+    def __init__(
+        self,
+        query: "STObject | str",
+        k: int,
+        distance_fn: "str | DistanceFunction" = euclidean,
+    ) -> None:
+        super().__init__()
+        self.query = query if isinstance(query, STObject) else STObject(query)
+        self.k = k
+        self.distance_fn = distance_fn
+
+    def evaluate(self, store: KeyedStateStore, window: Window) -> list[tuple[float, Record]]:
+        return store.query_knn(self.query, self.k, window, self.distance_fn)
+
+
+class ContinuousJoinStatic(ContinuousQuery):
+    """Continuous stream-static join against a fixed reference dataset.
+
+    The reference is R-tree-indexed once; each stream record is probed
+    against it exactly *once*, at ingest, and the matches are cached by
+    record id -- a window's join result is then just the union of the
+    cached matches of the records in the window, however many sliding
+    windows the record lives through.  Same output contract as
+    :func:`repro.streaming.operators.stream_static_join`.
+    """
+
+    def __init__(
+        self,
+        reference: Sequence[Record],
+        predicate: "str | STPredicate" = INTERSECTS,
+        order: int = 10,
+    ) -> None:
+        super().__init__()
+        self.predicate = relax_static(resolve_predicate(predicate))
+        self._tree = build_static_index(reference, order)
+        self._matches: dict[int, list[Record]] = {}
+        self.probes = 0
+
+    def on_insert(self, rid: int, st: STObject, value: Any) -> None:
+        self.probes += 1
+        matched = [
+            (ref_st, ref_value)
+            for ref_st, ref_value in self._tree.query(st.geo.envelope)
+            if self.predicate.evaluate(st, ref_st)
+        ]
+        if matched:
+            self._matches[rid] = matched
+
+    def on_evict(self, rid: int) -> None:
+        self._matches.pop(rid, None)
+
+    def evaluate(self, store: KeyedStateStore, window: Window) -> list[tuple[Record, Record]]:
+        out: list[tuple[Record, Record]] = []
+        for rid, st, value in store.iter_window(window):
+            for ref_st, ref_value in self._matches.get(rid, ()):
+                out.append(((st, value), (ref_st, ref_value)))
+        return out
+
+
+class StateConsumer:
+    """The keyed-state counterpart of the per-window buffer consumer.
+
+    Bridges one DStream node to a :class:`KeyedWindowState`: per batch
+    the streaming context collects the chain's records and calls
+    :meth:`absorb` (idempotent per batch id -- the retry contract), the
+    ``state.update`` chaos site fires *before* any mutation so an
+    injected fault retries cleanly, and :meth:`fire` evaluates every
+    registered continuous query per ready window before the window's
+    leavers are evicted.
+
+    The store's universe is fixed lazily from the first non-empty
+    batch's envelopes when the caller did not pass one -- grid cell
+    *assignment* only affects pruning granularity, never correctness,
+    because queries prune on live extents.
+    """
+
+    def __init__(
+        self,
+        node,
+        spec: WindowSpec,
+        lateness: float = 0.0,
+        universe: Envelope | None = None,
+        grid: int = 8,
+        node_capacity: int = 10,
+    ) -> None:
+        self.node = node
+        self.spec = spec
+        self.lateness = lateness
+        self.grid = grid
+        self.node_capacity = node_capacity
+        self.state: KeyedWindowState | None = None
+        self.queries: list[ContinuousQuery] = []
+        self._absorbed_batch: int | None = None
+        self._ready: list[Window] = []
+        self._pending_hooks: list[tuple[int, STObject, Any]] = []
+        if universe is not None:
+            self._init_state(universe)
+
+    def _init_state(self, universe: Envelope) -> None:
+        store = KeyedStateStore(universe, grid=self.grid, node_capacity=self.node_capacity)
+        self.state = KeyedWindowState(self.spec, store, self.lateness)
+
+    @property
+    def store(self) -> KeyedStateStore | None:
+        """The keyed store (None until the first record fixed a universe)."""
+        return self.state.store if self.state is not None else None
+
+    def add_query(self, query: ContinuousQuery) -> ContinuousQuery:
+        """Register one standing query; returns it for sink access."""
+        self.queries.append(query)
+        return query
+
+    def absorb(self, batch_id: int, records: list[Record], batch_time: float) -> None:
+        """Insert one batch into keyed state (idempotent per batch id).
+
+        The batch is marked absorbed only after every mutation
+        succeeded: a fault mid-absorb (chaos or otherwise) leaves the
+        mark unset, the staged two-pass :meth:`KeyedWindowState.
+        add_batch` leaves no partial inserts, and the retried batch
+        absorbs cleanly.
+        """
+        if self._absorbed_batch == batch_id:
+            return
+        injector = getattr(self.node._ssc.spark_context, "fault_injector", None)
+        if injector is not None:
+            injector.check("state.update", key=batch_id)
+        if self.state is None:
+            if not records:
+                self._absorbed_batch = batch_id
+                return
+            universe = Envelope.empty()
+            for st, _value in records:
+                universe = universe.merge(st.geo.envelope)
+            self._init_state(universe)
+        inserted = self.state.add_batch(records, batch_time)
+        self._absorbed_batch = batch_id
+        if self.queries:
+            self._pending_hooks.extend(inserted)
+        self._ready.extend(
+            w for w in self.state.ready_windows() if w not in self._ready
+        )
+
+    def _run_insert_hooks(self) -> None:
+        # Drained before any window evaluates; a record is popped only
+        # after every query's hook ran, and re-running a hook for the
+        # same rid just overwrites the same cached result, so a failure
+        # mid-drain replays safely on the batch retry.
+        while self._pending_hooks:
+            rid, st, value = self._pending_hooks[0]
+            for query in self.queries:
+                query.on_insert(rid, st, value)
+            self._pending_hooks.pop(0)
+
+    def fire(self, ssc) -> int:
+        """Evaluate every query for each ready window, then evict leavers.
+
+        A window leaves the ready queue only after all of its queries
+        ran -- a failure mid-fire leaves it queued for the batch retry,
+        the same at-least-once contract as the buffered window path.
+        """
+        self._run_insert_hooks()
+        fired = 0
+        while self._ready:
+            window = self._ready[0]
+            for query in self.queries:
+                query.emit(self.state.store, window)
+            self._ready.pop(0)
+            for rid in self.state.close_window(window):
+                for query in self.queries:
+                    query.on_evict(rid)
+            fired += 1
+        return fired
+
+    def flush(self, ssc) -> int:
+        """Fire every still-open window (stream shutdown), ascending."""
+        if self.state is None:
+            return 0
+        self._ready.extend(
+            w for w in self.state.flush_windows() if w not in self._ready
+        )
+        return self.fire(ssc)

@@ -20,7 +20,11 @@ Two pieces live here:
   arriving records into open windows and closes a window once the
   *watermark* (max event end time seen, minus the allowed lateness)
   passes its end.  Records arriving after their window closed are
-  counted as ``late_dropped`` rather than silently lost.
+  counted rather than silently lost: ``late_dropped`` counts records
+  whose *every* window had fired, and ``late_window_drops`` counts the
+  per-window contributions a partially-late record missed (a record
+  spanning several sliding windows of which some already fired still
+  lands in the open ones, but each closed one it missed is counted).
 """
 
 from __future__ import annotations
@@ -67,7 +71,12 @@ class WindowSpec:
     needs no per-window state.
     """
 
-    __slots__ = ("length", "slide", "origin")
+    __slots__ = ("length", "slide", "origin", "_window_cache")
+
+    #: Per-spec cap on memoized Window objects; streams revisit the same
+    #: few open windows record after record, so a small cache hits nearly
+    #: always while staying bounded on unbounded event time.
+    _CACHE_LIMIT = 512
 
     def __init__(self, length: float, slide: float | None = None, origin: float = 0.0) -> None:
         if length <= 0:
@@ -83,6 +92,19 @@ class WindowSpec:
         self.length = float(length)
         self.slide = float(slide)
         self.origin = float(origin)
+        self._window_cache: dict[int, Window] = {}
+
+    def _window_at(self, k: int) -> Window:
+        """The k-th window (start ``origin + k * slide``), memoized --
+        a stream assigns the same handful of open windows millions of
+        times, and Window construction dominates assignment otherwise."""
+        window = self._window_cache.get(k)
+        if window is None:
+            if len(self._window_cache) >= self._CACHE_LIMIT:
+                self._window_cache.clear()
+            start = self.origin + k * self.slide
+            window = self._window_cache[k] = Window(start, start + self.length)
+        return window
 
     @property
     def is_tumbling(self) -> bool:
@@ -100,15 +122,25 @@ class WindowSpec:
         if t_end < t_start:
             raise ValueError(f"span end {t_end} precedes start {t_start}")
         # Earliest window whose [start, start+length) can still reach
-        # t_start; latest window starting at or before t_end.
+        # t_start; latest window starting at or before t_end.  The k
+        # range is widened by one slide on each side and every candidate
+        # is checked with the exact intersection test: the float floor
+        # division can land one slide off at large magnitudes or exact
+        # boundaries, and the widen-then-filter keeps assignment exact
+        # in the arithmetic the windows themselves are built with.
         first = math.floor((t_start - self.origin - self.length) / self.slide) + 1
         last = math.floor((t_end - self.origin) / self.slide)
         windows = []
-        for k in range(first, last + 1):
-            start = self.origin + k * self.slide
-            window = Window(start, start + self.length)
+        for k in range(first - 1, last + 2):
+            window = self._window_at(k)
             if window.intersects_span(t_start, t_end):
                 windows.append(window)
+        if not windows:
+            # Pathological float gap: consecutive windows k and k+1 can
+            # satisfy start_k + length < start_{k+1} by one ulp, leaving
+            # an instant between them.  Assign to the nearest window so
+            # the result is never empty, as documented.
+            windows.append(self._window_at(last))
         return windows
 
     def __repr__(self) -> str:
@@ -151,23 +183,40 @@ class WindowState:
         self._open: dict[Window, list[tuple[STObject, Any]]] = {}
         #: Ends of windows already emitted, to classify late arrivals.
         self._closed_horizon = -math.inf
+        #: Records that landed in *zero* open windows (fully late).
         self.late_dropped = 0
+        #: Per-window contributions lost because that window had already
+        #: fired -- a partially-late record (some of its sliding windows
+        #: open, some closed) adds one per closed window it missed.
+        self.late_window_drops = 0
 
     def add_batch(self, records: list[tuple[STObject, Any]], batch_time: float) -> None:
-        """Bucket *records* into open windows and advance the watermark."""
+        """Bucket *records* into open windows and advance the watermark.
+
+        Assignment (the part that can raise, e.g. on a malformed span)
+        runs for the whole batch before any window is mutated, so a
+        failed batch leaves window state untouched and a retry cannot
+        double-add the records it had already placed.
+        """
         max_end = self.watermark + self.lateness
+        staged: list[tuple[tuple[STObject, Any], list[Window]]] = []
+        late_records = late_windows = 0
         for st, value in records:
             t_start, t_end = event_span(st, batch_time)
             if t_end > max_end:
                 max_end = t_end
-            placed = False
-            for window in self.spec.assign(t_start, t_end):
-                if window.end <= self._closed_horizon:
-                    continue  # this window already fired
-                self._open.setdefault(window, []).append((st, value))
-                placed = True
-            if not placed:
-                self.late_dropped += 1
+            windows = self.spec.assign(t_start, t_end)
+            live = [w for w in windows if w.end > self._closed_horizon]
+            late_windows += len(windows) - len(live)
+            if not live:
+                late_records += 1
+                continue
+            staged.append(((st, value), live))
+        for record, live in staged:
+            for window in live:
+                self._open.setdefault(window, []).append(record)
+        self.late_dropped += late_records
+        self.late_window_drops += late_windows
         self.watermark = max(self.watermark, max_end - self.lateness)
 
     def advance(self) -> list[tuple[Window, list[tuple[STObject, Any]]]]:
