@@ -1,19 +1,23 @@
 #!/usr/bin/env python3
-"""Validate streaming benchmark reports against ``bench.streaming/v1``.
+"""Validate streaming benchmark reports (schema-dispatched).
 
-CI runs the streaming benchmark in smoke mode and then checks both the
-fresh report and the committed canonical ``BENCH_streaming.json`` with
-this script, so schema drift (renamed keys, missing sections, a broken
-correctness gate) fails the build instead of silently producing
-artifacts downstream tooling cannot diff::
+CI runs the streaming benchmarks in smoke mode and then checks both the
+fresh reports and the committed canonical ``BENCH_streaming.json`` /
+``BENCH_streaming_recovery.json`` with this script, so schema drift
+(renamed keys, missing sections, a broken correctness gate) fails the
+build instead of silently producing artifacts downstream tooling
+cannot diff::
 
     python benchmarks/check_bench_schema.py BENCH_streaming.json
-    python benchmarks/check_bench_schema.py fresh.json BENCH_streaming.json
+    python benchmarks/check_bench_schema.py fresh.json BENCH_streaming_recovery.json
 
-Exit status 0 when every file conforms; 1 with a per-file reason
-otherwise.  The checker validates structure and invariants (the
-``results_equal`` gate must be true, walls and speedup positive) --
-it deliberately does not compare timings across runs.
+Each file is validated against the schema its own ``schema`` key
+names -- ``bench.streaming/v1`` (throughput + incremental) or
+``bench.streaming_recovery/v1`` (crash recovery).  Exit status 0 when
+every file conforms; 1 with a per-file reason otherwise.  The checker
+validates structure and invariants (the ``results_equal`` gates must
+be true, walls and speedup positive) -- it deliberately does not
+compare timings across runs.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import json
 import sys
 
 SCHEMA = "bench.streaming/v1"
+RECOVERY_SCHEMA = "bench.streaming_recovery/v1"
 
 #: Required keys of one drain/paced throughput row.
 THROUGHPUT_KEYS = {
@@ -54,6 +59,41 @@ CONFIG_KEYS = {
     "window",
     "interval",
     "max_pending",
+    "parallelism",
+    "seed",
+}
+
+#: Required keys of the recovery report's ``recovery`` section.
+RECOVERY_KEYS = {
+    "window_length",
+    "window_slide",
+    "crash_batch",
+    "checkpoint_interval",
+    "windows_total",
+    "windows_before_crash",
+    "windows_after_restore",
+    "windows_suppressed",
+    "batches_replayed",
+    "resumed_batch_id",
+    "restored_epoch",
+    "results_equal",
+    "reference_wall_s",
+    "journaled_wall_s",
+    "journaling_overhead",
+    "time_to_recover_s",
+    "crashed_wall_s",
+    "resumed_wall_s",
+    "wal",
+    "checkpoints",
+}
+WAL_KEYS = {"appends", "bytes", "append_seconds", "append_s_per_batch"}
+CHECKPOINT_KEYS = {"written", "seconds", "segments_pruned"}
+RECOVERY_CONFIG_KEYS = {
+    "batches",
+    "rate",
+    "window",
+    "crash_batch",
+    "checkpoint_interval",
     "parallelism",
     "seed",
 }
@@ -116,18 +156,75 @@ def check_incremental(section: dict, label: str = "incremental") -> None:
         check_number(store[key], f"{label}.store.{key}")
 
 
-def check_report(report: dict) -> None:
-    """Validate one parsed report; raises :class:`SchemaError` on drift."""
-    require(isinstance(report, dict), "report must be a JSON object")
+def check_recovery(section: dict, label: str = "recovery") -> None:
+    """The crash-recovery block, including its equality invariant."""
+    require(isinstance(section, dict), f"{label} must be an object")
+    missing = RECOVERY_KEYS - section.keys()
+    require(not missing, f"{label} missing keys: {sorted(missing)}")
     require(
-        report.get("schema") == SCHEMA,
-        f"schema must be {SCHEMA!r}, got {report.get('schema')!r}",
+        section["results_equal"] is True,
+        f"{label}.results_equal must be true -- the restored run "
+        "diverged from the uninterrupted reference",
+    )
+    for key in (
+        "reference_wall_s",
+        "journaled_wall_s",
+        "journaling_overhead",
+        "windows_total",
+    ):
+        check_number(section[key], f"{label}.{key}", positive=True)
+    for key in (
+        "time_to_recover_s",
+        "crashed_wall_s",
+        "resumed_wall_s",
+        "windows_before_crash",
+        "windows_after_restore",
+        "windows_suppressed",
+        "batches_replayed",
+        "resumed_batch_id",
+    ):
+        check_number(section[key], f"{label}.{key}")
+    require(
+        section["windows_before_crash"] + section["windows_after_restore"]
+        >= section["windows_total"],
+        f"{label}: crash + restore windows cannot cover fewer windows "
+        "than the reference run fired",
+    )
+    wal = section["wal"]
+    require(isinstance(wal, dict), f"{label}.wal must be an object")
+    missing = WAL_KEYS - wal.keys()
+    require(not missing, f"{label}.wal missing keys: {sorted(missing)}")
+    check_number(wal["appends"], f"{label}.wal.appends", positive=True)
+    checkpoints = section["checkpoints"]
+    require(isinstance(checkpoints, dict), f"{label}.checkpoints must be an object")
+    missing = CHECKPOINT_KEYS - checkpoints.keys()
+    require(not missing, f"{label}.checkpoints missing keys: {sorted(missing)}")
+    check_number(
+        checkpoints["written"], f"{label}.checkpoints.written", positive=True
+    )
+
+
+def check_report(report: dict) -> None:
+    """Validate one parsed report, dispatching on its ``schema`` key."""
+    require(isinstance(report, dict), "report must be a JSON object")
+    schema = report.get("schema")
+    require(
+        schema in (SCHEMA, RECOVERY_SCHEMA),
+        f"schema must be {SCHEMA!r} or {RECOVERY_SCHEMA!r}, got {schema!r}",
     )
     check_number(report.get("created_unix"), "created_unix", positive=True)
     host = report.get("host")
     require(isinstance(host, dict) and "cpus" in host, "host.cpus missing")
     config = report.get("config")
     require(isinstance(config, dict), "config must be an object")
+
+    if schema == RECOVERY_SCHEMA:
+        missing = RECOVERY_CONFIG_KEYS - config.keys()
+        require(not missing, f"config missing keys: {sorted(missing)}")
+        require("recovery" in report, "recovery section missing")
+        check_recovery(report["recovery"])
+        return
+
     missing = CONFIG_KEYS - config.keys()
     require(not missing, f"config missing keys: {sorted(missing)}")
 

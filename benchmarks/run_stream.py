@@ -27,9 +27,19 @@ per-cell indexes.  The two result sets are asserted identical (the
 correctness gate) and the report carries ``speedup = recompute_wall /
 incremental_wall`` plus the store's bookkeeping counters.
 
-The JSON schema is ``bench.streaming/v1`` -- stable keys, suitable for
-CI artifact diffing (``benchmarks/check_bench_schema.py`` validates a
-report against it).
+``--mode recovery`` measures the crash-recovery path end to end: the
+same seeded stream runs once uninterrupted (the reference), once with
+WAL + checkpointing enabled and abandoned at ``--crash-batch``, and is
+then restored into a fresh context that finishes the run.  The union of
+per-window results across crash and resume must equal the reference
+exactly -- divergence is a hard failure (non-zero exit) -- and the
+report carries the durability overhead (WAL append cost per batch,
+checkpoint write cost) plus the time-to-recover wall.
+
+The JSON schema is ``bench.streaming/v1`` (``bench.streaming_recovery/
+v1`` for recovery mode) -- stable keys, suitable for CI artifact
+diffing (``benchmarks/check_bench_schema.py`` validates a report
+against either).
 
 The ``processes`` backend spawns workers that re-import ``__main__``,
 so this script must be run as a file (as shown above), not piped to
@@ -234,6 +244,136 @@ def bench_incremental(args) -> dict:
     }
 
 
+def bench_recovery(args) -> dict:
+    """Crash at ``--crash-batch``, restore, finish; gate on equality.
+
+    Three measured runs over the identical seeded stream on the
+    sequential executor: *reference* (no checkpointing), *journaled*
+    (WAL + checkpoints, abandoned mid-run without ``stop()``, as a
+    crash would), and *resumed* (fresh context, ``restore()``, the
+    remaining batches).  The reference also runs once with journaling
+    on to isolate the WAL/checkpoint overhead on an uninterrupted run.
+    """
+    import shutil
+    import tempfile
+
+    length = float(args.window)
+    slide = float(args.slide) if args.slide else length / 4.0
+    crash_at = args.crash_batch if args.crash_batch is not None else args.batches // 2
+    if not 0 < crash_at < args.batches:
+        raise SystemExit(f"--crash-batch must be in (0, {args.batches})")
+    times = [float(b) for b in range(args.batches)]
+
+    def build(sc, checkpoint_dir):
+        ssc = StreamingContext(
+            sc,
+            batch_interval=args.interval,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+        events = ssc.generator_stream(rate=args.rate, time_step=1.0, seed=args.seed)
+        sinks = {
+            "counts": events.window(length=length, slide=slide).count_windows(),
+            "range": events.continuous(length=length, slide=slide).range(
+                INC_RANGE_QUERY
+            ),
+        }
+        return ssc, sinks
+
+    def canon(sinks):
+        out = {}
+        for name, sink in sinks.items():
+            for window, value in sink.results():
+                out[(name, window.start, window.end)] = (
+                    sorted(v for _st, v in value) if isinstance(value, list) else value
+                )
+        return out
+
+    def drive(checkpoint_dir, n, start_batch=0, restore=False, abandon=False):
+        with SparkContext(
+            "stream-bench-recovery",
+            parallelism=args.parallelism,
+            executor="sequential",
+        ) as sc:
+            ssc, sinks = build(sc, checkpoint_dir)
+            recover_wall = report = None
+            if restore:
+                t0 = time.perf_counter()
+                report = ssc.restore(checkpoint_dir)
+                recover_wall = time.perf_counter() - t0
+                start_batch = report.resumed_batch_id
+                n = args.batches - start_batch
+            t0 = time.perf_counter()
+            if n > 0:
+                ssc.run_batches(n, batch_times=times[start_batch : start_batch + n])
+            wall = time.perf_counter() - t0
+            stats = ssc.checkpoint_manager.stats() if checkpoint_dir else {}
+            if not abandon:  # the crash run dies without stop(), as a crash would
+                ssc.stop(flush=False)
+            return wall, canon(sinks), ssc.metrics, stats, report, recover_wall
+
+    reference_wall, reference, _, _, _, _ = drive(None, args.batches)
+    ckpt_dir = tempfile.mkdtemp(prefix="bench-recovery-")
+    try:
+        # Uninterrupted journaled run: the pure durability overhead.
+        overhead_wall, _, _, overhead_stats, _, _ = drive(
+            os.path.join(ckpt_dir, "overhead"), args.batches
+        )
+        crash_dir = os.path.join(ckpt_dir, "crash")
+        crashed_wall, crashed, _, _, _, _ = drive(crash_dir, crash_at, abandon=True)
+        resumed_wall, resumed, metrics, _, report, recover_wall = drive(
+            crash_dir, 0, restore=True
+        )
+    finally:
+        shutil.rmtree(ckpt_dir, ignore_errors=True)
+
+    overlap = set(crashed) & set(resumed)
+    union = {**crashed, **resumed}
+    if union != reference or any(crashed[k] != resumed[k] for k in overlap):
+        raise SystemExit(
+            "recovery results diverge from the uninterrupted run: "
+            f"{len(union)} windows vs {len(reference)} reference "
+            f"({len(overlap)} overlapping)"
+        )
+
+    batches = args.batches
+    return {
+        "window_length": length,
+        "window_slide": slide,
+        "crash_batch": crash_at,
+        "checkpoint_interval": args.checkpoint_interval,
+        "windows_total": len(reference),
+        "windows_before_crash": len(crashed),
+        "windows_after_restore": len(resumed),
+        "windows_suppressed": metrics.windows_suppressed,
+        "batches_replayed": report.batches_replayed,
+        "resumed_batch_id": report.resumed_batch_id,
+        "restored_epoch": report.epoch,
+        "results_equal": True,
+        "reference_wall_s": reference_wall,
+        "journaled_wall_s": overhead_wall,
+        "journaling_overhead": (
+            overhead_wall / reference_wall if reference_wall > 0 else None
+        ),
+        "time_to_recover_s": recover_wall,
+        "crashed_wall_s": crashed_wall,
+        "resumed_wall_s": resumed_wall,
+        "wal": {
+            "appends": overhead_stats["wal_appends"],
+            "bytes": overhead_stats["wal_bytes"],
+            "append_seconds": overhead_stats["wal_append_seconds"],
+            "append_s_per_batch": (
+                overhead_stats["wal_append_seconds"] / batches if batches else None
+            ),
+        },
+        "checkpoints": {
+            "written": overhead_stats["checkpoints_written"],
+            "seconds": overhead_stats["checkpoint_seconds"],
+            "segments_pruned": overhead_stats["segments_pruned"],
+        },
+    }
+
+
 def summarize(ssc: StreamingContext, wall: float, completed: int) -> dict:
     latencies = [latency for _b, _n, latency, _q in ssc.batch_latencies]
     records = ssc.metrics.records_ingested
@@ -265,7 +405,20 @@ def main() -> None:
     parser.add_argument(
         "--mode",
         default="throughput,incremental",
-        help="comma-separated subset of {throughput, incremental}",
+        help="comma-separated subset of {throughput, incremental}, or 'recovery'",
+    )
+    parser.add_argument(
+        "--crash-batch",
+        type=int,
+        default=None,
+        help="recovery mode: abandon the journaled run after this many "
+        "batches (default: batches // 2)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=4,
+        help="recovery mode: checkpoint every N batches",
     )
     parser.add_argument("--interval", type=float, default=0.05, help="paced batch interval (s)")
     parser.add_argument("--max-pending", type=int, default=4)
@@ -280,9 +433,49 @@ def main() -> None:
     args = parser.parse_args()
 
     modes = {name.strip() for name in args.mode.split(",") if name.strip()}
-    unknown = modes - {"throughput", "incremental"}
+    unknown = modes - {"throughput", "incremental", "recovery"}
     if unknown:
         raise SystemExit(f"unknown --mode entries: {sorted(unknown)}")
+    if "recovery" in modes:
+        if modes != {"recovery"}:
+            raise SystemExit(
+                "--mode recovery writes its own report schema and cannot "
+                "be combined with other modes"
+            )
+        if args.out == parser.get_default("out"):
+            args.out = "BENCH_streaming_recovery.json"
+        print("== crash recovery ==", flush=True)
+        recovery = bench_recovery(args)
+        print(
+            f"  windows={recovery['windows_total']} "
+            f"(crash@batch {recovery['crash_batch']}: "
+            f"{recovery['windows_before_crash']} before, "
+            f"{recovery['windows_after_restore']} after, "
+            f"{recovery['windows_suppressed']} suppressed)  "
+            f"replayed={recovery['batches_replayed']} batches  "
+            f"recover={1000 * recovery['time_to_recover_s']:.1f} ms  "
+            f"journal overhead=x{recovery['journaling_overhead']:.2f}"
+        )
+        report = {
+            "schema": "bench.streaming_recovery/v1",
+            "created_unix": time.time(),
+            "host": {"cpus": os.cpu_count()},
+            "config": {
+                "batches": args.batches,
+                "rate": args.rate,
+                "window": args.window,
+                "crash_batch": recovery["crash_batch"],
+                "checkpoint_interval": args.checkpoint_interval,
+                "parallelism": args.parallelism,
+                "seed": args.seed,
+            },
+            "recovery": recovery,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nreport written to {args.out}")
+        return
 
     executors = [name.strip() for name in args.executors.split(",") if name.strip()]
     results: dict[str, dict] = {}

@@ -6,6 +6,15 @@ what an execution *did*, the injector proves what it *survives*.  See
 README's "Fault tolerance & chaos testing" section for a worked example.
 """
 
+from repro.chaos.crash import CrashHarness, SimulatedCrash, crash_points
 from repro.chaos.injector import SITES, FaultInjector, InjectedFault, inject
 
-__all__ = ["SITES", "FaultInjector", "InjectedFault", "inject"]
+__all__ = [
+    "SITES",
+    "FaultInjector",
+    "InjectedFault",
+    "inject",
+    "CrashHarness",
+    "SimulatedCrash",
+    "crash_points",
+]

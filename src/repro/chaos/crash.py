@@ -1,0 +1,105 @@
+"""Crash simulation: kill the process between any two fsyncs.
+
+Fault injection (:mod:`repro.chaos.injector`) models *failures the code
+observes* -- an exception at an instrumented site.  Checkpointing needs
+a harsher adversary: a process that simply stops existing between two
+durability barriers, leaving whatever the filesystem happened to
+persist.  This module provides that adversary without actually forking
+and killing processes: every fsync in the storage layer (and everything
+built on it -- the streaming WAL, checkpoint commits, durable sinks)
+routes through the hook installed by
+:func:`repro.spark.storage.set_fsync_hook`, and a :class:`CrashHarness`
+raises :class:`SimulatedCrash` at a chosen fsync ordinal.
+
+Because all in-memory state is abandoned when the harness fires (the
+test discards the crashed contexts and builds fresh ones), the surviving
+observable state is exactly what a kill at that barrier would leave:
+bytes fsynced before the ordinal are durable, bytes after it are not.
+A loop over every ordinal -- :func:`crash_points` counts them --
+is therefore a kill-between-any-two-fsyncs matrix for free.
+
+:class:`SimulatedCrash` derives from :class:`SystemExit` on purpose:
+every retry envelope in the engine (task retries, batch retries, the
+streaming loop) re-raises ``SystemExit`` instead of swallowing it, so a
+simulated kill tears through the stack the way a real one would, without
+any crash-aware branches in production code.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.spark import storage as _storage
+
+
+class SimulatedCrash(SystemExit):
+    """The process "died" at a durability barrier (see module docstring)."""
+
+    def __init__(self, ordinal: int, label: str) -> None:
+        self.ordinal = ordinal
+        self.label = label
+        super().__init__(f"simulated crash at fsync #{ordinal} ({label})")
+
+
+class CrashHarness:
+    """Raises :class:`SimulatedCrash` at the Nth fsync the run performs.
+
+    Usage::
+
+        harness = CrashHarness(at=3)
+        with harness.installed():
+            drive_stream()          # raises SimulatedCrash at fsync #3
+        assert harness.crashed
+
+    ``at=None`` never crashes and just counts -- that is how a test
+    discovers how many barriers a scenario crosses before iterating
+    over every ordinal.  Thread-safe: the counter is shared across the
+    poller/processor threads of a started stream.
+    """
+
+    def __init__(self, at: int | None = None) -> None:
+        if at is not None and at < 1:
+            raise ValueError(f"crash ordinal must be >= 1, got {at}")
+        self.at = at
+        #: fsyncs observed so far.
+        self.count = 0
+        #: Label of every fsync observed, in order (diagnostics).
+        self.labels: list[str] = []
+        #: True once the harness fired.
+        self.crashed = False
+        self._lock = threading.Lock()
+
+    def __call__(self, label: str) -> None:
+        """The hook body: count, and crash at the configured ordinal."""
+        with self._lock:
+            self.count += 1
+            self.labels.append(label)
+            ordinal = self.count
+        if self.at is not None and ordinal == self.at:
+            self.crashed = True
+            raise SimulatedCrash(ordinal, label)
+
+    @contextmanager
+    def installed(self) -> Iterator["CrashHarness"]:
+        """Install as the storage fsync hook for the ``with`` block."""
+        previous = _storage.set_fsync_hook(self)
+        try:
+            yield self
+        finally:
+            _storage.set_fsync_hook(previous)
+
+
+def crash_points(run: Callable[[], None]) -> int:
+    """How many fsync barriers *run* crosses (the kill-matrix size).
+
+    Executes *run* once under a counting-only harness and returns the
+    number of fsyncs observed; a crash-matrix test then repeats the
+    scenario with ``CrashHarness(at=i)`` for every ``i`` in
+    ``range(1, crash_points(run) + 1)``.
+    """
+    harness = CrashHarness(at=None)
+    with harness.installed():
+        run()
+    return harness.count

@@ -16,6 +16,9 @@ site                 fires in
 ``source.poll``      ``StreamingContext`` polling a stream source
 ``batch.run``        ``StreamingContext`` before processing a micro-batch
 ``state.update``     keyed streaming state, before a batch is absorbed
+``wal.append``       checkpointing, before a batch is journaled to the WAL
+``checkpoint.write`` checkpointing, before an atomic state snapshot
+``recovery.load``    ``StreamingContext.restore``, before any state loads
 ===================  ====================================================
 
 Two plan shapes exist per site:
@@ -80,6 +83,9 @@ SITES = frozenset(
         "source.poll",
         "batch.run",
         "state.update",
+        "wal.append",
+        "checkpoint.write",
+        "recovery.load",
     }
 )
 

@@ -1,4 +1,4 @@
-"""Object and text file storage -- the HDFS stand-in.
+r"""Object and text file storage -- the HDFS stand-in.
 
 The paper's workflow (Fig. 2) stores partitioned/indexed RDDs as binary
 objects on HDFS and reloads them in later programs.  Here a "file" is a
@@ -6,14 +6,23 @@ directory of ``part-NNNNN`` files, one per partition, written with
 pickle.  Reading an object file restores the exact partitioning, which
 is what makes persisted spatial indexes reusable.
 
-Writes are atomic, like a Hadoop output committer: part-files land in a
-``path + "._tmp"`` staging directory that is renamed to ``path`` only
-after every task succeeded and the ``_SUCCESS`` marker is in place.  A
-crashed or aborted save leaves nothing behind at ``path``, so a retry
-is never blocked by its own partial output.  Write tasks are idempotent
-(a retried task rewrites its own part-file), and corrupt part-files
-surface as :class:`StorageError` naming the offending path rather than
-raw pickle internals.
+Writes are atomic *and durable*, like a Hadoop output committer backed
+by a real filesystem: part-files land in a ``path + "._tmp"`` staging
+directory, every part, the ``_SUCCESS`` marker and the staging
+directory itself are ``fsync``\ ed, and only then is the staging
+directory committed with ``os.replace`` and the parent directory
+``fsync``\ ed -- so a save that returned cannot vanish on power loss,
+and a crashed or aborted save leaves nothing behind at ``path``.  Write
+tasks are idempotent (a retried task rewrites its own part-file), and
+corrupt part-files surface as :class:`StorageError` naming the
+offending path rather than raw pickle internals.
+
+The ``fsync`` calls all route through :func:`fsync_file` /
+:func:`fsync_dir`, which consult an installable hook
+(:func:`set_fsync_hook`): the chaos crash harness uses it to simulate a
+process kill between any two fsyncs, which is how the checkpoint and
+recovery layers prove their commit protocols ordered their barriers
+correctly.
 """
 
 from __future__ import annotations
@@ -22,7 +31,8 @@ import os
 import pickle
 import re
 import shutil
-from typing import Any, Iterator, TypeVar
+import threading
+from typing import Any, Callable, Iterator, TypeVar
 
 from repro.spark.rdd import RDD
 
@@ -31,6 +41,90 @@ T = TypeVar("T")
 _PART_RE = re.compile(r"^part-(\d{5})(\.pkl|\.txt)$")
 _SUCCESS_MARKER = "_SUCCESS"
 _TMP_SUFFIX = "._tmp"
+
+#: Called as ``hook(label)`` immediately before every fsync this module
+#: (and the layers built on it) performs; the chaos crash harness
+#: installs a counter here that raises at a chosen ordinal.
+_fsync_hook: Callable[[str], None] | None = None
+_fsync_hook_lock = threading.Lock()
+
+
+def set_fsync_hook(hook: Callable[[str], None] | None) -> Callable[[str], None] | None:
+    """Install (or clear, with None) the pre-fsync hook; returns the old one.
+
+    The hook runs with the label of the path about to be synced, before
+    the actual ``os.fsync``.  Raising from the hook aborts the sync --
+    the crash harness raises :class:`~repro.chaos.crash.SimulatedCrash`
+    to model a kill at exactly that durability barrier.
+    """
+    global _fsync_hook
+    with _fsync_hook_lock:
+        previous = _fsync_hook
+        _fsync_hook = hook
+    return previous
+
+
+def fsync_file(path: str) -> None:
+    """Flush one file's contents to stable storage (hook-aware).
+
+    Opens the file read-only and fsyncs the descriptor -- the pattern
+    for files already closed by their writer.  Callers holding an open
+    handle should instead ``flush()`` and fsync the handle's fileno
+    (see ``_fsync_handle``); both routes honour the crash-harness hook.
+    """
+    hook = _fsync_hook
+    if hook is not None:
+        hook(path)
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str) -> None:
+    """Flush one directory's entries to stable storage (hook-aware).
+
+    A rename is durable only once the directory that *names* the file
+    is synced; committing a staging directory therefore fsyncs both the
+    directory itself (its part-file entries) and, after the rename, the
+    parent (the new name).
+    """
+    hook = _fsync_hook
+    if hook is not None:
+        hook(path + "/")
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_handle(fh, label: str) -> None:
+    """Flush and fsync an open writable handle (hook-aware)."""
+    hook = _fsync_hook
+    if hook is not None:
+        hook(label)
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def durable_replace(tmp: str, final: str) -> None:
+    """Commit *tmp* to *final*: fsync tmp, ``os.replace``, fsync parent.
+
+    The three-step commit protocol every atomic directory (or file)
+    write in the system funnels through: contents first, then the
+    atomic rename, then the parent directory entry -- after which the
+    commit survives power loss.  ``os.replace`` rather than
+    ``os.rename`` for cross-platform overwrite semantics.
+    """
+    if os.path.isdir(tmp):
+        fsync_dir(tmp)
+    else:
+        fsync_file(tmp)
+    os.replace(tmp, final)
+    parent = os.path.dirname(os.path.abspath(final))
+    fsync_dir(parent)
 
 
 class StorageError(IOError):
@@ -56,12 +150,15 @@ def _list_parts(path: str, suffix: str) -> list[str]:
 
 
 def _commit_write(rdd: RDD[T], path: str, write_partition) -> None:
-    """Run the write job against a staging dir, then atomically commit.
+    """Run the write job against a staging dir, then durably commit.
 
-    ``write_partition(tmp_dir, split, it)`` writes one part-file into
-    the staging directory.  On any failure the staging directory is
-    removed, so the target path stays untouched and a follow-up retry
-    of the whole save starts clean.
+    ``write_partition(tmp_dir, split, it)`` writes (and fsyncs) one
+    part-file into the staging directory.  The commit then fsyncs the
+    ``_SUCCESS`` marker, the staging directory, replaces it into place
+    and fsyncs the parent -- the full barrier sequence, so a save that
+    returned survives power loss.  On any failure the staging directory
+    is removed, so the target path stays untouched and a follow-up
+    retry of the whole save starts clean.
     """
     if os.path.exists(path):
         raise StorageError(f"output path {path!r} already exists")
@@ -76,9 +173,10 @@ def _commit_write(rdd: RDD[T], path: str, write_partition) -> None:
         rdd.map_partitions_with_index(
             lambda split, it: write_partition(tmp, split, it)
         ).count()
-        with open(os.path.join(tmp, _SUCCESS_MARKER), "w") as f:
-            f.write("")
-        os.rename(tmp, path)
+        marker = os.path.join(tmp, _SUCCESS_MARKER)
+        with open(marker, "w") as f:
+            _fsync_handle(f, marker)
+        durable_replace(tmp, path)
     except BaseException:
         shutil.rmtree(tmp, ignore_errors=True)
         raise
@@ -95,8 +193,10 @@ def save_object_file(rdd: RDD[T], path: str) -> None:
         injector = rdd.context.fault_injector
         if injector is not None:
             injector.check("storage.write", key=(path, split))
-        with open(os.path.join(tmp, _part_name(split, ".pkl")), "wb") as f:
+        part = os.path.join(tmp, _part_name(split, ".pkl"))
+        with open(part, "wb") as f:
             pickle.dump(list(it), f, protocol=pickle.HIGHEST_PROTOCOL)
+            _fsync_handle(f, part)
         return iter(())
 
     _commit_write(rdd, path, write_partition)
@@ -109,10 +209,12 @@ def save_text_file(rdd: RDD[T], path: str) -> None:
         injector = rdd.context.fault_injector
         if injector is not None:
             injector.check("storage.write", key=(path, split))
-        with open(os.path.join(tmp, _part_name(split, ".txt")), "w") as f:
+        part = os.path.join(tmp, _part_name(split, ".txt"))
+        with open(part, "w") as f:
             for row in it:
                 f.write(str(row))
                 f.write("\n")
+            _fsync_handle(f, part)
         return iter(())
 
     _commit_write(rdd, path, write_partition)

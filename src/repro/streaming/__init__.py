@@ -11,6 +11,16 @@ filters, stream-static joins against a broadcast R-tree, and
 event-time windows over which the batch kNN and DBSCAN operators run
 unchanged.
 
+With a ``checkpoint_dir`` the stream is crash-recoverable: polled
+batches are journaled to a CRC-framed write-ahead log before they touch
+state, the full streaming state checkpoints atomically on a batch
+cadence, and :meth:`StreamingContext.restore` resumes a freshly
+declared pipeline by replaying the WAL tail -- with an emitted-window
+ledger suppressing re-delivery of windows the crashed run already
+emitted (:mod:`repro.streaming.checkpoint`,
+:mod:`repro.streaming.recovery`).  Durable per-window sinks with
+commit-marker dedup live in :mod:`repro.streaming.sinks`.
+
 Typical use::
 
     from repro.spark.context import SparkContext
@@ -25,12 +35,20 @@ Typical use::
     ssc.stop()
 """
 
+from repro.streaming.checkpoint import (
+    CheckpointManager,
+    WalCorruptionError,
+    WalWriter,
+    load_latest_checkpoint,
+    read_wal,
+)
 from repro.streaming.context import (
     STRAGGLER_POLICIES,
     StreamingContext,
     StreamingError,
     StreamMetrics,
 )
+from repro.streaming.recovery import RecoveryReport, build_snapshot, restore_context
 from repro.streaming.dstream import (
     ContinuousWindowedStream,
     DStream,
@@ -46,6 +64,12 @@ from repro.streaming.operators import (
     relax_static,
     stream_static_join,
     within_distance_join_plan,
+)
+from repro.streaming.sinks import (
+    EventFileSink,
+    GeoJSONSink,
+    ObjectFileSink,
+    WindowSink,
 )
 from repro.streaming.sources import (
     DirectorySource,
@@ -98,4 +122,16 @@ __all__ = [
     "relax_static",
     "stream_static_join",
     "within_distance_join_plan",
+    "CheckpointManager",
+    "WalWriter",
+    "WalCorruptionError",
+    "read_wal",
+    "load_latest_checkpoint",
+    "RecoveryReport",
+    "build_snapshot",
+    "restore_context",
+    "WindowSink",
+    "EventFileSink",
+    "GeoJSONSink",
+    "ObjectFileSink",
 ]

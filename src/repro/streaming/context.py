@@ -32,11 +32,20 @@ Two drive modes share the same processing core: :meth:`run_batch` /
 :meth:`run_batches` execute synchronously on the caller's thread (the
 deterministic mode the tests use), while :meth:`start` runs the
 poll/process loop on background threads at ``batch_interval`` pace.
+
+With ``checkpoint_dir`` set the context becomes crash-recoverable:
+every polled batch is journaled to a write-ahead log *before* it is
+processed, every ``checkpoint_interval`` completed batches the full
+streaming state is checkpointed atomically, and a fresh context with
+the same pipeline declaration calls :meth:`restore` to resume --
+loading the newest valid checkpoint, replaying the WAL tail through
+the normal processing core, and suppressing re-emission of windows the
+crashed process already delivered (see
+:mod:`repro.streaming.checkpoint` and :mod:`repro.streaming.recovery`).
 """
 
 from __future__ import annotations
 
-import itertools
 import queue as queue_mod
 import threading
 import time
@@ -97,6 +106,19 @@ class StreamMetrics:
     #: partially-late record still lands in its open windows, but each
     #: closed window it missed counts here.
     late_window_drops: int = 0
+    #: Checkpoint epochs committed successfully.
+    checkpoints_written: int = 0
+    #: Checkpoint attempts that failed (the stream keeps running -- a
+    #: failed checkpoint only widens the WAL tail a recovery replays).
+    checkpoint_failures: int = 0
+    #: Windows whose re-emission was suppressed after a restore because
+    #: the emitted-window ledger showed the crashed process already
+    #: delivered them.  Invariant: a recovered run's ``windows_emitted
+    #: + windows_suppressed`` equals the uninterrupted run's
+    #: ``windows_emitted``.
+    windows_suppressed: int = 0
+    #: WAL-journaled batches re-processed by :meth:`StreamingContext.restore`.
+    batches_replayed: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of every counter."""
@@ -159,6 +181,14 @@ class StreamingContext:
     num_slices:
         Partitions per batch RDD (default: the context's parallelism,
         capped by the batch's record count).
+    checkpoint_dir:
+        Directory for the write-ahead log and checkpoint epochs; None
+        (the default) disables durability entirely -- zero overhead.
+    checkpoint_interval:
+        Completed batches between checkpoint epochs (only meaningful
+        with ``checkpoint_dir``).
+    wal_segment_bytes:
+        WAL segment rotation threshold in bytes.
     """
 
     def __init__(
@@ -170,6 +200,9 @@ class StreamingContext:
         straggler_policy: str = "skip",
         max_batch_failures: int = 2,
         num_slices: int | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_interval: int = 10,
+        wal_segment_bytes: int = 1 << 20,
     ) -> None:
         if batch_interval <= 0:
             raise ValueError(f"batch_interval must be positive, got {batch_interval}")
@@ -188,6 +221,10 @@ class StreamingContext:
             raise ValueError(f"max_batch_failures must be >= 1, got {max_batch_failures}")
         if num_slices is not None and num_slices < 1:
             raise ValueError(f"num_slices must be >= 1, got {num_slices}")
+        if checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
+            )
         self._sc = sc
         self.batch_interval = batch_interval
         self.max_pending_batches = max_pending_batches
@@ -203,7 +240,24 @@ class StreamingContext:
         self._inputs: list[_InputDStream] = []
         self._outputs: list[tuple[DStream, object]] = []
         self._windows: list[_WindowConsumer] = []
-        self._ids = itertools.count()
+        # A plain int counter (not itertools.count): batch ids are part
+        # of checkpointed state and recovery must be able to reset them.
+        self._next_batch_id = 0
+        self.checkpoint_interval = checkpoint_interval
+        self._batches_since_checkpoint = 0
+        #: ``(consumer_index, start, end)`` windows whose re-emission a
+        #: restore suppressed -- consumed (discarded) as they re-close.
+        self._suppress: set[tuple[int, float, float]] = set()
+        if checkpoint_dir is not None:
+            from repro.streaming.checkpoint import CheckpointManager
+
+            self._ckpt: "CheckpointManager | None" = CheckpointManager(
+                checkpoint_dir,
+                segment_bytes=wal_segment_bytes,
+                injector_source=lambda: self._sc.fault_injector,
+            )
+        else:
+            self._ckpt = None
         self._stopped = False
         self._started = False
         self._stop_event = threading.Event()
@@ -254,6 +308,10 @@ class StreamingContext:
         self._outputs.append((node, fn))
 
     def _register_window(self, consumer: _WindowConsumer) -> None:
+        # Registration order is the consumer's durable identity in
+        # checkpoints and the emitted-window ledger (object ids don't
+        # survive a restart; declaration order does).
+        consumer.checkpoint_index = len(self._windows)
         self._windows.append(consumer)
 
     def _batch_rdd(self, records: list) -> RDD:
@@ -265,31 +323,57 @@ class StreamingContext:
 
     # -- polling -----------------------------------------------------------
 
-    def _poll_inputs(self, batch_id: int) -> dict:
+    def _poll_inputs(self, batch_id: int) -> tuple[dict, list]:
         """Poll every source once; a failed poll reads empty for the tick.
 
         The ``source.poll`` chaos site fires *before* the actual poll,
         so an injected fault delays delivery (records stay queued at
         the source) rather than losing data -- the realistic failure
         mode of a flaky ingest endpoint.
+
+        Returns ``(records, deltas)``: records keyed by input-node id
+        for batch construction, and each source's cursor delta (None
+        for a failed poll, whose cursor never moved) in input order for
+        the write-ahead log.
         """
         injector = self._sc.fault_injector
         records: dict[int, list] = {}
+        deltas: list = []
         for node in self._inputs:
             self.metrics.polls += 1
             rows: list = []
+            delta = None
             try:
                 if injector is not None:
                     injector.check("source.poll", key=(node.source.name, batch_id))
                 rows = node.source.poll()
+                # Duck-typed sources need not speak the cursor protocol;
+                # they journal no delta (their cursor never moves).
+                poll_delta = getattr(node.source, "last_poll_delta", None)
+                if poll_delta is not None:
+                    delta = poll_delta()
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception:
                 self.metrics.poll_failures += 1
                 rows = []
             records[id(node)] = rows
+            deltas.append(delta)
             self.metrics.records_ingested += len(rows)
-        return records
+        return records, deltas
+
+    def _log_batch(self, batch: "_Batch", deltas: list) -> None:
+        """Journal one polled batch to the WAL before it is processed.
+
+        A failure here (including a simulated crash at the append's
+        fsync) propagates: a batch that could not be made durable is
+        never applied to state, which is the whole point of a
+        write-ahead log.
+        """
+        if self._ckpt is None:
+            return
+        inputs = [batch.records[id(node)] for node in self._inputs]
+        self._ckpt.log_batch(batch.batch_id, batch.time, inputs, deltas)
 
     # -- the processing core ----------------------------------------------
 
@@ -348,6 +432,9 @@ class StreamingContext:
                     self.metrics.windows_emitted += fired
                     self._refresh_lateness()
                     self.metrics.batches_run += 1
+                    if self._ckpt is not None:
+                        self._ckpt.commit_emits(batch.batch_id)
+                        self._maybe_checkpoint(batch.batch_id)
                     if tracer.enabled:
                         span.attrs["windows"] = fired
                         if attempt > 1:
@@ -431,6 +518,79 @@ class StreamingContext:
             )
         )
 
+    # -- checkpointing & recovery ------------------------------------------
+
+    @property
+    def checkpoint_manager(self):
+        """The :class:`~repro.streaming.checkpoint.CheckpointManager`
+        (None when the context runs without ``checkpoint_dir``)."""
+        return self._ckpt
+
+    def _emit_allowed(self, consumer, window) -> bool:
+        """The emit gate: False when a restore suppressed this window.
+
+        Consumers consult this before running a closed window's
+        outputs; a suppressed window still goes through its state
+        transitions (the crashed process completed those too), only the
+        externally visible emission is skipped -- exactly-once window
+        output across a restart.
+        """
+        key = (consumer.checkpoint_index, window.start, window.end)
+        if key in self._suppress:
+            self._suppress.discard(key)
+            self.metrics.windows_suppressed += 1
+            return False
+        return True
+
+    def _note_emitted(self, consumer, window) -> None:
+        """Record one delivered window in the emitted-window ledger."""
+        if self._ckpt is not None:
+            self._ckpt.note_emit(consumer.checkpoint_index, window)
+
+    def _maybe_checkpoint(self, batch_id: int) -> None:
+        """Checkpoint every ``checkpoint_interval`` completed batches.
+
+        A failed checkpoint is counted and swallowed -- the stream
+        keeps running and the WAL tail a future recovery replays just
+        stays longer.  Simulated crashes (``SystemExit``) and
+        interrupts propagate, as everywhere.
+        """
+        self._batches_since_checkpoint += 1
+        if self._batches_since_checkpoint < self.checkpoint_interval:
+            return
+        from repro.streaming.recovery import build_snapshot
+
+        try:
+            self._ckpt.write_checkpoint(build_snapshot(self), high_water=batch_id)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            self.metrics.checkpoint_failures += 1
+            return
+        self._batches_since_checkpoint = 0
+        self.metrics.checkpoints_written += 1
+
+    def restore(self, checkpoint_dir: str | None = None):
+        """Resume from the newest valid checkpoint plus the WAL tail.
+
+        Call on a *freshly declared* context -- same sources, streams,
+        windows and queries registered in the same order as the crashed
+        run, no batches driven yet.  Loads the latest checkpoint that
+        validates (falling back epoch by epoch on corruption), restores
+        window/keyed state, watermarks, metrics and source cursors,
+        replays every WAL-journaled batch past the checkpoint through
+        the normal processing core, and suppresses re-emission of
+        windows the emitted-window ledger shows were already delivered.
+        Returns a :class:`~repro.streaming.recovery.RecoveryReport`.
+
+        *checkpoint_dir* may name the directory explicitly when the
+        context was built without one (restore-into-fresh-context); it
+        must agree with the constructor's directory otherwise.
+        """
+        from repro.streaming.recovery import restore_context
+
+        return restore_context(self, checkpoint_dir)
+
     # -- synchronous drive (deterministic; what the tests use) -------------
 
     def run_batch(self, batch_time: float | None = None) -> bool:
@@ -442,11 +602,13 @@ class StreamingContext:
         policy; under ``"fail"`` a failed batch raises.
         """
         self._check_drivable()
-        batch_id = next(self._ids)
-        records = self._poll_inputs(batch_id)
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        records, deltas = self._poll_inputs(batch_id)
         batch = _Batch(
             batch_id, time.time() if batch_time is None else batch_time, records
         )
+        self._log_batch(batch, deltas)
         ok = self._process(batch)
         if self._error is not None:
             self._stop_threads_only()
@@ -500,9 +662,21 @@ class StreamingContext:
     def _poll_loop(self) -> None:
         next_tick = time.monotonic()
         while not self._stop_event.is_set():
-            batch_id = next(self._ids)
-            records = self._poll_inputs(batch_id)
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            records, deltas = self._poll_inputs(batch_id)
             batch = _Batch(batch_id, time.time(), records)
+            try:
+                self._log_batch(batch, deltas)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                # A batch that cannot be journaled must not be applied;
+                # stopping beats silently running without durability.
+                self._error = StreamingError(f"write-ahead log append failed: {exc}")
+                self._error.__cause__ = exc
+                self._stop_event.set()
+                return
             batch.queue_depth = self._queue.qsize()
             stalled = False
             while not self._stop_event.is_set():
@@ -588,8 +762,20 @@ class StreamingContext:
                 fired += consumer.flush(self)
             self.metrics.windows_emitted += fired
             self._refresh_lateness()
+            if self._ckpt is not None and fired:
+                # Shutdown-flush emissions go into the ledger too, so a
+                # crash between this stop and a later restart does not
+                # re-deliver the flushed windows.
+                try:
+                    self._ckpt.commit_emits(self._next_batch_id - 1)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception:
+                    self.metrics.checkpoint_failures += 1
         for node in self._inputs:
             node.source.close()
+        if self._ckpt is not None:
+            self._ckpt.close()
         self._stopped = True
 
     def __enter__(self) -> "StreamingContext":

@@ -376,6 +376,11 @@ class _WindowConsumer:
         self.outputs: list[Callable[[Window, RDD], None]] = []
         self._absorbed_batch: int | None = None
         self._pending: deque[tuple[Window, list[Record]]] = deque()
+        #: Registration order in the context; the consumer's stable
+        #: identity in checkpoints and the emitted-window ledger (object
+        #: ids do not survive a restart, registration order does because
+        #: recovery requires the pipeline to be re-declared identically).
+        self.checkpoint_index: int = -1
 
     def absorb(self, batch_id: int, records: list[Record], batch_time: float) -> None:
         """Add one batch's records to window state (idempotent per batch).
@@ -394,21 +399,50 @@ class _WindowConsumer:
         self._pending.extend(self.state.advance())
 
     def fire(self, ssc) -> int:
-        """Run the outputs for every pending closed window, in order."""
+        """Run the outputs for every pending closed window, in order.
+
+        The context's emit gate (``_emit_allowed``) suppresses windows
+        the crashed process already delivered -- a suppressed window is
+        popped without running outputs, exactly-once window output over
+        a restart -- and every delivered window is noted in the
+        emitted-window ledger.
+        """
         fired = 0
         while self._pending:
             window, records = self._pending[0]
-            rdd = ssc._batch_rdd(records)
-            for output in self.outputs:
-                output(window, rdd)
+            if ssc._emit_allowed(self, window):
+                rdd = ssc._batch_rdd(records)
+                for output in self.outputs:
+                    output(window, rdd)
+                ssc._note_emitted(self, window)
+                fired += 1
             self._pending.popleft()
-            fired += 1
         return fired
 
     def flush(self, ssc) -> int:
         """Close and fire every still-open window (stream shutdown)."""
         self._pending.extend(self.state.flush())
         return self.fire(ssc)
+
+    def snapshot_state(self) -> dict:
+        """Picklable consumer state for checkpoints (see recovery docs)."""
+        return {
+            "kind": "buffered",
+            "absorbed": self._absorbed_batch,
+            "pending": [
+                (w.start, w.end, list(records)) for w, records in self._pending
+            ],
+            "state": self.state.snapshot(),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Reset to a :meth:`snapshot_state` (recovery entry point)."""
+        self._absorbed_batch = snapshot["absorbed"]
+        self._pending = deque(
+            (Window(start, end), list(records))
+            for start, end, records in snapshot["pending"]
+        )
+        self.state.restore(snapshot["state"])
 
 
 class WindowedStream:

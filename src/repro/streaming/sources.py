@@ -37,7 +37,19 @@ Record = tuple[STObject, Any]
 
 
 class StreamSource:
-    """The source protocol: named, pollable, closeable."""
+    """The source protocol: named, pollable, closeable, checkpointable.
+
+    The four cursor methods are the checkpoint/recovery contract.  A
+    *cursor* is a full snapshot of the source's read position, stored in
+    periodic checkpoints; a *delta* is the position advance of a single
+    poll, journaled in the write-ahead log alongside the batch it
+    produced.  Recovery restores the checkpointed cursor, then replays
+    the WAL tail applying each batch's delta -- after which the source
+    is positioned exactly where the crashed process's last durable poll
+    left it, and live polling resumes without loss or duplication.  The
+    base implementations are no-ops: a source with no position (or one
+    that tolerates at-least-once redelivery) needs nothing more.
+    """
 
     #: Display/chaos-key name; subclasses override or set per instance.
     name = "source"
@@ -45,6 +57,24 @@ class StreamSource:
     def poll(self) -> list[Record]:
         """Records that arrived since the last poll (may be empty)."""
         raise NotImplementedError
+
+    def cursor(self):
+        """Full snapshot of the read position, for checkpoints (picklable)."""
+        return None
+
+    def restore_cursor(self, snapshot) -> None:
+        """Reposition to a :meth:`cursor` snapshot (recovery entry point)."""
+
+    def last_poll_delta(self):
+        """Position advance of the most recent poll, for the WAL.
+
+        None when the last poll failed or advanced nothing -- a failed
+        poll must not journal a cursor move it never committed.
+        """
+        return None
+
+    def apply_delta(self, delta) -> None:
+        """Re-apply one journaled poll's advance (WAL replay)."""
 
     def close(self) -> None:
         """Release any resources; further polls return nothing."""
@@ -57,6 +87,14 @@ class QueueSource(StreamSource):
     one.  That makes test sequences exact: what you push as batch *n*
     is what batch *n* processes.  Thread-safe, so a producer thread can
     feed a started stream.
+
+    The cursor is the count of batches consumed so far.  Restoring a
+    cursor assumes the producer re-pushes the *same batch sequence*
+    after a restart (the pattern of replaying a backfill script): the
+    first ``cursor`` polls then drain silently, skipping batches the
+    crashed process already consumed, and delivery resumes at the first
+    genuinely new batch.  The records themselves are journaled in the
+    WAL, so replayed batches never depend on the producer at all.
     """
 
     def __init__(self, batches: Iterable[Sequence[Record]] = (), name: str = "queue") -> None:
@@ -64,6 +102,9 @@ class QueueSource(StreamSource):
         self._lock = threading.Lock()
         self._pending: deque[list[Record]] = deque(list(b) for b in batches)
         self._closed = False
+        self._consumed = 0
+        self._skip = 0
+        self._last_delta: int | None = None
 
     def push(self, records: Sequence[Record]) -> None:
         """Enqueue one batch of records for a future poll."""
@@ -74,9 +115,34 @@ class QueueSource(StreamSource):
 
     def poll(self) -> list[Record]:
         with self._lock:
-            if not self._pending:
+            self._last_delta = None
+            while self._skip and self._pending:
+                self._pending.popleft()
+                self._skip -= 1
+            if self._skip or not self._pending:
+                self._last_delta = 0
                 return []
+            self._consumed += 1
+            self._last_delta = 1
             return self._pending.popleft()
+
+    def cursor(self):
+        with self._lock:
+            return self._consumed
+
+    def restore_cursor(self, snapshot) -> None:
+        with self._lock:
+            self._consumed = int(snapshot)
+            self._skip = int(snapshot)
+
+    def last_poll_delta(self):
+        with self._lock:
+            return self._last_delta
+
+    def apply_delta(self, delta) -> None:
+        with self._lock:
+            self._consumed += int(delta)
+            self._skip += int(delta)
 
     @property
     def pending_batches(self) -> int:
@@ -123,6 +189,7 @@ class DirectorySource(StreamSource):
         self.on_error = on_error
         self.name = name or f"dir:{os.path.basename(path.rstrip('/')) or path}"
         self._seen: set[str] = set()
+        self._last_delta: list[str] | None = None
 
     def _parse_event_file(self, full: str) -> list[Record]:
         records: list[Record] = []
@@ -140,9 +207,13 @@ class DirectorySource(StreamSource):
         return records
 
     def poll(self) -> list[Record]:
+        # A failed poll leaves no delta: the cursor never moved, so the
+        # WAL must not journal an advance for this tick.
+        self._last_delta = None
         try:
             entries = sorted(os.listdir(self.path))
         except FileNotFoundError:
+            self._last_delta = []
             return []
         records: list[Record] = []
         staged: list[str] = []
@@ -163,7 +234,22 @@ class DirectorySource(StreamSource):
         # and the failed tick delivered no records -- so the next poll
         # re-reads the same files and no record is lost or duplicated.
         self._seen.update(staged)
+        self._last_delta = staged
         return records
+
+    def cursor(self):
+        """The seen-file set, sorted for deterministic snapshots."""
+        return sorted(self._seen)
+
+    def restore_cursor(self, snapshot) -> None:
+        self._seen = set(snapshot)
+
+    def last_poll_delta(self):
+        """Filenames the most recent poll committed (None if it failed)."""
+        return self._last_delta
+
+    def apply_delta(self, delta) -> None:
+        self._seen.update(delta)
 
     def close(self) -> None:
         """Release resources; the seen-file set is *kept* so a stopped
@@ -216,9 +302,12 @@ class GeneratorSource(StreamSource):
         self._clock = start_time
         self._next_id = 0
         self._closed = False
+        self._last_delta: dict | None = None
 
     def poll(self) -> list[Record]:
+        self._last_delta = None
         if self._closed or (self.limit is not None and self._next_id >= self.limit):
+            self._last_delta = self.cursor()
             return []
         rng = self._rng
         bounds = self.bounds
@@ -238,7 +327,28 @@ class GeneratorSource(StreamSource):
             records.append((st, (self._next_id, rng.choice(self.categories))))
             self._next_id += 1
         self._clock += self.time_step
+        self._last_delta = self.cursor()
         return records
+
+    def cursor(self):
+        """Clock, id counter and RNG state -- the full generator position."""
+        return {
+            "clock": self._clock,
+            "next_id": self._next_id,
+            "rng": self._rng.getstate(),
+        }
+
+    def restore_cursor(self, snapshot) -> None:
+        self._clock = snapshot["clock"]
+        self._next_id = snapshot["next_id"]
+        self._rng.setstate(snapshot["rng"])
+
+    def last_poll_delta(self):
+        """The post-poll position (deltas are absolute for a generator)."""
+        return self._last_delta
+
+    def apply_delta(self, delta) -> None:
+        self.restore_cursor(delta)
 
     def close(self) -> None:
         self._closed = True

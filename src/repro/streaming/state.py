@@ -374,7 +374,9 @@ class KeyedWindowState:
         self._window_counts: dict[Window, int] = {}
         #: (last window end, rid) eviction heap.
         self._eviction: list[tuple[float, int]] = []
-        self._ids = itertools.count()
+        # A plain int rather than itertools.count: the counter is part
+        # of checkpointed state and must be snapshot/restorable.
+        self._next_rid = 0
         #: Records whose every window had already fired on arrival.
         self.late_dropped = 0
         #: Per-window contributions lost to already-fired windows.
@@ -409,7 +411,8 @@ class KeyedWindowState:
         counts = self._window_counts
         insert = self.store.insert
         for st, value, t_start, t_end, live in staged:
-            rid = next(self._ids)
+            rid = self._next_rid
+            self._next_rid += 1
             insert(rid, st, value, t_start, t_end)
             heapq.heappush(self._eviction, (live[-1].end, rid))
             for window in live:
@@ -590,6 +593,9 @@ class StateConsumer:
         self._absorbed_batch: int | None = None
         self._ready: list[Window] = []
         self._pending_hooks: list[tuple[int, STObject, Any]] = []
+        #: Registration order in the context -- the consumer's stable
+        #: identity in checkpoints and the emitted-window ledger.
+        self.checkpoint_index: int = -1
         if universe is not None:
             self._init_state(universe)
 
@@ -654,18 +660,24 @@ class StateConsumer:
         A window leaves the ready queue only after all of its queries
         ran -- a failure mid-fire leaves it queued for the batch retry,
         the same at-least-once contract as the buffered window path.
+        The context's emit gate suppresses windows a crashed process
+        already delivered: the window's state transitions (closed
+        horizon, eviction, ``on_evict``) still run, only the query
+        evaluation and its sink append are skipped.
         """
         self._run_insert_hooks()
         fired = 0
         while self._ready:
             window = self._ready[0]
-            for query in self.queries:
-                query.emit(self.state.store, window)
+            if ssc._emit_allowed(self, window):
+                for query in self.queries:
+                    query.emit(self.state.store, window)
+                ssc._note_emitted(self, window)
+                fired += 1
             self._ready.pop(0)
             for rid in self.state.close_window(window):
                 for query in self.queries:
                     query.on_evict(rid)
-            fired += 1
         return fired
 
     def flush(self, ssc) -> int:
@@ -676,3 +688,80 @@ class StateConsumer:
             w for w in self.state.flush_windows() if w not in self._ready
         )
         return self.fire(ssc)
+
+    def snapshot_state(self) -> dict:
+        """Picklable consumer state for checkpoints.
+
+        The per-cell R-trees are deliberately *not* serialized: the
+        snapshot carries only the record registry, and a restore
+        re-inserts every record through the normal store path, which
+        marks its cell dirty -- the first query touching a cell after
+        recovery rebuilds its tree lazily, exactly like any other
+        mutation (generation-rebuild, see :class:`CellState`).
+        """
+        if self.state is None:
+            state = None
+        else:
+            kw = self.state
+            universe = kw.store.partitioner.universe
+            records = [
+                (rid, st, value, t_start, t_end)
+                for cell in kw.store._cells.values()
+                for rid, (st, value, t_start, t_end) in cell.registry.items()
+            ]
+            records.sort(key=lambda row: row[0])
+            state = {
+                "universe": (universe.min_x, universe.min_y, universe.max_x, universe.max_y),
+                "watermark": kw.watermark,
+                "closed_horizon": kw._closed_horizon,
+                "late_dropped": kw.late_dropped,
+                "late_window_drops": kw.late_window_drops,
+                "next_rid": kw._next_rid,
+                "window_counts": [
+                    (w.start, w.end, n) for w, n in sorted(kw._window_counts.items())
+                ],
+                "eviction": list(kw._eviction),
+                "records": records,
+            }
+        return {
+            "kind": "keyed",
+            "absorbed": self._absorbed_batch,
+            "ready": [(w.start, w.end) for w in self._ready],
+            "pending_hooks": list(self._pending_hooks),
+            "state": state,
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Reset to a :meth:`snapshot_state` (recovery entry point).
+
+        After the registry is rebuilt, every query's ``on_insert`` hook
+        re-runs over the live records to reconstruct incremental caches
+        (the stream-static join's per-record match cache).  The hooks
+        are idempotent -- re-probing a record overwrites the same cached
+        result -- so overlap with still-pending hooks is harmless.
+        """
+        self._absorbed_batch = snapshot["absorbed"]
+        self._ready = [Window(start, end) for start, end in snapshot["ready"]]
+        self._pending_hooks = [tuple(row) for row in snapshot["pending_hooks"]]
+        state = snapshot["state"]
+        if state is None:
+            self.state = None
+            return
+        self._init_state(Envelope(*state["universe"]))
+        kw = self.state
+        kw.watermark = state["watermark"]
+        kw._closed_horizon = state["closed_horizon"]
+        kw.late_dropped = state["late_dropped"]
+        kw.late_window_drops = state["late_window_drops"]
+        kw._next_rid = state["next_rid"]
+        kw._window_counts = {
+            Window(start, end): n for start, end, n in state["window_counts"]
+        }
+        eviction = [tuple(entry) for entry in state["eviction"]]
+        heapq.heapify(eviction)
+        kw._eviction = eviction
+        for rid, st, value, t_start, t_end in state["records"]:
+            kw.store.insert(rid, st, value, t_start, t_end)
+        for query in self.queries:
+            for rid, st, value in kw.store.iter_window(None):
+                query.on_insert(rid, st, value)

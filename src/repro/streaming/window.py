@@ -240,3 +240,32 @@ class WindowState:
     def open_windows(self) -> int:
         """How many windows currently hold buffered records."""
         return len(self._open)
+
+    def snapshot(self) -> dict:
+        """A picklable snapshot of the accumulator (checkpointing).
+
+        Windows are stored as plain ``(start, end, records)`` rows so a
+        restore rebuilds :class:`Window` objects through the same spec
+        the live pipeline declares -- the snapshot carries no code.
+        """
+        return {
+            "watermark": self.watermark,
+            "closed_horizon": self._closed_horizon,
+            "late_dropped": self.late_dropped,
+            "late_window_drops": self.late_window_drops,
+            "open": [
+                (w.start, w.end, list(records))
+                for w, records in sorted(self._open.items())
+            ],
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Reset this accumulator to a :meth:`snapshot` (recovery)."""
+        self.watermark = snapshot["watermark"]
+        self._closed_horizon = snapshot["closed_horizon"]
+        self.late_dropped = snapshot["late_dropped"]
+        self.late_window_drops = snapshot["late_window_drops"]
+        self._open = {
+            Window(start, end): list(records)
+            for start, end, records in snapshot["open"]
+        }

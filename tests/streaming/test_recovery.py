@@ -1,0 +1,402 @@
+"""Replay-to-equivalence: crash recovery's end-to-end correctness gate.
+
+The contract under test: for any crash point, a fresh context that
+re-declares the same pipeline and calls ``restore()`` produces, over
+crashed-run-plus-resumed-run, *exactly* the per-window results of a run
+that never crashed -- no window lost, none duplicated, none re-emitted.
+
+Three adversaries exercise it:
+
+- the **chaos sites** (``wal.append``, ``checkpoint.write``,
+  ``recovery.load``) -- injected faults at the instrumented operations,
+  parametrized over the threads and processes executors;
+- the **kill-between-any-two-fsyncs matrix** -- a simulated process
+  death at every durability barrier the scenario crosses, via the
+  storage fsync hook (driver-side, so sequential executor);
+- **torn/corrupt artifacts** -- truncated WAL tails and damaged
+  checkpoint epochs hitting the CRC framing and epoch fallback.
+
+One documented exception: a kill exactly between a window's outputs
+running and its ledger append re-emits that window to *volatile* sinks
+(the two-generals gap).  The matrix therefore asserts union-equality
+with identical duplicate values for in-memory sinks, and byte-equality
+-- zero duplicates -- for the durable commit-marker sinks, which is the
+delivery path the recovery story prescribes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.chaos import CrashHarness, FaultInjector, SimulatedCrash, crash_points
+from repro.chaos.injector import InjectedFault
+from repro.core.stobject import STObject
+from repro.spark.context import SparkContext
+from repro.streaming import EventFileSink, StreamingContext, StreamingError
+
+BACKENDS = ["threads", "processes"]
+
+BATCHES = 8
+CRASH_AT = 5
+RATE = 12
+WINDOW = dict(length=4.0, slide=2.0)
+TIMES = [float(b) for b in range(BATCHES)]
+
+
+def rec(i: int, t: float):
+    return (STObject(f"POINT ({i % 50} {(i * 7) % 50})", t), (i, "cat"))
+
+
+def make_sc(executor: str = "sequential", injector=None):
+    return SparkContext(
+        f"recovery-{executor}",
+        parallelism=2,
+        executor=executor,
+        retry_backoff=0.0,
+        fault_injector=injector,
+    )
+
+
+def build(sc, checkpoint_dir, out_dir=None):
+    """One standard pipeline: generator -> sliding window -> sinks.
+
+    Returns ``(ssc, sinks)`` where sinks collects window counts plus a
+    continuous range query -- both the buffered and the keyed state
+    paths, so recovery is proven for each.
+    """
+    ssc = StreamingContext(sc, checkpoint_dir=checkpoint_dir, checkpoint_interval=2)
+    events = ssc.generator_stream(rate=RATE, time_step=1.0, seed=11)
+    win = events.window(**WINDOW)
+    sinks = {
+        "counts": win.count_windows(),
+        "range": events.continuous(**WINDOW).range(
+            "POLYGON ((10 10, 90 10, 90 60, 10 60, 10 10))"
+        ),
+    }
+    if out_dir is not None:
+        sinks["files"] = EventFileSink(out_dir)
+        win.for_each_window(sinks["files"])
+    return ssc, sinks
+
+
+def canon(sinks) -> dict:
+    """Window results as comparable ``(sink, start, end) -> value`` maps."""
+    out = {}
+    for name, sink in sinks.items():
+        if name == "files":
+            continue
+        for window, value in sink.results():
+            key = (name, window.start, window.end)
+            if key in out:
+                out.setdefault("__duplicates__", []).append((key, value))
+            else:
+                out[key] = canonical_value(value)
+    return out
+
+
+def canonical_value(value):
+    if isinstance(value, list):
+        return sorted(
+            (st.geo.wkt(), payload) for st, payload in value
+        )
+    return value
+
+
+def read_files(directory) -> dict:
+    if not os.path.isdir(directory):
+        return {}
+    return {
+        name: sorted(open(os.path.join(directory, name)).read().splitlines())
+        for name in sorted(os.listdir(directory))
+        if not name.endswith("._tmp")
+    }
+
+
+def baseline(executor: str = "sequential") -> dict:
+    with make_sc(executor) as sc:
+        ssc, sinks = build(sc, None)
+        ssc.run_batches(BATCHES, batch_times=TIMES)
+        ssc.stop(flush=False)
+        return canon(sinks)
+
+
+def resume_and_finish(sc, checkpoint_dir, out_dir=None, injector_retries=0):
+    """Fresh pipeline + restore + the remaining batches; returns canon."""
+    ssc, sinks = build(sc, checkpoint_dir, out_dir)
+    report = None
+    for attempt in range(injector_retries + 1):
+        try:
+            report = ssc.restore(checkpoint_dir)
+            break
+        except InjectedFault:
+            if attempt == injector_retries:
+                raise
+    remaining = BATCHES - report.resumed_batch_id
+    if remaining > 0:
+        ssc.run_batches(remaining, batch_times=TIMES[report.resumed_batch_id :])
+    ssc.stop(flush=False)
+    return ssc, sinks, report
+
+
+class TestChaosKillPoints:
+    """Injected faults at each instrumented site, on both executors."""
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("executor", BACKENDS)
+    def test_wal_append_fault_then_recover(self, tmp_path, executor):
+        base = baseline(executor)
+        ck = str(tmp_path / "ck")
+        injector = FaultInjector(seed=5).fail("wal.append", times=1, per_key=False)
+        with make_sc(executor, injector) as sc:
+            ssc, crashed_sinks = build(sc, ck)
+            with pytest.raises(InjectedFault):
+                ssc.run_batches(BATCHES, batch_times=TIMES)
+            crashed = canon(crashed_sinks)  # abandoned, no stop/flush
+        with make_sc(executor) as sc2:
+            _ssc, sinks, report = resume_and_finish(sc2, ck)
+            resumed = canon(sinks)
+        assert not (set(crashed) & set(resumed))
+        assert {**crashed, **resumed} == base
+        assert report.batches_replayed >= 0
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("executor", BACKENDS)
+    def test_checkpoint_write_fault_is_graceful_and_recoverable(
+        self, tmp_path, executor
+    ):
+        base = baseline(executor)
+        ck = str(tmp_path / "ck")
+        injector = FaultInjector(seed=5).fail(
+            "checkpoint.write", times=1, per_key=False
+        )
+        with make_sc(executor, injector) as sc:
+            ssc, crashed_sinks = build(sc, ck)
+            # A failed checkpoint never stops the stream -- it only
+            # lengthens the WAL tail a later recovery replays.
+            ssc.run_batches(CRASH_AT, batch_times=TIMES[:CRASH_AT])
+            assert ssc.metrics.checkpoint_failures == 1
+            crashed = canon(crashed_sinks)  # crash here: abandon
+        with make_sc(executor) as sc2:
+            _ssc, sinks, report = resume_and_finish(sc2, ck)
+            resumed = canon(sinks)
+        assert not (set(crashed) & set(resumed))
+        assert {**crashed, **resumed} == base
+        # The failed attempt retried on the very next batch (the cadence
+        # counter only resets on success), so both epochs still landed.
+        assert report.epoch == 2
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("executor", BACKENDS)
+    def test_recovery_load_fault_leaves_restore_retryable(self, tmp_path, executor):
+        base = baseline(executor)
+        ck = str(tmp_path / "ck")
+        with make_sc(executor) as sc:
+            ssc, crashed_sinks = build(sc, ck)
+            ssc.run_batches(CRASH_AT, batch_times=TIMES[:CRASH_AT])
+            crashed = canon(crashed_sinks)
+        injector = FaultInjector(seed=5).fail("recovery.load", times=1, per_key=False)
+        with make_sc(executor, injector) as sc2:
+            # First restore attempt faults before any mutation; the retry
+            # on the very same context must succeed and reach equality.
+            _ssc, sinks, report = resume_and_finish(
+                sc2, ck, injector_retries=1
+            )
+            resumed = canon(sinks)
+        assert not (set(crashed) & set(resumed))
+        assert {**crashed, **resumed} == base
+        assert report.epoch is not None
+
+
+class TestCrashMatrix:
+    """A simulated kill at every fsync barrier the scenario crosses."""
+
+    def _scenario(self, ck, out):
+        with make_sc() as sc:
+            ssc, _ = build(sc, ck, out)
+            ssc.run_batches(BATCHES, batch_times=TIMES)
+            ssc.stop(flush=False)
+
+    def test_kill_between_any_two_fsyncs(self, tmp_path):
+        base = baseline()
+        base_files_dir = tmp_path / "base-out"
+        with make_sc() as sc:
+            ssc, _ = build(sc, str(tmp_path / "base-ck"), str(base_files_dir))
+            ssc.run_batches(BATCHES, batch_times=TIMES)
+            ssc.stop(flush=False)
+        base_files = read_files(base_files_dir)
+        assert base_files  # the durable sink really writes
+
+        n = crash_points(
+            lambda: self._scenario(str(tmp_path / "probe-ck"), str(tmp_path / "probe-out"))
+        )
+        assert n > 10  # WAL appends, emit commits, checkpoints, sink commits
+
+        for at in range(1, n + 1):
+            ck = str(tmp_path / f"ck-{at}")
+            out = str(tmp_path / f"out-{at}")
+            with make_sc() as sc:
+                ssc, crashed_sinks = build(sc, ck, out)
+                harness = CrashHarness(at=at)
+                try:
+                    with harness.installed():
+                        ssc.run_batches(BATCHES, batch_times=TIMES)
+                        ssc.stop(flush=False)
+                except SimulatedCrash:
+                    pass
+                crashed = canon(crashed_sinks)
+            with make_sc() as sc2:
+                ssc2, sinks, _report = resume_and_finish(sc2, ck, out)
+                resumed = canon(sinks)
+
+            # Durable sinks: byte-identical output, zero duplicates --
+            # the commit markers absorb even the ledger-append gap.
+            assert read_files(out) == base_files, f"kill point {at}: file divergence"
+
+            # Volatile sinks: the union covers the baseline exactly; a
+            # window may appear on both sides only at the ledger-append
+            # barrier, and then with an identical value.
+            crashed.pop("__duplicates__", None)
+            resumed.pop("__duplicates__", None)
+            union = {**crashed, **resumed}
+            assert union == base, f"kill point {at}: result divergence"
+            for key in set(crashed) & set(resumed):
+                assert crashed[key] == resumed[key], f"kill point {at}: {key}"
+
+
+class TestSourceCursors:
+    def test_queue_source_skips_consumed_batches(self, tmp_path):
+        ck = str(tmp_path / "ck")
+        batches = [[rec(10 * b + i, float(b)) for i in range(4)] for b in range(6)]
+        with make_sc() as sc:
+            ssc = StreamingContext(sc, checkpoint_dir=ck, checkpoint_interval=2)
+            source, events = ssc.queue_stream(batches)
+            sink = events.window(length=2.0).count_windows()
+            ssc.run_batches(4, batch_times=TIMES[:4])
+            crashed = {(w.start, w.end): v for w, v in sink.results()}
+        with make_sc() as sc2:
+            ssc2 = StreamingContext(sc2, checkpoint_dir=ck, checkpoint_interval=2)
+            # The producer contract: the same batch sequence is re-pushed.
+            source2, events2 = ssc2.queue_stream(batches)
+            sink2 = events2.window(length=2.0).count_windows()
+            report = ssc2.restore(ck)
+            ssc2.run_batches(2, batch_times=TIMES[4:6])
+            ssc2.stop()
+            resumed = {(w.start, w.end): v for w, v in sink2.results()}
+        # Replay + cursor skip means every pushed record lands exactly once.
+        assert not (set(crashed) & set(resumed))
+        counts = {**crashed, **resumed}
+        assert sum(counts.values()) == sum(len(b) for b in batches)
+        assert report.resumed_batch_id == 4
+
+    def test_directory_source_neither_loses_nor_duplicates_files(self, tmp_path):
+        ck = str(tmp_path / "ck")
+        watched = tmp_path / "incoming"
+        watched.mkdir()
+
+        def drop(name, rows):
+            with open(watched / name, "w") as fh:
+                for i, t in rows:
+                    fh.write(f"{i};cat;{t};POINT ({i} {i})\n")
+
+        drop("a.events", [(1, 0.0), (2, 0.5)])
+        drop("b.events", [(3, 1.0)])
+        with make_sc() as sc:
+            ssc = StreamingContext(sc, checkpoint_dir=ck, checkpoint_interval=1)
+            events = ssc.directory_stream(str(watched))
+            sink = events.window(length=2.0).count_windows()
+            ssc.run_batches(2, batch_times=[0.0, 1.0])
+            crashed = {(w.start, w.end): v for w, v in sink.results()}
+        # New files arrive while the process is down.
+        drop("c.events", [(4, 2.0), (5, 3.0)])
+        with make_sc() as sc2:
+            ssc2 = StreamingContext(sc2, checkpoint_dir=ck, checkpoint_interval=1)
+            events2 = ssc2.directory_stream(str(watched))
+            sink2 = events2.window(length=2.0).count_windows()
+            ssc2.restore(ck)
+            ssc2.run_batches(2, batch_times=[2.0, 3.0])
+            ssc2.stop()
+            resumed = {(w.start, w.end): v for w, v in sink2.results()}
+        counts = {**crashed, **resumed}
+        # 5 events total, each in exactly one window, none re-ingested.
+        assert sum(counts.values()) == 5
+        assert not (set(crashed) & set(resumed))
+
+
+class TestRestoreContract:
+    def test_restore_requires_a_fresh_context(self, tmp_path):
+        ck = str(tmp_path / "ck")
+        with make_sc() as sc:
+            ssc, _ = build(sc, ck)
+            ssc.run_batches(2, batch_times=TIMES[:2])
+            with pytest.raises(StreamingError, match="fresh context"):
+                ssc.restore(ck)
+
+    def test_restore_requires_matching_pipeline_shape(self, tmp_path):
+        ck = str(tmp_path / "ck")
+        with make_sc() as sc:
+            ssc, _ = build(sc, ck)
+            ssc.run_batches(CRASH_AT, batch_times=TIMES[:CRASH_AT])
+        with make_sc() as sc2:
+            ssc2 = StreamingContext(sc2, checkpoint_dir=ck)
+            ssc2.generator_stream(rate=RATE, seed=11).window(**WINDOW).count_windows()
+            # One window consumer where the checkpoint recorded two.
+            with pytest.raises(StreamingError, match="re-declared identically"):
+                ssc2.restore(ck)
+
+    def test_restore_on_empty_directory_is_a_clean_start(self, tmp_path):
+        ck = str(tmp_path / "ck")
+        base = baseline()
+        with make_sc() as sc:
+            ssc, sinks = build(sc, ck)
+            report = ssc.restore(ck)
+            assert report.epoch is None
+            assert report.batches_replayed == 0
+            ssc.run_batches(BATCHES, batch_times=TIMES)
+            ssc.stop(flush=False)
+            assert canon(sinks) == base
+
+    def test_corrupt_newest_checkpoint_falls_back_and_still_converges(self, tmp_path):
+        base = baseline()
+        ck = str(tmp_path / "ck")
+        with make_sc() as sc:
+            ssc, crashed_sinks = build(sc, ck)
+            ssc.run_batches(CRASH_AT, batch_times=TIMES[:CRASH_AT])
+            crashed = canon(crashed_sinks)
+            assert ssc.metrics.checkpoints_written >= 2
+        # Damage the newest epoch: recovery must fall back one epoch and
+        # replay a longer WAL tail to the same observable results.
+        from repro.streaming.checkpoint import list_checkpoints
+
+        newest = list_checkpoints(ck)[-1][1]
+        with open(os.path.join(newest, "state.pkl"), "r+b") as fh:
+            fh.write(b"\xde\xad")
+        with make_sc() as sc2:
+            _ssc, sinks, report = resume_and_finish(sc2, ck)
+            resumed = canon(sinks)
+        assert report.corrupt_checkpoints_skipped == 1
+        assert not (set(crashed) & set(resumed))
+        assert {**crashed, **resumed} == base
+
+    def test_suppression_invariant(self, tmp_path):
+        """restored emitted + suppressed == uninterrupted emitted."""
+        with make_sc() as sc:
+            ssc, _ = build(sc, None)
+            ssc.run_batches(BATCHES, batch_times=TIMES)
+            ssc.stop(flush=False)
+            uninterrupted = ssc.metrics.windows_emitted
+        ck = str(tmp_path / "ck")
+        with make_sc() as sc:
+            ssc, _ = build(sc, ck)
+            ssc.run_batches(CRASH_AT, batch_times=TIMES[:CRASH_AT])
+        with make_sc() as sc2:
+            ssc2, _sinks, _report = resume_and_finish(sc2, ck)
+            # The restored metrics carry the crashed run's history up to
+            # the checkpoint, replay re-runs the tail, and suppression
+            # accounts for every window the crashed run already emitted.
+            assert (
+                ssc2.metrics.windows_emitted + ssc2.metrics.windows_suppressed
+                == uninterrupted
+            )
+            assert ssc2.metrics.batches_replayed > 0
