@@ -25,8 +25,13 @@ import argparse
 import importlib
 import inspect
 import pkgutil
+import re
 import sys
 from pathlib import Path
+
+#: Memory addresses in default-value reprs (``<function f at 0x...>``)
+#: change every run; scrub them so regeneration is deterministic.
+_ADDRESS_RE = re.compile(r" at 0x[0-9a-fA-F]+")
 
 #: The documented surface: the paper-facing packages plus the engine.
 DEFAULT_PACKAGES = (
@@ -72,7 +77,7 @@ def public_members(module) -> tuple[list, list]:
 
 def signature_of(obj) -> str:
     try:
-        return str(inspect.signature(obj))
+        return _ADDRESS_RE.sub("", str(inspect.signature(obj)))
     except (ValueError, TypeError):
         return "(...)"
 

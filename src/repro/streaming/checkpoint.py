@@ -32,7 +32,9 @@ frame that is short, mis-magicked or fails its CRC: in the *last*
 segment that is the torn tail of an append the crash interrupted
 (normal, replay simply ends there -- the batch was never applied, and
 its source cursor never advanced, so nothing is lost); anywhere else it
-is real corruption and raises :class:`WalCorruptionError`.
+is real corruption and raises :class:`WalCorruptionError`.  A restarted
+writer truncates that torn tail before appending, so post-restart
+records are never stranded behind it.
 
 **Checkpoint layout.**  ``<dir>/checkpoint-<epoch 8 digits>/`` holding
 ``state.pkl`` (the pickled snapshot) and ``MANIFEST.json`` carrying the
@@ -82,6 +84,28 @@ _TMP_SUFFIX = "._tmp"
 
 class WalCorruptionError(StorageError):
     """A WAL segment is damaged somewhere other than its torn tail."""
+
+
+def scan_valid_prefix(path: str) -> int:
+    """Byte length of the segment's intact frame prefix.
+
+    Walks frames from the start and stops at the first one that is
+    short, mis-magicked or fails its CRC; everything before that offset
+    is replayable, everything after it is the torn tail a crash left.
+    """
+    good = 0
+    with open(path, "rb") as fh:
+        while True:
+            header = fh.read(_FRAME.size)
+            if len(header) < _FRAME.size:
+                return good
+            magic, length, crc = _FRAME.unpack(header)
+            if magic != _MAGIC:
+                return good
+            blob = fh.read(length)
+            if len(blob) < length or zlib.crc32(blob) != crc:
+                return good
+            good += _FRAME.size + length
 
 
 def append_record(fh, payload: dict) -> int:
@@ -134,8 +158,12 @@ class WalWriter:
 
     Each :meth:`append` writes one frame, flushes and fsyncs before
     returning -- the record is durable or the call raised.  Segments
-    rotate once they exceed *segment_bytes*; rotation fsyncs the WAL
-    directory so the new segment's name is durable too.
+    rotate once they exceed *segment_bytes*; opening a segment (at
+    construction or rotation) fsyncs the WAL directory so its name is
+    durable before any append is acknowledged.  Reopening an existing
+    WAL first truncates the last segment back to its intact frame
+    prefix: a torn tail left by a crash would otherwise strand every
+    post-restart record behind damage the reader stops at.
     """
 
     def __init__(self, directory: str, segment_bytes: int = 1 << 20) -> None:
@@ -150,7 +178,18 @@ class WalWriter:
             if existing
             else 0
         )
-        self._fh = open(self._segment_path(self._segment_index), "ab")
+        path = self._segment_path(self._segment_index)
+        if existing:
+            # A crash mid-append leaves a torn frame at the segment's
+            # tail.  Appending after it would strand every later record
+            # behind damage the reader (rightly) stops at, so cut the
+            # segment back to its intact prefix before reopening.
+            self._truncate_torn_tail(path)
+        self._fh = open(path, "ab")
+        # Make the segment's directory entry durable before any append
+        # is acknowledged -- otherwise a power loss can drop the file
+        # (and every fsynced record in it) with the unsynced entry.
+        fsync_dir(self.directory)
         #: Appends performed through this writer (benchmark counter).
         self.appends = 0
         #: Payload+frame bytes appended (benchmark counter).
@@ -160,6 +199,15 @@ class WalWriter:
 
     def _segment_path(self, index: int) -> str:
         return os.path.join(self.directory, f"wal-{index:08d}.log")
+
+    @staticmethod
+    def _truncate_torn_tail(path: str) -> None:
+        size = os.path.getsize(path)
+        good = scan_valid_prefix(path)
+        if good < size:
+            with open(path, "r+b") as fh:
+                fh.truncate(good)
+                _fsync_handle(fh, path)
 
     def append(self, payload: dict) -> None:
         """Durably append one record (fsynced before returning)."""

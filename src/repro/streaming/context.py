@@ -765,9 +765,13 @@ class StreamingContext:
             if self._ckpt is not None and fired:
                 # Shutdown-flush emissions go into the ledger too, so a
                 # crash between this stop and a later restart does not
-                # re-deliver the flushed windows.
+                # re-deliver the flushed windows.  Committed under
+                # _next_batch_id -- strictly above any checkpoint's
+                # high-water mark (which is always a *processed* batch
+                # id) -- so read_tail's high-water filter can never
+                # discard the record on restore.
                 try:
-                    self._ckpt.commit_emits(self._next_batch_id - 1)
+                    self._ckpt.commit_emits(self._next_batch_id)
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except Exception:

@@ -68,8 +68,15 @@ class WindowSink:
         self.skipped = 0
 
     def window_key(self, window: Window) -> str:
-        """The window's stable file-name stem (same window, same name)."""
-        return f"window-{window.start:g}-{window.end:g}"
+        """The window's stable file-name stem (same window, same name).
+
+        The bounds are rendered with :func:`repr`, which round-trips
+        floats exactly -- a lossy rendering (e.g. ``:g``'s 6 significant
+        digits) would collide adjacent windows at wall-clock epoch
+        scale, and a collision here silently drops a window's data
+        because the target's existence is the dedup marker.
+        """
+        return f"window-{float(window.start)!r}-{float(window.end)!r}"
 
     def target(self, window: Window) -> str:
         """The window's final committed path."""

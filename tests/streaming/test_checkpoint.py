@@ -98,6 +98,43 @@ class TestWalFraming:
             fh.write(bytes([byte[0] ^ 0xFF]))
         assert [r["batch_id"] for r in read_wal(str(tmp_path / "wal"))] == [0, 1]
 
+    def test_reopen_truncates_torn_tail_so_later_appends_survive(self, tmp_path):
+        wal = WalWriter(str(tmp_path / "wal"))
+        for i in range(3):
+            wal.append(batch_record(i))
+        wal.close()
+        (path,) = list_segments(str(tmp_path / "wal"))
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 7)
+        # Restart: record 2's torn frame is cut away (its append was
+        # never acknowledged), so records journaled after the restart
+        # land on an intact prefix instead of behind damage the reader
+        # stops at.
+        wal2 = WalWriter(str(tmp_path / "wal"))
+        wal2.append(batch_record(3))
+        wal2.append(batch_record(4))
+        wal2.close()
+        assert [r["batch_id"] for r in read_wal(str(tmp_path / "wal"))] == [0, 1, 3, 4]
+
+    def test_post_restart_records_survive_segment_rotation(self, tmp_path):
+        wal = WalWriter(str(tmp_path / "wal"))
+        for i in range(3):
+            wal.append(batch_record(i))
+        wal.close()
+        (path,) = list_segments(str(tmp_path / "wal"))
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 7)
+        # Without init-time truncation the torn segment rotates into a
+        # *non-final* position, where the damage is treated as real
+        # corruption and every post-restart record becomes unreadable.
+        wal2 = WalWriter(str(tmp_path / "wal"), segment_bytes=64)
+        for i in range(3, 8):
+            wal2.append(batch_record(i))
+        wal2.close()
+        assert len(list_segments(str(tmp_path / "wal"))) > 1
+        got = [r["batch_id"] for r in read_wal(str(tmp_path / "wal"))]
+        assert got == [0, 1] + list(range(3, 8))
+
     def test_damage_in_non_final_segment_raises(self, tmp_path):
         wal = WalWriter(str(tmp_path / "wal"), segment_bytes=64)
         for i in range(8):

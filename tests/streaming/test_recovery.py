@@ -379,6 +379,35 @@ class TestRestoreContract:
         assert not (set(crashed) & set(resumed))
         assert {**crashed, **resumed} == base
 
+    def test_stop_flush_emits_survive_a_same_batch_checkpoint(self, tmp_path):
+        """Shutdown-flush ledger records outlive the newest checkpoint.
+
+        Regression: flush emits were committed under the last processed
+        batch's id.  When that batch had also written a checkpoint, the
+        id equaled the checkpoint's high-water mark, read_tail filtered
+        the record out, and a restore re-emitted every flushed window.
+        """
+        ck = str(tmp_path / "ck")
+        with make_sc() as sc:
+            ssc, _ = build(sc, ck)
+            # checkpoint_interval=2: batch 3 writes the newest epoch, so
+            # its id is exactly that epoch's high-water mark.
+            ssc.run_batches(4, batch_times=TIMES[:4])
+            assert ssc.metrics.checkpoints_written >= 1
+            before_flush = ssc.metrics.windows_emitted
+            ssc.stop(flush=True)
+            flushed = ssc.metrics.windows_emitted - before_flush
+        assert flushed > 0
+        with make_sc() as sc2:
+            ssc2, sinks2 = build(sc2, ck)
+            ssc2.restore(ck)
+            # The restored snapshot still holds those windows open; a
+            # second flush must find every one in the suppression set.
+            ssc2.stop(flush=True)
+            assert ssc2.metrics.windows_suppressed == flushed
+            resumed = canon(sinks2)
+        assert resumed == {}
+
     def test_suppression_invariant(self, tmp_path):
         """restored emitted + suppressed == uninterrupted emitted."""
         with make_sc() as sc:

@@ -45,7 +45,7 @@ class TestEventFileSink:
         sink(WINDOW, window_rdd(sc, events(3)))
         assert sink.committed == 1
         target = sink.target(WINDOW)
-        assert os.path.basename(target) == "window-0-4.events"
+        assert os.path.basename(target) == "window-0.0-4.0.events"
         rows = sorted(
             parse_event_line(line) for line in open(target).read().splitlines()
         )
@@ -126,3 +126,20 @@ class TestObjectFileSink:
         sink(Window(2.0, 6.0), window_rdd(sc, events(3)))
         assert sink.committed == 2
         assert len(os.listdir(tmp_path)) == 2
+
+
+class TestWindowNaming:
+    def test_epoch_scale_adjacent_windows_do_not_collide(self, tmp_path, sc):
+        # Regression: a ':g' (6 significant digit) rendering collapsed
+        # adjacent wall-clock windows onto one file name, so the
+        # commit-marker dedup silently dropped every window after the
+        # first.  repr round-trips the bounds exactly.
+        sink = EventFileSink(str(tmp_path))
+        w1 = Window(1754400000.0, 1754400008.0)
+        w2 = Window(1754400008.0, 1754400016.0)
+        assert sink.window_key(w1) != sink.window_key(w2)
+        sink(w1, window_rdd(sc, events(2, t=1754400001.0)))
+        sink(w2, window_rdd(sc, events(3, t=1754400009.0)))
+        assert (sink.committed, sink.skipped) == (2, 0)
+        assert len(open(sink.target(w1)).read().splitlines()) == 2
+        assert len(open(sink.target(w2)).read().splitlines()) == 3
