@@ -12,10 +12,12 @@ cannot diff::
     python benchmarks/check_bench_schema.py fresh.json BENCH_streaming_recovery.json
 
 Each file is validated against the schema its own ``schema`` key
-names -- ``bench.streaming/v1`` (throughput + incremental) or
-``bench.streaming_recovery/v1`` (crash recovery).  Exit status 0 when
-every file conforms; 1 with a per-file reason otherwise.  The checker
-validates structure and invariants (the ``results_equal`` gates must
+names -- ``bench.streaming/v1`` (throughput + incremental),
+``bench.streaming_recovery/v1`` (crash recovery) or
+``bench.streaming_overload/v1`` (graceful degradation; the canonical
+artifact is ``BENCH_overload.json``).  Exit status 0 when every file
+conforms; 1 with a per-file reason otherwise.  The checker validates
+structure and invariants (the ``results_equal`` / overload gates must
 be true, walls and speedup positive) -- it deliberately does not
 compare timings across runs.
 """
@@ -97,6 +99,65 @@ RECOVERY_CONFIG_KEYS = {
     "parallelism",
     "seed",
 }
+
+OVERLOAD_SCHEMA = "bench.streaming_overload/v1"
+
+#: Required keys of the overload report's ``overload`` section.
+OVERLOAD_KEYS = {
+    "window_length",
+    "window_slide",
+    "overload_factor",
+    "memory_budget_bytes",
+    "accounting_balanced",
+    "sheds_deterministic",
+    "budget_held",
+    "spill_engaged",
+    "shed_engaged",
+    "dead_letter_engaged",
+    "poison_quarantined",
+    "poison_provenance_complete",
+    "replay_matches_reference",
+    "worst_degradation",
+    "peak_state_bytes",
+    "wall_s",
+    "reference_wall_s",
+    "windows_reference",
+    "metrics",
+    "store",
+    "sink",
+    "breaker",
+    "dlq",
+}
+#: The overload gates that must all be true (zero silent loss).
+OVERLOAD_GATES = {
+    "accounting_balanced",
+    "sheds_deterministic",
+    "budget_held",
+    "spill_engaged",
+    "shed_engaged",
+    "dead_letter_engaged",
+    "poison_quarantined",
+    "poison_provenance_complete",
+    "replay_matches_reference",
+}
+OVERLOAD_STORE_KEYS = {"cells_spilled", "cells_loaded", "spill_failures", "spilled_bytes"}
+OVERLOAD_SINK_KEYS = {"committed", "skipped", "retries_used", "failures", "dead_lettered"}
+OVERLOAD_BREAKER_KEYS = {"state", "opens", "probes", "refusals"}
+OVERLOAD_DLQ_KEYS = {"sink_windows", "poison_records", "windows_replayed"}
+OVERLOAD_CONFIG_KEYS = {
+    "batches",
+    "rate",
+    "window",
+    "overload_factor",
+    "max_pending",
+    "shed_policy",
+    "memory_budget",
+    "poison_every",
+    "sink_fail_prob",
+    "parallelism",
+    "seed",
+}
+DEGRADATION_LEVELS = ("healthy", "shedding", "spilling", "circuit-open")
 
 
 class SchemaError(ValueError):
@@ -204,19 +265,87 @@ def check_recovery(section: dict, label: str = "recovery") -> None:
     )
 
 
+def check_overload(section: dict, label: str = "overload") -> None:
+    """The graceful-degradation block, including its hard gates."""
+    require(isinstance(section, dict), f"{label} must be an object")
+    missing = OVERLOAD_KEYS - section.keys()
+    require(not missing, f"{label} missing keys: {sorted(missing)}")
+    for gate in sorted(OVERLOAD_GATES):
+        require(
+            section[gate] is True,
+            f"{label}.{gate} must be true -- the overload run degraded "
+            "with silent loss or an unreplayable dead-letter queue",
+        )
+    require(
+        section["worst_degradation"] in DEGRADATION_LEVELS,
+        f"{label}.worst_degradation must be one of {DEGRADATION_LEVELS}, "
+        f"got {section['worst_degradation']!r}",
+    )
+    check_number(section["wall_s"], f"{label}.wall_s", positive=True)
+    check_number(section["reference_wall_s"], f"{label}.reference_wall_s", positive=True)
+    check_number(section["windows_reference"], f"{label}.windows_reference", positive=True)
+    check_number(section["peak_state_bytes"], f"{label}.peak_state_bytes")
+    require(
+        section["peak_state_bytes"] <= section["memory_budget_bytes"],
+        f"{label}.peak_state_bytes exceeds the memory budget",
+    )
+    metrics = section["metrics"]
+    require(isinstance(metrics, dict), f"{label}.metrics must be an object")
+    for key in (
+        "records_ingested",
+        "records_processed",
+        "records_shed",
+        "records_quarantined",
+        "records_failed",
+        "batches_shed",
+    ):
+        require(key in metrics, f"{label}.metrics missing {key!r}")
+        check_number(metrics[key], f"{label}.metrics.{key}")
+    require(
+        metrics["records_ingested"]
+        == metrics["records_processed"]
+        + metrics["records_shed"]
+        + metrics["records_quarantined"]
+        + metrics["records_failed"],
+        f"{label}.metrics: ingested != processed + shed + quarantined + failed",
+    )
+    for name, keys in (
+        ("store", OVERLOAD_STORE_KEYS),
+        ("sink", OVERLOAD_SINK_KEYS),
+        ("breaker", OVERLOAD_BREAKER_KEYS),
+        ("dlq", OVERLOAD_DLQ_KEYS),
+    ):
+        block = section[name]
+        require(isinstance(block, dict), f"{label}.{name} must be an object")
+        missing = keys - block.keys()
+        require(not missing, f"{label}.{name} missing keys: {sorted(missing)}")
+    require(
+        section["dlq"]["windows_replayed"] <= section["dlq"]["sink_windows"],
+        f"{label}.dlq replayed more windows than were dead-lettered",
+    )
+
+
 def check_report(report: dict) -> None:
     """Validate one parsed report, dispatching on its ``schema`` key."""
     require(isinstance(report, dict), "report must be a JSON object")
     schema = report.get("schema")
     require(
-        schema in (SCHEMA, RECOVERY_SCHEMA),
-        f"schema must be {SCHEMA!r} or {RECOVERY_SCHEMA!r}, got {schema!r}",
+        schema in (SCHEMA, RECOVERY_SCHEMA, OVERLOAD_SCHEMA),
+        f"schema must be {SCHEMA!r}, {RECOVERY_SCHEMA!r} or "
+        f"{OVERLOAD_SCHEMA!r}, got {schema!r}",
     )
     check_number(report.get("created_unix"), "created_unix", positive=True)
     host = report.get("host")
     require(isinstance(host, dict) and "cpus" in host, "host.cpus missing")
     config = report.get("config")
     require(isinstance(config, dict), "config must be an object")
+
+    if schema == OVERLOAD_SCHEMA:
+        missing = OVERLOAD_CONFIG_KEYS - config.keys()
+        require(not missing, f"config missing keys: {sorted(missing)}")
+        require("overload" in report, "overload section missing")
+        check_overload(report["overload"])
+        return
 
     if schema == RECOVERY_SCHEMA:
         missing = RECOVERY_CONFIG_KEYS - config.keys()

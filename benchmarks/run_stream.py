@@ -36,10 +36,25 @@ exactly -- divergence is a hard failure (non-zero exit) -- and the
 report carries the durability overhead (WAL append cost per batch,
 checkpoint write cost) plus the time-to-recover wall.
 
+``--mode overload`` measures graceful degradation under sustained
+``--overload-factor``x ingest pressure: a seeded generator (with a
+deterministic sprinkling of poison records) is polled several times per
+processed batch, so the pending queue overflows and the shed policy
+engages; keyed state runs under a ``--memory-budget`` so cold cells
+spill; the window sink fails probabilistically (the ``sink.write``
+chaos site), tripping its circuit breaker and routing windows to the
+dead-letter queue.  The run gates hard (non-zero exit) on zero silent
+loss: ingested records must equal processed + shed + quarantined +
+failed, sheds must be byte-identical across two runs, the in-memory
+state bytes must stay under budget, and after ``dlq_replay`` against
+the healed sink the output directory must equal a reference run whose
+sink never failed.
+
 The JSON schema is ``bench.streaming/v1`` (``bench.streaming_recovery/
-v1`` for recovery mode) -- stable keys, suitable for CI artifact
-diffing (``benchmarks/check_bench_schema.py`` validates a report
-against either).
+v1`` for recovery mode, ``bench.streaming_overload/v1`` for overload
+mode) -- stable keys, suitable for CI artifact diffing
+(``benchmarks/check_bench_schema.py`` validates a report against any
+of them).
 
 The ``processes`` backend spawns workers that re-import ``__main__``,
 so this script must be run as a file (as shown above), not piped to
@@ -374,6 +389,227 @@ def bench_recovery(args) -> dict:
     }
 
 
+#: The generator category that marks a record as poison in overload mode.
+POISON_CATEGORY = "__poison__"
+
+
+def explode_on_poison(record):
+    """The overload pipeline's tripwire map: crash on the poison sentinel."""
+    _st, (event_id, category) = record
+    if category == POISON_CATEGORY:
+        raise ValueError(f"poison record {event_id}")
+    return record
+
+
+def read_window_files(directory: str) -> dict[str, str]:
+    """``{file name: contents}`` for a sink's committed window targets."""
+    out: dict[str, str] = {}
+    if not os.path.isdir(directory):
+        return out
+    for name in sorted(os.listdir(directory)):
+        if name.endswith("._tmp"):
+            continue
+        with open(os.path.join(directory, name)) as fh:
+            out[name] = fh.read()
+    return out
+
+
+def bench_overload(args) -> dict:
+    """Sustained overload + chaos sinks; gate on zero silent loss.
+
+    Three drives of the identical seeded stream on the sequential
+    executor: *reference* (healthy sink, same overload and poisons),
+    *chaos* (probabilistic ``sink.write`` faults through the breaker
+    and DLQ) and a *repeat* of the chaos run pinning shed determinism.
+    After the chaos run the DLQ is reopened, ``dlq_replay`` re-delivers
+    the dead-lettered windows to the healed sink, and the resulting
+    output directory must equal the reference's exactly.
+    """
+    import shutil
+    import tempfile
+
+    from repro.chaos.injector import FaultInjector
+    from repro.streaming import CircuitBreaker, DeadLetterQueue, EventFileSink
+    from repro.streaming.dlq import dlq_replay
+    from repro.streaming.overload import DEGRADATION_LEVELS
+
+    length = float(args.window)
+    slide = float(args.slide) if args.slide else length / 4.0
+    factor = args.overload_factor
+    budget = args.memory_budget
+    if factor < 2:
+        raise SystemExit("--overload-factor must be >= 2 to overload the queue")
+
+    def drive(work: str, sink_faults: bool) -> dict:
+        with SparkContext(
+            "stream-bench-overload",
+            parallelism=args.parallelism,
+            executor="sequential",
+        ) as sc:
+            if sink_faults:
+                sc.fault_injector = FaultInjector(seed=args.seed).fail(
+                    "sink.write", probability=args.sink_fail_prob
+                )
+            ssc = StreamingContext(
+                sc,
+                batch_interval=args.interval,
+                max_pending_batches=args.max_pending,
+                shed_policy=args.shed_policy,
+                shed_seed=args.seed,
+                dlq_dir=os.path.join(work, "dlq"),
+            )
+            events = ssc.generator_stream(
+                rate=args.rate,
+                time_step=1.0,
+                seed=args.seed,
+                poison_every=args.poison_every,
+                poison_value=POISON_CATEGORY,
+            )
+            checked = events.map(explode_on_poison)
+            cont = checked.continuous(
+                length=length,
+                slide=slide,
+                memory_budget_bytes=budget,
+                spill_dir=os.path.join(work, "spill"),
+            )
+            cont.range(INC_RANGE_QUERY)
+            sink = EventFileSink(
+                os.path.join(work, "out"),
+                retries=1,
+                breaker=CircuitBreaker(failure_threshold=2, cooldown_windows=2),
+                name="events",
+            )
+            checked.window(length=length, slide=slide).for_each_window(sink)
+
+            worst = 0
+            peak_bytes = 0
+            budget_held = True
+            start = time.perf_counter()
+            for _ in range(args.batches):
+                for _ in range(factor):
+                    ssc.poll_once(batch_time=0.0)
+                ssc.process_pending(max_batches=1)
+                store = cont.consumer.store
+                if store is not None:
+                    peak_bytes = max(peak_bytes, store.bytes_in_memory)
+                    if store.bytes_in_memory > budget:
+                        budget_held = False
+                worst = max(
+                    worst, DEGRADATION_LEVELS.index(ssc.metrics.degradation)
+                )
+            ssc.process_pending()
+            ssc.stop()
+            # The shutdown flush fires the remaining windows (and can
+            # trip the breaker); fold its ladder reading in too.
+            worst = max(worst, DEGRADATION_LEVELS.index(ssc.metrics.degradation))
+            wall = time.perf_counter() - start
+            store = cont.consumer.store
+            return {
+                "wall_s": wall,
+                "metrics": ssc.metrics.snapshot(),
+                "worst_degradation": DEGRADATION_LEVELS[worst],
+                "peak_state_bytes": peak_bytes,
+                "budget_held": budget_held,
+                "store": {
+                    "cells_spilled": store.cells_spilled if store else 0,
+                    "cells_loaded": store.cells_loaded if store else 0,
+                    "spill_failures": store.spill_failures if store else 0,
+                    "spilled_bytes": store.spilled_bytes if store else 0,
+                },
+                "sink": {
+                    "committed": sink.committed,
+                    "skipped": sink.skipped,
+                    "retries_used": sink.retries_used,
+                    "failures": sink.failures,
+                    "dead_lettered": sink.dead_lettered,
+                },
+                "breaker": sink.breaker.snapshot(),
+                "files": read_window_files(os.path.join(work, "out")),
+            }
+
+    work_root = tempfile.mkdtemp(prefix="bench-overload-")
+    try:
+        reference = drive(os.path.join(work_root, "reference"), sink_faults=False)
+        chaos = drive(os.path.join(work_root, "chaos"), sink_faults=True)
+        repeat = drive(os.path.join(work_root, "repeat"), sink_faults=True)
+
+        shed_keys = (
+            "batches_shed",
+            "records_shed",
+            "records_ingested",
+            "records_processed",
+            "records_quarantined",
+        )
+        sheds_deterministic = all(
+            chaos["metrics"][key] == repeat["metrics"][key] for key in shed_keys
+        )
+        m = chaos["metrics"]
+        balanced = m["records_ingested"] == (
+            m["records_processed"]
+            + m["records_shed"]
+            + m["records_quarantined"]
+            + m["records_failed"]
+        )
+
+        # Heal the sink (no injector) and replay the dead-lettered windows.
+        chaos_out = os.path.join(work_root, "chaos", "out")
+        dlq = DeadLetterQueue(os.path.join(work_root, "chaos", "dlq"))
+        with SparkContext(
+            "stream-bench-overload-replay",
+            parallelism=args.parallelism,
+            executor="sequential",
+        ) as sc:
+            healed = EventFileSink(chaos_out, name="events")
+            windows_replayed = dlq_replay(dlq, healed, sc)
+        poison_entries = dlq.poison_records()
+        dlq_windows = len(dlq.sink_windows("events"))
+        dlq.close()
+        replay_matches = read_window_files(chaos_out) == reference["files"]
+        provenance_ok = bool(poison_entries) and all(
+            entry["batch_id"] is not None and entry["source"] and entry["error"]
+            for entry in poison_entries
+        )
+    finally:
+        shutil.rmtree(work_root, ignore_errors=True)
+
+    gates = {
+        "accounting_balanced": balanced,
+        "sheds_deterministic": sheds_deterministic,
+        "budget_held": chaos["budget_held"],
+        "spill_engaged": chaos["store"]["cells_spilled"] > 0,
+        "shed_engaged": m["batches_shed"] > 0,
+        "dead_letter_engaged": chaos["sink"]["dead_lettered"] > 0,
+        "poison_quarantined": m["records_quarantined"] > 0,
+        "poison_provenance_complete": provenance_ok,
+        "replay_matches_reference": replay_matches,
+    }
+    failed = sorted(name for name, ok in gates.items() if not ok)
+    if failed:
+        raise SystemExit(f"overload gates failed: {failed}")
+
+    return {
+        "window_length": length,
+        "window_slide": slide,
+        "overload_factor": factor,
+        "memory_budget_bytes": budget,
+        **gates,
+        "worst_degradation": chaos["worst_degradation"],
+        "peak_state_bytes": chaos["peak_state_bytes"],
+        "wall_s": chaos["wall_s"],
+        "reference_wall_s": reference["wall_s"],
+        "windows_reference": len(reference["files"]),
+        "metrics": m,
+        "store": chaos["store"],
+        "sink": chaos["sink"],
+        "breaker": chaos["breaker"],
+        "dlq": {
+            "sink_windows": dlq_windows,
+            "poison_records": len(poison_entries),
+            "windows_replayed": windows_replayed,
+        },
+    }
+
+
 def summarize(ssc: StreamingContext, wall: float, completed: int) -> dict:
     latencies = [latency for _b, _n, latency, _q in ssc.batch_latencies]
     records = ssc.metrics.records_ingested
@@ -405,7 +641,37 @@ def main() -> None:
     parser.add_argument(
         "--mode",
         default="throughput,incremental",
-        help="comma-separated subset of {throughput, incremental}, or 'recovery'",
+        help="comma-separated subset of {throughput, incremental}, or one "
+        "of 'recovery' / 'overload'",
+    )
+    parser.add_argument(
+        "--overload-factor",
+        type=int,
+        default=5,
+        help="overload mode: source polls per processed batch",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=32768,
+        help="overload mode: keyed-state in-memory byte budget",
+    )
+    parser.add_argument(
+        "--shed-policy",
+        default="shed_oldest",
+        help="overload mode: admission policy for the full pending queue",
+    )
+    parser.add_argument(
+        "--poison-every",
+        type=int,
+        default=800,
+        help="overload mode: every Nth generated record is poison",
+    )
+    parser.add_argument(
+        "--sink-fail-prob",
+        type=float,
+        default=0.4,
+        help="overload mode: per-attempt sink.write fault probability",
     )
     parser.add_argument(
         "--crash-batch",
@@ -433,9 +699,53 @@ def main() -> None:
     args = parser.parse_args()
 
     modes = {name.strip() for name in args.mode.split(",") if name.strip()}
-    unknown = modes - {"throughput", "incremental", "recovery"}
+    unknown = modes - {"throughput", "incremental", "recovery", "overload"}
     if unknown:
         raise SystemExit(f"unknown --mode entries: {sorted(unknown)}")
+    if "overload" in modes:
+        if modes != {"overload"}:
+            raise SystemExit(
+                "--mode overload writes its own report schema and cannot "
+                "be combined with other modes"
+            )
+        if args.out == parser.get_default("out"):
+            args.out = "BENCH_overload.json"
+        print("== graceful degradation under overload ==", flush=True)
+        overload = bench_overload(args)
+        print(
+            f"  ingested={overload['metrics']['records_ingested']} "
+            f"processed={overload['metrics']['records_processed']} "
+            f"shed={overload['metrics']['records_shed']} "
+            f"quarantined={overload['metrics']['records_quarantined']}  "
+            f"spilled cells={overload['store']['cells_spilled']}  "
+            f"dead-lettered={overload['sink']['dead_lettered']} "
+            f"(replayed={overload['dlq']['windows_replayed']})  "
+            f"worst={overload['worst_degradation']}"
+        )
+        report = {
+            "schema": "bench.streaming_overload/v1",
+            "created_unix": time.time(),
+            "host": {"cpus": os.cpu_count()},
+            "config": {
+                "batches": args.batches,
+                "rate": args.rate,
+                "window": args.window,
+                "overload_factor": args.overload_factor,
+                "max_pending": args.max_pending,
+                "shed_policy": args.shed_policy,
+                "memory_budget": args.memory_budget,
+                "poison_every": args.poison_every,
+                "sink_fail_prob": args.sink_fail_prob,
+                "parallelism": args.parallelism,
+                "seed": args.seed,
+            },
+            "overload": overload,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nreport written to {args.out}")
+        return
     if "recovery" in modes:
         if modes != {"recovery"}:
             raise SystemExit(

@@ -19,6 +19,8 @@ site                 fires in
 ``wal.append``       checkpointing, before a batch is journaled to the WAL
 ``checkpoint.write`` checkpointing, before an atomic state snapshot
 ``recovery.load``    ``StreamingContext.restore``, before any state loads
+``sink.write``       ``WindowSink``, before a window's target is written
+``state.spill``      ``KeyedStateStore``, before a cold cell spills to disk
 ===================  ====================================================
 
 Two plan shapes exist per site:
@@ -86,6 +88,8 @@ SITES = frozenset(
         "wal.append",
         "checkpoint.write",
         "recovery.load",
+        "sink.write",
+        "state.spill",
     }
 )
 

@@ -8,6 +8,7 @@ to the cell containing its centroid.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Iterable
 
 from repro.geometry.envelope import Envelope
@@ -84,8 +85,13 @@ class GridPartitioner(SpatialPartitioner):
 
     def _partition_of_point(self, x: float, y: float) -> int:
         u = self._universe
-        ix = int((x - u.min_x) / self._cell_w)
-        iy = int((y - u.min_y) / self._cell_h)
+        # A subnormal-width universe makes the division overflow to
+        # inf for far-away points; treat non-finite ratios as "past the
+        # edge" so the clamp below still lands in a border cell.
+        fx = (x - u.min_x) / self._cell_w
+        fy = (y - u.min_y) / self._cell_h
+        ix = int(fx) if math.isfinite(fx) else (0 if fx < 0 else self._ppd - 1)
+        iy = int(fy) if math.isfinite(fy) else (0 if fy < 0 else self._ppd - 1)
         # Clamp: the universe's max edge belongs to the last cell, and
         # out-of-universe points go to the nearest border cell.
         ix = min(max(ix, 0), self._ppd - 1)

@@ -21,6 +21,15 @@ emitted (:mod:`repro.streaming.checkpoint`,
 :mod:`repro.streaming.recovery`).  Durable per-window sinks with
 commit-marker dedup live in :mod:`repro.streaming.sinks`.
 
+Under overload the stream degrades gracefully instead of failing:
+admission-control shed policies bound the pending-batch queue
+(:mod:`repro.streaming.overload`), a per-store memory budget spills
+cold grid cells to disk (:mod:`repro.streaming.state`), sink circuit
+breakers route undeliverable windows to a durable dead-letter queue
+(:mod:`repro.streaming.dlq`) that :func:`dlq_replay` drains once the
+sink heals, and the whole ladder (``healthy -> shedding -> spilling ->
+circuit-open``) surfaces through :class:`StreamMetrics`.
+
 Typical use::
 
     from repro.spark.context import SparkContext
@@ -47,6 +56,14 @@ from repro.streaming.context import (
     StreamingContext,
     StreamingError,
     StreamMetrics,
+)
+from repro.streaming.dlq import DeadLetterQueue, dlq_replay
+from repro.streaming.overload import (
+    DEGRADATION_LEVELS,
+    SHED_POLICIES,
+    CircuitBreaker,
+    degradation_level,
+    sample_decision,
 )
 from repro.streaming.recovery import RecoveryReport, build_snapshot, restore_context
 from repro.streaming.dstream import (
@@ -85,7 +102,9 @@ from repro.streaming.state import (
     ContinuousRange,
     KeyedStateStore,
     KeyedWindowState,
+    SpilledCell,
     StateConsumer,
+    estimate_record_bytes,
 )
 from repro.streaming.window import Window, WindowSpec, WindowState, event_span
 
@@ -134,4 +153,13 @@ __all__ = [
     "EventFileSink",
     "GeoJSONSink",
     "ObjectFileSink",
+    "SHED_POLICIES",
+    "DEGRADATION_LEVELS",
+    "CircuitBreaker",
+    "degradation_level",
+    "sample_decision",
+    "DeadLetterQueue",
+    "dlq_replay",
+    "SpilledCell",
+    "estimate_record_bytes",
 ]

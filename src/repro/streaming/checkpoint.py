@@ -457,6 +457,22 @@ class CheckpointManager:
         """Buffer one fired window for the next :meth:`commit_emits`."""
         self._pending_emits.append((consumer_index, window.start, window.end))
 
+    def log_shed(self, batch_id: int, records: int) -> None:
+        """Journal one batch the shed policy dropped at admission.
+
+        Appended *after* the batch's own journal record (polling logs
+        first, admission decides second), so the tail always sees the
+        pair together: recovery replays the shed -- advancing counters,
+        skipping processing -- instead of applying records the live
+        run never applied.  No-op while replaying, like
+        :meth:`log_batch`.
+        """
+        if self.replaying:
+            return
+        self.wal.append(
+            {"kind": "shed", "batch_id": batch_id, "records": records}
+        )
+
     def commit_emits(self, batch_id: int) -> None:
         """Durably append the windows the finished batch emitted.
 
@@ -476,18 +492,29 @@ class CheckpointManager:
         )
         self._pending_emits.clear()
 
-    def read_tail(self, high_water: int) -> tuple[list[dict], set[tuple[int, float, float]]]:
-        """The replayable log tail: ``(batches, emitted)``.
+    def read_tail(
+        self, high_water: int
+    ) -> tuple[list[dict], set[tuple[int, float, float]], set[int]]:
+        """The replayable log tail: ``(batches, emitted, shed)``.
 
         *batches* are the journal entries with ``batch_id >
         high_water`` in batch-id order; *emitted* is the set of
         ``(consumer_index, start, end)`` windows the crashed process
         already delivered while processing those batches -- the
-        suppression set for exactly-once window output.
+        suppression set for exactly-once window output.  *shed* is the
+        set of batch ids the admission policy dropped: recovery must
+        not re-apply their records (it advances the shed counters
+        instead).  Shed ids are collected without the high-water
+        filter -- sheds happen at poll time, out of order with the
+        processing that picks the high-water mark.
         """
         batches: list[dict] = []
         emitted: set[tuple[int, float, float]] = set()
+        shed: set[int] = set()
         for record in read_wal(self.wal.directory):
+            if record["kind"] == "shed":
+                shed.add(record["batch_id"])
+                continue
             if record.get("batch_id", -1) <= high_water:
                 continue
             if record["kind"] == "batch":
@@ -495,7 +522,7 @@ class CheckpointManager:
             elif record["kind"] == "emit":
                 emitted.update(tuple(entry) for entry in record["windows"])
         batches.sort(key=lambda record: record["batch_id"])
-        return batches, emitted
+        return batches, emitted, shed
 
     # -- checkpoints -------------------------------------------------------
 

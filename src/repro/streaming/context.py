@@ -42,6 +42,41 @@ loading the newest valid checkpoint, replaying the WAL tail through
 the normal processing core, and suppressing re-emission of windows the
 crashed process already delivered (see
 :mod:`repro.streaming.checkpoint` and :mod:`repro.streaming.recovery`).
+
+**Graceful degradation.**  Under sustained overload the context
+degrades deliberately instead of stalling or dying, climbing the
+ladder of :data:`~repro.streaming.overload.DEGRADATION_LEVELS`:
+
+- *admission control*: when the pending queue is full the
+  ``shed_policy`` decides -- ``"block"`` (the historical
+  backpressure), ``"shed_oldest"``, ``"shed_newest"`` or the seeded
+  deterministic ``"sample"``.  Shed batches are journaled to the WAL
+  (``kind="shed"``) *after* their batch record, so recovery replays
+  the same sheds, and counted in ``batches_shed`` / ``records_shed``
+  -- the accounting invariant ``records_ingested == records_processed
+  + records_shed + records_quarantined + records_failed`` holds at
+  every quiescent point, no silent loss;
+- *memory-budgeted state*: keyed consumers built with a byte budget
+  spill cold grid cells to disk (see :mod:`repro.streaming.state`),
+  surfaced through the ``state_*`` metrics;
+- *sink protection*: window sinks retry, trip circuit breakers and
+  dead-letter undeliverable windows to the context's
+  :class:`~repro.streaming.dlq.DeadLetterQueue` (``dlq_dir``) instead
+  of aborting the stream;
+- *poison quarantine*: when a batch exhausts its attempts and a DLQ is
+  attached, each record is probed alone through every transformation
+  chain; records that crash solo are quarantined to the DLQ with
+  provenance and the cleaned batch gets a fresh round of attempts --
+  one bad record no longer poisons its whole batch.
+
+The current rung is recomputed after every batch
+(:meth:`StreamingContext._refresh_overload`), exported as
+``metrics.degradation`` and stamped on ``batch`` spans while degraded.
+
+The synchronous drive splits into :meth:`poll_once` /
+:meth:`process_pending` so tests and benchmarks can hold ingest at a
+fixed multiple of processing -- the sustained-overload harness --
+while :meth:`run_batch` keeps its poll-then-process contract.
 """
 
 from __future__ import annotations
@@ -60,7 +95,14 @@ from repro.spark.cancellation import (
 from repro.spark.context import SparkContext
 from repro.spark.errors import JobAbortedError, TaskTimeoutError
 from repro.spark.rdd import RDD
+from repro.streaming.dlq import DeadLetterQueue
 from repro.streaming.dstream import DStream, SpatialDStream, _WindowConsumer
+from repro.streaming.overload import (
+    SHED_POLICIES,
+    degradation_level,
+    sample_decision,
+)
+from repro.streaming.sinks import WindowSink
 from repro.streaming.sources import (
     DirectorySource,
     GeneratorSource,
@@ -119,8 +161,39 @@ class StreamMetrics:
     windows_suppressed: int = 0
     #: WAL-journaled batches re-processed by :meth:`StreamingContext.restore`.
     batches_replayed: int = 0
+    #: Whole batches dropped at admission by the shed policy.
+    batches_shed: int = 0
+    #: Records inside shed batches (journaled and counted, never applied).
+    records_shed: int = 0
+    #: Records carried by batches that completed processing.
+    records_processed: int = 0
+    #: Records carried by batches that terminally failed or were
+    #: dropped by the straggler policy.
+    records_failed: int = 0
+    #: Records the poison probe quarantined to the dead-letter queue.
+    records_quarantined: int = 0
+    #: Windows sinks routed to the dead-letter queue.
+    windows_dead_lettered: int = 0
+    #: Sink write attempts beyond each window's first.
+    sink_retries: int = 0
+    #: Terminal sink delivery failures (retries exhausted).
+    sink_failures: int = 0
+    #: Circuit-breaker trips summed across all sinks.
+    sink_breaker_opens: int = 0
+    #: Keyed-state cells spilled to disk (cumulative, all consumers).
+    state_cells_spilled: int = 0
+    #: Spilled cells transparently loaded back (cumulative).
+    state_cells_loaded: int = 0
+    #: Spill attempts that failed (the cell stayed in memory).
+    state_spill_failures: int = 0
+    #: Estimated bytes currently parked on disk by state spill.
+    state_spilled_bytes: int = 0
+    #: The degradation-ladder rung as of the last refresh (the one
+    #: non-integer counter; see :func:`repro.streaming.overload.
+    #: degradation_level`).
+    degradation: str = "healthy"
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict:
         """A plain-dict copy of every counter."""
         return {name: getattr(self, name) for name in self.__dataclass_fields__}
 
@@ -189,6 +262,22 @@ class StreamingContext:
         with ``checkpoint_dir``).
     wal_segment_bytes:
         WAL segment rotation threshold in bytes.
+    shed_policy:
+        Admission policy for a full pending queue: ``"block"`` (the
+        default backpressure stall), ``"shed_oldest"``,
+        ``"shed_newest"`` or ``"sample"`` (see
+        :mod:`repro.streaming.overload`).
+    shed_seed:
+        Seed of the ``"sample"`` policy's per-batch coin -- the same
+        seed sheds the same batch ids on a replayed stream.
+    sample_keep:
+        Probability the ``"sample"`` policy keeps the incoming batch
+        (evicting the oldest) instead of shedding it.
+    dlq_dir:
+        Directory for the context's :class:`~repro.streaming.dlq.
+        DeadLetterQueue`.  None disables dead-lettering: sink failures
+        raise as before and the poison probe never runs.  Sinks
+        without their own DLQ inherit this one.
     """
 
     def __init__(
@@ -203,6 +292,10 @@ class StreamingContext:
         checkpoint_dir: str | None = None,
         checkpoint_interval: int = 10,
         wal_segment_bytes: int = 1 << 20,
+        shed_policy: str = "block",
+        shed_seed: int = 0,
+        sample_keep: float = 0.5,
+        dlq_dir: str | None = None,
     ) -> None:
         if batch_interval <= 0:
             raise ValueError(f"batch_interval must be positive, got {batch_interval}")
@@ -225,6 +318,12 @@ class StreamingContext:
             raise ValueError(
                 f"checkpoint_interval must be >= 1, got {checkpoint_interval}"
             )
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {SHED_POLICIES}, got {shed_policy!r}"
+            )
+        if not 0.0 <= sample_keep <= 1.0:
+            raise ValueError(f"sample_keep must be in [0, 1], got {sample_keep}")
         self._sc = sc
         self.batch_interval = batch_interval
         self.max_pending_batches = max_pending_batches
@@ -258,6 +357,15 @@ class StreamingContext:
             )
         else:
             self._ckpt = None
+        self.shed_policy = shed_policy
+        self.shed_seed = shed_seed
+        self.sample_keep = sample_keep
+        self._dlq = DeadLetterQueue(dlq_dir) if dlq_dir is not None else None
+        #: ``batches_shed`` as of the last ladder refresh -- the
+        #: "actively shedding" edge detector.
+        self._ladder_shed_seen = 0
+        #: The batch currently in the processing core (sink provenance).
+        self._current_batch: _Batch | None = None
         self._stopped = False
         self._started = False
         self._stop_event = threading.Event()
@@ -270,6 +378,16 @@ class StreamingContext:
     def spark_context(self) -> SparkContext:
         """The wrapped batch context."""
         return self._sc
+
+    @property
+    def dead_letter_queue(self) -> DeadLetterQueue | None:
+        """The context's DLQ (None when built without ``dlq_dir``)."""
+        return self._dlq
+
+    @property
+    def pending_batches(self) -> int:
+        """Polled batches currently waiting in the admission queue."""
+        return self._queue.qsize()
 
     # -- stream creation ---------------------------------------------------
 
@@ -375,6 +493,84 @@ class StreamingContext:
         inputs = [batch.records[id(node)] for node in self._inputs]
         self._ckpt.log_batch(batch.batch_id, batch.time, inputs, deltas)
 
+    # -- admission control -------------------------------------------------
+
+    def _shed(self, batch: "_Batch") -> None:
+        """Account one shed batch: WAL journal entry plus counters.
+
+        Runs *after* the batch's own WAL record was appended, so a
+        recovery sees both and replays the shed instead of the batch --
+        a restored run drops exactly the batches the live run dropped.
+        A journaling failure propagates like :meth:`_log_batch`'s: a
+        shed that cannot be made durable would silently re-apply its
+        records on replay.
+        """
+        if self._ckpt is not None:
+            self._ckpt.log_shed(batch.batch_id, batch.total_records)
+        self.metrics.batches_shed += 1
+        self.metrics.records_shed += batch.total_records
+
+    def _admit(self, batch: "_Batch", sync: bool) -> bool:
+        """Admit one polled batch to the pending queue; False = shed.
+
+        The fast path is a non-blocking put.  On a full queue the shed
+        policy decides: ``"block"`` stalls (in the synchronous drive
+        the poller *is* the processor, so blocking would deadlock --
+        the oldest pending batch is processed inline to make room);
+        ``"shed_oldest"`` evicts the oldest pending batch in favour of
+        the newcomer; ``"shed_newest"`` drops the newcomer;
+        ``"sample"`` flips the seeded per-batch coin between those two.
+        """
+        try:
+            self._queue.put_nowait(batch)
+            return True
+        except queue_mod.Full:
+            pass
+        policy = self.shed_policy
+        if policy == "sample":
+            keep = sample_decision(self.shed_seed, batch.batch_id, self.sample_keep)
+            policy = "shed_oldest" if keep else "shed_newest"
+        if policy == "shed_newest":
+            self._shed(batch)
+            return False
+        if policy == "shed_oldest":
+            while True:
+                try:
+                    self._shed(self._queue.get_nowait())
+                except queue_mod.Empty:
+                    pass
+                try:
+                    self._queue.put_nowait(batch)
+                    return True
+                except queue_mod.Full:
+                    continue
+        # "block": the historical backpressure stall, counted once.
+        self.metrics.backpressure_waits += 1
+        if sync:
+            while True:
+                try:
+                    self._queue.put_nowait(batch)
+                    return True
+                except queue_mod.Full:
+                    self._drain_one()
+        while not self._stop_event.is_set():
+            try:
+                self._queue.put(batch, timeout=0.05)
+                return True
+            except queue_mod.Full:
+                continue
+        return False
+
+    def _drain_one(self) -> None:
+        """Process the oldest pending batch inline (sync block policy)."""
+        try:
+            pending = self._queue.get_nowait()
+        except queue_mod.Empty:
+            return
+        self._process(pending)
+        if self._error is not None:
+            raise self._error
+
     # -- the processing core ----------------------------------------------
 
     def _process(self, batch: _Batch) -> bool:
@@ -386,9 +582,19 @@ class StreamingContext:
         retry cannot double-count), while a deadline overrun goes
         straight to the straggler policy.  Under ``"fail"`` the stream
         records the error and every later drive call raises it.
+
+        With a dead-letter queue attached, a batch that exhausts its
+        attempts gets one more chance: the poison probe
+        (:meth:`_find_poison_records`) isolates records that crash a
+        transformation chain *on their own*, quarantines them to the
+        DLQ with provenance, and re-runs the cleaned batch with a
+        fresh attempt budget -- at most once per batch.
         """
         tracer = self._sc.tracer
         injector = self._sc.fault_injector
+        self._wire_sinks()
+        self._current_batch = batch
+        quarantined = False
         with tracer.span(
             "batch",
             kind="batch",
@@ -432,6 +638,8 @@ class StreamingContext:
                     self.metrics.windows_emitted += fired
                     self._refresh_lateness()
                     self.metrics.batches_run += 1
+                    self.metrics.records_processed += batch.total_records
+                    self._refresh_overload()
                     if self._ckpt is not None:
                         self._ckpt.commit_emits(batch.batch_id)
                         self._maybe_checkpoint(batch.batch_id)
@@ -439,6 +647,8 @@ class StreamingContext:
                         span.attrs["windows"] = fired
                         if attempt > 1:
                             span.attrs["attempts"] = attempt
+                        if self.metrics.degradation != "healthy":
+                            span.attrs["degradation"] = self.metrics.degradation
                     self._record_latency(batch)
                     return True
                 except (KeyboardInterrupt, SystemExit):
@@ -446,6 +656,7 @@ class StreamingContext:
                 except BaseException as exc:
                     if self._timed_out(exc, token):
                         self.metrics.batches_skipped += 1
+                        self.metrics.records_failed += batch.total_records
                         span.attrs["skipped"] = True
                         span.attrs["timeout"] = True
                         self._record_latency(batch)
@@ -461,7 +672,19 @@ class StreamingContext:
                         self.metrics.batch_retries += 1
                         span.note_failure(f"{type(exc).__name__}: {exc}")
                         continue
+                    if (
+                        not quarantined
+                        and self._dlq is not None
+                        and batch.total_records > 0
+                        and self._quarantine_poisons(batch, span)
+                    ):
+                        # The cleaned batch earned a fresh attempt
+                        # budget; at most one quarantine per batch.
+                        quarantined = True
+                        attempt = 0
+                        continue
                     self.metrics.batches_failed += 1
+                    self.metrics.records_failed += batch.total_records
                     span.attrs["failed"] = True
                     span.note_failure(f"{type(exc).__name__}: {exc}")
                     self._record_latency(batch)
@@ -507,6 +730,139 @@ class StreamingContext:
             drops += state.late_window_drops
         self.metrics.late_records_dropped = dropped
         self.metrics.late_window_drops = drops
+
+    # -- overload: sinks, poison quarantine, the ladder --------------------
+
+    def _iter_sinks(self):
+        """Every distinct :class:`WindowSink` registered on a consumer."""
+        seen: set[int] = set()
+        for consumer in self._windows:
+            for fn in getattr(consumer, "outputs", ()):
+                if isinstance(fn, WindowSink) and id(fn) not in seen:
+                    seen.add(id(fn))
+                    yield fn
+
+    def _sink_provenance(self) -> dict:
+        """Provenance for DLQ entries written during the current batch."""
+        batch = self._current_batch
+        sources = ",".join(node.source.name for node in self._inputs)
+        return {
+            "batch_id": batch.batch_id if batch is not None else None,
+            "source": sources or None,
+        }
+
+    def _wire_sinks(self) -> None:
+        """Hook every registered sink into the context's overload layer.
+
+        Gives each sink the live fault injector (the ``sink.write``
+        chaos site), the per-batch provenance source, and -- when the
+        sink has no dead-letter queue of its own -- the context's.
+        Idempotent; runs at the top of every batch so sinks registered
+        between batches are picked up too.
+        """
+        for sink in self._iter_sinks():
+            sink._injector_source = lambda: self._sc.fault_injector
+            sink._provenance_source = self._sink_provenance
+            if sink.dlq is None and self._dlq is not None:
+                sink.dlq = self._dlq
+
+    def _find_poison_records(self, batch: _Batch) -> list[tuple[int, int, str]]:
+        """Probe each record alone; return ``(node_id, index, error)``.
+
+        Each record is run solo (empty RDDs for every other input)
+        through every output node's and window consumer's
+        transformation chain.  ``_compute`` is pure -- no output
+        function runs, no state is absorbed -- so probing mutates
+        nothing and a probe crash convicts exactly one record.  A
+        record whose failure needs batch-mates (a genuine cross-record
+        bug) is *not* convicted, and the batch fails as before.
+        """
+        poisons: list[tuple[int, int, str]] = []
+        for node_id, rows in batch.records.items():
+            for index, record in enumerate(rows):
+                base = {
+                    nid: self._batch_rdd([record] if nid == node_id else [])
+                    for nid in batch.records
+                }
+                try:
+                    for node, _fn in self._outputs:
+                        node._compute(base).collect()
+                    for consumer in self._windows:
+                        consumer.node._compute(base).collect()
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    poisons.append((node_id, index, f"{type(exc).__name__}: {exc}"))
+        return poisons
+
+    def _quarantine_poisons(self, batch: _Batch, span) -> bool:
+        """Quarantine the batch's poison records; True if any were found.
+
+        Convicted records go to the DLQ with provenance (source name,
+        batch id, exception) and are removed from the batch in place,
+        so the caller's retry runs the cleaned batch.
+        """
+        poisons = self._find_poison_records(batch)
+        if not poisons:
+            return False
+        source_names = {id(node): node.source.name for node in self._inputs}
+        by_node: dict[int, list[tuple[int, str]]] = {}
+        for node_id, index, error in poisons:
+            by_node.setdefault(node_id, []).append((index, error))
+        for node_id, hits in by_node.items():
+            rows = batch.records[node_id]
+            for index, error in sorted(hits, reverse=True):
+                self._dlq.add_poison(
+                    rows.pop(index),
+                    batch.batch_id,
+                    source_names.get(node_id),
+                    error,
+                )
+        self.metrics.records_quarantined += len(poisons)
+        span.attrs["quarantined"] = len(poisons)
+        return True
+
+    def _refresh_overload(self) -> None:
+        """Mirror spill/sink/breaker counters and recompute the ladder.
+
+        ``shedding`` is an edge signal -- true when sheds occurred
+        since the previous refresh -- while ``spilling`` and
+        ``circuit-open`` are level signals read from the live stores
+        and breakers; :func:`~repro.streaming.overload.
+        degradation_level` picks the worst rung.
+        """
+        m = self.metrics
+        spilled = loaded = failures = spilled_bytes = live_spilled = 0
+        for consumer in self._windows:
+            store = getattr(consumer, "store", None)
+            if store is None:
+                continue
+            spilled += store.cells_spilled
+            loaded += store.cells_loaded
+            failures += store.spill_failures
+            spilled_bytes += store.spilled_bytes
+            live_spilled += store.spilled_cells
+        m.state_cells_spilled = spilled
+        m.state_cells_loaded = loaded
+        m.state_spill_failures = failures
+        m.state_spilled_bytes = spilled_bytes
+        retries = sink_failures = dead = opens = 0
+        circuit_open = False
+        for sink in self._iter_sinks():
+            retries += sink.retries_used
+            sink_failures += sink.failures
+            dead += sink.dead_lettered
+            if sink.breaker is not None:
+                opens += sink.breaker.opens
+                if sink.breaker.state == "open":
+                    circuit_open = True
+        m.sink_retries = retries
+        m.sink_failures = sink_failures
+        m.windows_dead_lettered = dead
+        m.sink_breaker_opens = opens
+        shedding = m.batches_shed != self._ladder_shed_seen
+        self._ladder_shed_seen = m.batches_shed
+        m.degradation = degradation_level(shedding, live_spilled > 0, circuit_open)
 
     def _record_latency(self, batch: _Batch) -> None:
         self.batch_latencies.append(
@@ -593,13 +949,15 @@ class StreamingContext:
 
     # -- synchronous drive (deterministic; what the tests use) -------------
 
-    def run_batch(self, batch_time: float | None = None) -> bool:
-        """Poll every source once and process the batch on this thread.
+    def poll_once(self, batch_time: float | None = None) -> bool:
+        """Poll every source once and admit the batch (no processing).
 
-        *batch_time* is the event-time fallback for untimed records
-        (default: wall clock).  Returns True when the batch completed,
-        False when it was skipped or failed under the ``"skip"``
-        policy; under ``"fail"`` a failed batch raises.
+        The ingest half of :meth:`run_batch`: the batch is journaled
+        and offered to the pending queue under the shed policy.
+        Returns True when the batch was admitted, False when it was
+        shed.  Calling this faster than :meth:`process_pending` drains
+        is exactly how the overload benchmark sustains a fixed
+        ingest-to-processing ratio.
         """
         self._check_drivable()
         batch_id = self._next_batch_id
@@ -609,11 +967,43 @@ class StreamingContext:
             batch_id, time.time() if batch_time is None else batch_time, records
         )
         self._log_batch(batch, deltas)
-        ok = self._process(batch)
-        if self._error is not None:
-            self._stop_threads_only()
-            raise self._error
-        return ok
+        batch.queue_depth = self._queue.qsize()
+        return self._admit(batch, sync=True)
+
+    def process_pending(self, max_batches: int | None = None) -> int:
+        """Process up to *max_batches* pending batches on this thread.
+
+        The processing half of :meth:`run_batch`; drains the whole
+        queue when *max_batches* is None.  Returns how many batches
+        completed.  Under the ``"fail"`` policy a failed batch raises,
+        exactly like :meth:`run_batch`.
+        """
+        self._check_drivable()
+        completed = 0
+        taken = 0
+        while max_batches is None or taken < max_batches:
+            try:
+                batch = self._queue.get_nowait()
+            except queue_mod.Empty:
+                break
+            taken += 1
+            completed += bool(self._process(batch))
+            if self._error is not None:
+                self._stop_threads_only()
+                raise self._error
+        return completed
+
+    def run_batch(self, batch_time: float | None = None) -> bool:
+        """Poll every source once and process the batch on this thread.
+
+        *batch_time* is the event-time fallback for untimed records
+        (default: wall clock).  Returns True when the batch completed,
+        False when it was shed, skipped or failed under the ``"skip"``
+        policy; under ``"fail"`` a failed batch raises.
+        """
+        admitted = self.poll_once(batch_time)
+        completed = self.process_pending()
+        return admitted and completed > 0
 
     def run_batches(self, n: int, batch_times: list[float] | None = None) -> int:
         """Run *n* synchronous batches; returns how many completed."""
@@ -666,27 +1056,20 @@ class StreamingContext:
             self._next_batch_id += 1
             records, deltas = self._poll_inputs(batch_id)
             batch = _Batch(batch_id, time.time(), records)
+            batch.queue_depth = self._queue.qsize()
             try:
                 self._log_batch(batch, deltas)
+                self._admit(batch, sync=False)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except BaseException as exc:
-                # A batch that cannot be journaled must not be applied;
-                # stopping beats silently running without durability.
+                # A batch (or shed) that cannot be journaled must not
+                # be applied; stopping beats silently running without
+                # durability.
                 self._error = StreamingError(f"write-ahead log append failed: {exc}")
                 self._error.__cause__ = exc
                 self._stop_event.set()
                 return
-            batch.queue_depth = self._queue.qsize()
-            stalled = False
-            while not self._stop_event.is_set():
-                try:
-                    self._queue.put(batch, timeout=0.05)
-                    break
-                except queue_mod.Full:
-                    if not stalled:
-                        stalled = True
-                        self.metrics.backpressure_waits += 1
             next_tick += self.batch_interval
             wait = next_tick - time.monotonic()
             if wait > 0:
@@ -757,11 +1140,16 @@ class StreamingContext:
                 if self._error is None:
                     self._process(batch)
         if flush and self._error is None:
+            # Flush-time sink deliveries belong to no batch; their DLQ
+            # provenance reads a None batch id rather than a stale one.
+            self._current_batch = None
+            self._wire_sinks()
             fired = 0
             for consumer in self._windows:
                 fired += consumer.flush(self)
             self.metrics.windows_emitted += fired
             self._refresh_lateness()
+            self._refresh_overload()
             if self._ckpt is not None and fired:
                 # Shutdown-flush emissions go into the ledger too, so a
                 # crash between this stop and a later restart does not
@@ -780,6 +1168,8 @@ class StreamingContext:
             node.source.close()
         if self._ckpt is not None:
             self._ckpt.close()
+        if self._dlq is not None:
+            self._dlq.close()
         self._stopped = True
 
     def __enter__(self) -> "StreamingContext":

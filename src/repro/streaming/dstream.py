@@ -317,6 +317,8 @@ class SpatialDStream(DStream):
         universe: "Envelope | None" = None,
         grid: int = 8,
         node_capacity: int = 10,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | None = None,
     ) -> "ContinuousWindowedStream":
         """Continuous queries over keyed, grid-partitioned window state.
 
@@ -336,6 +338,12 @@ class SpatialDStream(DStream):
         dimension); without it the first non-empty batch's bounding box
         is used -- placement only affects pruning granularity, never
         results.
+
+        ``memory_budget_bytes`` caps the state store's in-memory
+        footprint: when the approximate resident size exceeds the
+        budget, cold grid cells spill to ``spill_dir`` (required with a
+        budget) and reload transparently on touch -- see
+        :class:`~repro.streaming.state.KeyedStateStore`.
         """
         from repro.streaming.state import StateConsumer
 
@@ -347,6 +355,8 @@ class SpatialDStream(DStream):
             universe=universe,
             grid=grid,
             node_capacity=node_capacity,
+            memory_budget_bytes=memory_budget_bytes,
+            spill_dir=spill_dir,
         )
         self._ssc._register_window(consumer)
         return ContinuousWindowedStream(self._ssc, consumer)
@@ -472,6 +482,22 @@ class WindowedStream:
         sink = Sink()
         self.for_each_window(lambda window, rdd: sink.append(window, fn(window, rdd)))
         return sink
+
+    def bridge_to(self, target) -> "SpatialDStream":
+        """Feed each closed window's records into another context.
+
+        Registers a ``for_each_window`` output that pushes every closed
+        window's records (one window = one batch) into a fresh
+        :class:`~repro.streaming.sources.QueueSource` on *target*, and
+        returns the downstream stream reading from it -- the chaining
+        primitive for staged pipelines, where a first context's window
+        results become a second context's input.  The caller drives
+        *target* itself (its own ``run_batch``/``start`` cadence); the
+        bridge only enqueues.
+        """
+        source, stream = target.queue_stream()
+        self.for_each_window(lambda _window, rdd: source.push(rdd.collect()))
+        return stream
 
     def collect_windows(self) -> Sink:
         """Collect each closed window's records: ``(window, records)``."""

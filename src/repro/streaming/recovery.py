@@ -19,7 +19,9 @@ observable output is *identical* to a process that never crashed:
    window absorption and firing exactly as live batches do, applying
    the journaled cursor deltas as it goes -- while the emitted-window
    ledger suppresses re-emission of windows the crashed process already
-   delivered.  Replayed processing is real processing, so recovered
+   delivered, and the shed ledger turns batches the live run dropped at
+   admission back into sheds (counters advance, records stay
+   unapplied).  Replayed processing is real processing, so recovered
    state is *replay-equivalent*, not approximately restored.
 
 The contract the caller must hold: the restored context's pipeline
@@ -57,6 +59,10 @@ class RecoveryReport:
     windows_suppressed: int
     #: The batch id the resumed stream will assign next.
     resumed_batch_id: int
+    #: Journaled batches the shed ledger says the crashed run dropped
+    #: at admission -- replayed as sheds (counters advance, records
+    #: are never applied), mirroring the live run exactly.
+    sheds_replayed: int = 0
 
 
 def build_snapshot(ssc: StreamingContext) -> dict:
@@ -159,27 +165,48 @@ def restore_context(
         high_water = manifest["wal_high_water"]
         _apply_snapshot(ssc, snapshot)
 
-    batches, emitted = manager.read_tail(high_water)
+    batches, emitted, shed = manager.read_tail(high_water)
     ssc._suppress = set(emitted)
 
+    # Ids below the snapshot's batch counter were polled -- and their
+    # poll/ingest/shed counters advanced -- before the snapshot was
+    # taken (polling assigns ids monotonically), even when the batch
+    # itself sat in the pending queue past the high-water mark.  Only
+    # strictly newer ids advance counters again during replay.
+    polled_high = ssc._next_batch_id
+    replayed = sheds_replayed = 0
     manager.replaying = True
     try:
         for record in batches:
+            batch_id = record["batch_id"]
             inputs = record["inputs"]
             cursors = record["cursors"]
+            # Cursor deltas apply to shed batches too: the live run's
+            # poll moved the cursor before admission dropped the batch.
             for node, delta in zip(ssc._inputs, cursors):
                 if delta is not None:
                     node.source.apply_delta(delta)
             records = {
                 id(node): list(rows) for node, rows in zip(ssc._inputs, inputs)
             }
-            batch = _Batch(record["batch_id"], record["time"], records)
-            # Replay is re-ingestion: the poll counters advance the way
-            # the crashed process's did after its last checkpoint.
-            ssc.metrics.polls += len(inputs)
-            ssc.metrics.records_ingested += batch.total_records
+            batch = _Batch(batch_id, record["time"], records)
+            fresh = batch_id >= polled_high
+            if fresh:
+                # Replay is re-ingestion: the poll counters advance the
+                # way the crashed process's did after its last snapshot.
+                ssc.metrics.polls += len(inputs)
+                ssc.metrics.records_ingested += batch.total_records
+            if batch_id in shed:
+                # The shed ledger says the live run dropped this batch
+                # at admission: never apply its records.
+                if fresh:
+                    ssc.metrics.batches_shed += 1
+                    ssc.metrics.records_shed += batch.total_records
+                sheds_replayed += 1
+                continue
             ssc._process(batch)
             ssc.metrics.batches_replayed += 1
+            replayed += 1
             if ssc._error is not None:
                 raise ssc._error
     finally:
@@ -191,10 +218,12 @@ def restore_context(
         (batches[-1]["batch_id"] + 1) if batches else 0,
     )
     ssc._next_batch_id = resumed
+    ssc._ladder_shed_seen = ssc.metrics.batches_shed
     return RecoveryReport(
         epoch=epoch,
         corrupt_checkpoints_skipped=skipped,
-        batches_replayed=len(batches),
+        batches_replayed=replayed,
         windows_suppressed=len(emitted),
         resumed_batch_id=resumed,
+        sheds_replayed=sheds_replayed,
     )

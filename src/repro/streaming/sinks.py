@@ -29,11 +29,26 @@ Three sinks ship, all registered with
 
 All three funnel their durability through :mod:`repro.spark.storage`'s
 fsync helpers, so the chaos crash harness counts their barriers too.
+
+**Degraded delivery.**  A sink is the stream's most failure-prone edge
+(full disks, flaky mounts, injected ``sink.write`` chaos), so delivery
+is wrapped in the overload layer's protections: each window write is
+retried up to ``retries`` times with linear backoff; a sink given a
+:class:`~repro.streaming.overload.CircuitBreaker` trips open after
+persistent failures and routes whole windows straight to the
+:class:`~repro.streaming.dlq.DeadLetterQueue` (with provenance) until
+a half-open probe succeeds; and with a DLQ attached a terminal write
+failure *never* propagates -- the window is dead-lettered and the
+stream keeps running, with :func:`~repro.streaming.dlq.dlq_replay`
+reproducing the missing targets once the sink heals.  Without a DLQ
+the pre-existing contract holds: terminal failures raise into the
+batch retry envelope.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from typing import Any
 
 from repro.core.stobject import STObject
@@ -53,19 +68,58 @@ class WindowSink:
     itself is the ``for_each_window`` output: it derives the window's
     deterministic target name, skips (counting) if the target already
     exists -- the commit marker left by a pre-crash delivery -- and
-    otherwise writes and atomically commits.
+    otherwise writes and atomically commits, under the retry / circuit
+    breaker / dead-letter protections of the module docstring.
+
+    ``retries`` is the number of *additional* attempts after a failed
+    write (``retry_backoff`` seconds times the attempt number between
+    them); ``breaker`` is an optional
+    :class:`~repro.streaming.overload.CircuitBreaker`; ``dlq`` an
+    optional :class:`~repro.streaming.dlq.DeadLetterQueue` (the
+    streaming context wires its own into sinks that have none);
+    ``name`` discriminates this sink's DLQ entries (defaults to the
+    class name -- give explicit names to multiple sinks of one class
+    sharing a DLQ).
     """
 
     #: Target name suffix (e.g. ``".events"``); subclasses override.
     suffix = ""
 
-    def __init__(self, directory: str) -> None:
+    def __init__(
+        self,
+        directory: str,
+        retries: int = 2,
+        retry_backoff: float = 0.0,
+        breaker=None,
+        dlq=None,
+        name: str | None = None,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.breaker = breaker
+        self.dlq = dlq
+        #: This sink's identity in DLQ entries and chaos-site keys.
+        self.name = name if name is not None else type(self).__name__
         #: Windows this sink committed.
         self.committed = 0
         #: Re-delivered windows skipped because their target existed.
         self.skipped = 0
+        #: Write attempts beyond the first (the retry count).
+        self.retries_used = 0
+        #: Terminal delivery failures (retries exhausted).
+        self.failures = 0
+        #: Windows routed to the dead-letter queue.
+        self.dead_lettered = 0
+        # Wired by the streaming context: callables yielding the live
+        # fault injector and the current batch's provenance dict.
+        self._injector_source = None
+        self._provenance_source = None
 
     def window_key(self, window: Window) -> str:
         """The window's stable file-name stem (same window, same name).
@@ -87,12 +141,87 @@ class WindowSink:
         return os.path.exists(self.target(window))
 
     def __call__(self, window: Window, rdd: RDD) -> None:
-        """The ``for_each_window`` entry point: dedupe, write, commit."""
+        """The ``for_each_window`` entry point: dedupe, write, commit.
+
+        Delivery order: commit-marker dedup first (a re-delivered
+        window is skipped before it can trip the breaker), then the
+        breaker gate (refused windows dead-letter immediately), then
+        the retry loop around :meth:`write` with the ``sink.write``
+        chaos site fired before each attempt.  Terminal failures
+        record on the breaker and either dead-letter (DLQ attached --
+        the stream survives) or raise (no DLQ -- the historical
+        contract).
+        """
         if self.is_committed(window):
             self.skipped += 1
             return
-        self.write(window, rdd, self.target(window))
+        if self.breaker is not None and not self.breaker.allow():
+            self._dead_letter(
+                window, rdd, error="circuit breaker open", circuit_open=True
+            )
+            return
+        attempt = 0
+        while True:
+            try:
+                injector = self._injector()
+                if injector is not None:
+                    injector.check(
+                        "sink.write", key=(self.name, self.window_key(window))
+                    )
+                self.write(window, rdd, self.target(window))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                attempt += 1
+                if attempt <= self.retries:
+                    self.retries_used += 1
+                    if self.retry_backoff:
+                        time.sleep(self.retry_backoff * attempt)
+                    continue
+                self.failures += 1
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if self.dlq is not None:
+                    self._dead_letter(window, rdd, error=repr(exc))
+                    return
+                raise
+            else:
+                break
+        if self.breaker is not None:
+            self.breaker.record_success()
         self.committed += 1
+
+    def _injector(self):
+        """The live fault injector, if the context wired one in."""
+        source = self._injector_source
+        return source() if source is not None else None
+
+    def _dead_letter(
+        self, window: Window, rdd: RDD, error: str, circuit_open: bool = False
+    ) -> None:
+        """Journal one undeliverable window to the DLQ with provenance.
+
+        Raises instead when no DLQ is attached (a breaker refusing
+        deliveries with nowhere to put them would silently lose data).
+        """
+        if self.dlq is None:
+            raise RuntimeError(
+                f"sink {self.name!r}: circuit breaker open and no dead-letter "
+                "queue attached to absorb the refused window"
+            )
+        provenance = (
+            self._provenance_source() if self._provenance_source is not None else {}
+        )
+        self.dlq.add_window(
+            self.name,
+            window,
+            rdd.collect(),
+            provenance.get("batch_id"),
+            provenance.get("source"),
+            error,
+            circuit_open=circuit_open,
+        )
+        self.dead_lettered += 1
 
     def write(self, window: Window, rdd: RDD, path: str) -> None:
         """Durably commit one window's data to *path* (subclass duty)."""
@@ -123,8 +252,10 @@ class EventFileSink(WindowSink):
 
     suffix = ".events"
 
-    def __init__(self, directory: str, delimiter: str = DEFAULT_DELIMITER) -> None:
-        super().__init__(directory)
+    def __init__(
+        self, directory: str, delimiter: str = DEFAULT_DELIMITER, **kwargs: Any
+    ) -> None:
+        super().__init__(directory, **kwargs)
         self.delimiter = delimiter
 
     def write(self, window: Window, rdd: RDD, path: str) -> None:

@@ -271,6 +271,13 @@ class GeneratorSource(StreamSource):
     given ``seed``: two sources with the same parameters produce
     identical batch sequences -- the property the streaming chaos tests
     and the benchmark's cross-run comparability rely on.
+
+    With ``poison_every=N`` every *N*-th event (by the monotone event
+    id, so the pattern survives cursor restores) carries
+    ``poison_value`` as its category -- a deterministic supply of
+    records a downstream operator can be written to crash on, which is
+    how the overload tests and benchmark exercise the poison-record
+    quarantine path.
     """
 
     def __init__(
@@ -285,12 +292,18 @@ class GeneratorSource(StreamSource):
         seed: int = 17,
         limit: int | None = None,
         name: str = "generator",
+        poison_every: int | None = None,
+        poison_value: str = "__poison__",
     ) -> None:
         if rate < 1:
             raise ValueError(f"rate must be >= 1, got {rate}")
         if time_step <= 0:
             raise ValueError(f"time_step must be positive, got {time_step}")
+        if poison_every is not None and poison_every < 1:
+            raise ValueError(f"poison_every must be >= 1, got {poison_every}")
         self.name = name
+        self.poison_every = poison_every
+        self.poison_value = poison_value
         self.rate = rate
         self.time_step = time_step
         self.bounds = bounds
@@ -324,7 +337,15 @@ class GeneratorSource(StreamSource):
                 st = STObject(f"POINT ({x} {y})", t, t + rng.uniform(0, self.max_duration))
             else:
                 st = STObject(f"POINT ({x} {y})", t)
-            records.append((st, (self._next_id, rng.choice(self.categories))))
+            category = rng.choice(self.categories)
+            # Poison placement keys off the monotone id, not the RNG, so
+            # a cursor restore reproduces the exact same poison pattern.
+            if (
+                self.poison_every is not None
+                and (self._next_id + 1) % self.poison_every == 0
+            ):
+                category = self.poison_value
+            records.append((st, (self._next_id, category)))
             self._next_id += 1
         self._clock += self.time_step
         self._last_delta = self.cursor()

@@ -41,6 +41,24 @@ cell's **live extent** (bounds grown by member envelopes), which grows
 eagerly on insert and is recomputed exactly on the next tree rebuild
 after removals -- conservative in between, never lossy.
 
+**Memory budgeting.**  With ``memory_budget_bytes`` set the store
+tracks an approximate byte footprint per cell
+(:func:`estimate_record_bytes` -- documented approximate, deliberately
+cheap) and, when the in-memory total exceeds the budget, spills the
+least-recently-touched cells to ``spill_dir`` through the storage
+layer's durable-rename protocol (staging file, fsync, ``os.replace``,
+parent fsync -- so the crash harness counts spill barriers too).  A
+spilled cell leaves behind a :class:`SpilledCell` stub carrying its
+spatial/temporal extents, so queries keep pruning it without touching
+disk; any operation that actually needs the cell's records loads it
+back transparently (counted), and removals against a spilled cell are
+deferred into a dead-record set applied at load time.  Spill files are
+a *memory* mechanism, not a durability one: checkpoints embed spilled
+records (read from disk, store untouched), restores re-insert through
+the normal path and re-spill under the same budget, and the store
+wipes stale spill files at construction -- crash recovery never
+depends on a spill file surviving.
+
 The continuous query classes (:class:`ContinuousRange`,
 :class:`ContinuousKnn`, :class:`ContinuousJoinStatic`) pin their
 results to the batch operators: a fired window's answer is equal to
@@ -53,6 +71,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
+import pickle
+import sys
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.core.knn import query_radius
@@ -62,12 +83,30 @@ from repro.geometry.distance import DistanceFunction, euclidean, resolve
 from repro.geometry.envelope import Envelope
 from repro.index.rtree import STRTree
 from repro.partitioners.grid import GridPartitioner
+from repro.spark.storage import durable_replace
 from repro.streaming.operators import build_static_index, relax_static
 from repro.streaming.window import Window, WindowSpec, event_span
 
 Record = tuple[STObject, Any]
 
 _INF = float("inf")
+
+#: Flat per-record overhead charged by :func:`estimate_record_bytes`:
+#: registry slot, STObject + geometry, span floats.  A calibration
+#: constant, not a measurement.
+_RECORD_BASE_BYTES = 200
+
+
+def estimate_record_bytes(st: STObject, value: Any) -> int:
+    """Approximate in-memory footprint of one stream record.
+
+    Deliberately cheap -- a flat base for the spatio-temporal object
+    plus ``sys.getsizeof`` of the (typically small) value -- because it
+    runs on the store's hottest path.  The budget enforcement it feeds
+    is best-effort by design: the point is bounding growth, not exact
+    accounting.
+    """
+    return _RECORD_BASE_BYTES + sys.getsizeof(value)
 
 
 class CellState:
@@ -162,6 +201,67 @@ class CellState:
         return self._tree
 
 
+class SpilledCell:
+    """The on-disk stub a spilled grid cell leaves behind.
+
+    Carries just enough for query pruning -- record count, byte
+    estimate, spatial and temporal extents (frozen at spill time, so
+    exactly as conservative as the cell they came from) -- plus the
+    spill file path and the set of record ids removed *while* spilled
+    (``dead``), which the loader filters out.  Holds no records: any
+    operation that needs them goes through
+    :meth:`KeyedStateStore._load_cell`.
+    """
+
+    __slots__ = (
+        "path",
+        "count",
+        "bytes",
+        "_min_x",
+        "_min_y",
+        "_max_x",
+        "_max_y",
+        "t_min",
+        "t_max",
+        "dead",
+    )
+
+    def __init__(
+        self,
+        path: str,
+        count: int,
+        byte_estimate: int,
+        min_x: float,
+        min_y: float,
+        max_x: float,
+        max_y: float,
+        t_min: float,
+        t_max: float,
+    ) -> None:
+        self.path = path
+        #: Live records on disk (decremented by deferred removals).
+        self.count = count
+        #: Estimated bytes the spill moved out of memory.
+        self.bytes = byte_estimate
+        self._min_x, self._min_y = min_x, min_y
+        self._max_x, self._max_y = max_x, max_y
+        self.t_min, self.t_max = t_min, t_max
+        #: Record ids evicted while the cell was on disk.
+        self.dead: set[int] = set()
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def extent(self) -> Envelope:
+        """The spilled cell's spatial extent, frozen at spill time."""
+        return Envelope(self._min_x, self._min_y, self._max_x, self._max_y)
+
+    def intersects_time(self, t_start: float, t_end: float) -> bool:
+        """Temporal pruning against the frozen extent (conservative)."""
+        return self.count > 0 and self.t_min <= t_end and self.t_max >= t_start
+
+
 class KeyedStateStore:
     """A grid-keyed registry of live stream records with per-cell indexes.
 
@@ -169,6 +269,17 @@ class KeyedStateStore:
     :class:`~repro.partitioners.grid.GridPartitioner` lays it out;
     records outside the universe clamp into border cells, and pruning
     stays exact because it reads live extents, not designed bounds.
+
+    With ``memory_budget_bytes`` set (which requires ``spill_dir``) the
+    store bounds its approximate in-memory footprint by spilling the
+    least-recently-touched cells to disk -- see the module docstring
+    for the full contract.  ``injector_source`` is an optional callable
+    returning the live :class:`~repro.chaos.injector.FaultInjector` (or
+    None); the ``state.spill`` chaos site fires through it before each
+    spill write.  The budget is best-effort: the cell currently being
+    written is never spilled out from under its own insert, and a spill
+    *failure* (chaos or I/O) is swallowed into ``spill_failures`` --
+    the cell simply stays in memory, degraded but alive.
     """
 
     def __init__(
@@ -176,16 +287,53 @@ class KeyedStateStore:
         universe: Envelope,
         grid: int = 8,
         node_capacity: int = 10,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | None = None,
+        injector_source: Callable[[], Any] | None = None,
     ) -> None:
         if universe.is_empty:
             raise ValueError("state store universe must be non-empty")
+        if memory_budget_bytes is not None:
+            if memory_budget_bytes <= 0:
+                raise ValueError(
+                    f"memory_budget_bytes must be > 0, got {memory_budget_bytes}"
+                )
+            if spill_dir is None:
+                raise ValueError("memory_budget_bytes requires a spill_dir")
         self.node_capacity = node_capacity
         self._partitioner = GridPartitioner((), grid, universe=universe)
-        self._cells: dict[int, CellState] = {}
+        self._cells: dict[int, CellState | SpilledCell] = {}
         self._locations: dict[int, int] = {}
         self._retired_rebuilds = 0
         self.inserts = 0
         self.removes = 0
+        self.memory_budget_bytes = memory_budget_bytes
+        self.spill_dir = spill_dir
+        self._injector_source = injector_source
+        self._cell_bytes: dict[int, int] = {}
+        self._bytes_in_memory = 0
+        self._spilled_bytes = 0
+        self._touch: dict[int, int] = {}
+        self._tick = 0
+        #: Cells spilled to disk so far (cumulative).
+        self.cells_spilled = 0
+        #: Spilled cells loaded back so far (cumulative).
+        self.cells_loaded = 0
+        #: Spill attempts that failed and left the cell in memory.
+        self.spill_failures = 0
+        if spill_dir is not None:
+            # Spill files are a memory mechanism, not a durability one:
+            # a fresh store (including one built by crash recovery)
+            # must never trust another process's spill files.
+            os.makedirs(spill_dir, exist_ok=True)
+            for fname in os.listdir(spill_dir):
+                if fname.startswith("cell-") and (
+                    fname.endswith(".pkl") or fname.endswith("._tmp")
+                ):
+                    try:
+                        os.remove(os.path.join(spill_dir, fname))
+                    except OSError:
+                        pass
 
     @property
     def partitioner(self) -> GridPartitioner:
@@ -205,7 +353,25 @@ class KeyedStateStore:
     @property
     def cell_rebuilds(self) -> int:
         """Total generation rebuilds across all cells so far."""
-        return sum(c.rebuilds for c in self._cells.values()) + self._retired_rebuilds
+        return (
+            sum(c.rebuilds for c in self._cells.values() if isinstance(c, CellState))
+            + self._retired_rebuilds
+        )
+
+    @property
+    def spilled_cells(self) -> int:
+        """Cells currently living on disk as :class:`SpilledCell` stubs."""
+        return sum(1 for c in self._cells.values() if isinstance(c, SpilledCell))
+
+    @property
+    def bytes_in_memory(self) -> int:
+        """Estimated bytes of in-memory records (0 unless budgeted)."""
+        return self._bytes_in_memory
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Estimated bytes currently parked on disk by spills."""
+        return self._spilled_bytes
 
     def insert(self, rid: int, st: STObject, value: Any, t_start: float, t_end: float) -> None:
         """Assign the record to its centroid's cell and index it there."""
@@ -217,29 +383,217 @@ class KeyedStateStore:
         cell = self._cells.get(pid)
         if cell is None:
             cell = self._cells[pid] = CellState()
+        elif isinstance(cell, SpilledCell):
+            cell = self._load_cell(pid)
         cell.insert(rid, st, value, t_start, t_end)
         self._locations[rid] = pid
         self.inserts += 1
+        if self.memory_budget_bytes is not None:
+            estimate = estimate_record_bytes(st, value)
+            self._cell_bytes[pid] = self._cell_bytes.get(pid, 0) + estimate
+            self._bytes_in_memory += estimate
+            self._tick += 1
+            self._touch[pid] = self._tick
+            if self._bytes_in_memory > self.memory_budget_bytes:
+                self._enforce_budget(protect=pid)
 
     def remove(self, rid: int) -> None:
-        """Evict one record by id (no-op for unknown ids)."""
+        """Evict one record by id (no-op for unknown ids).
+
+        Removing from a *spilled* cell does not load it: the rid joins
+        the stub's dead set (applied at load time) and a stub whose
+        live count hits zero is dropped together with its spill file.
+        """
         pid = self._locations.pop(rid, None)
         if pid is None:
             return
         cell = self._cells[pid]
+        if isinstance(cell, SpilledCell):
+            if rid not in cell.dead:
+                cell.dead.add(rid)
+                cell.count -= 1
+            if cell.count <= 0:
+                try:
+                    os.remove(cell.path)
+                except OSError:
+                    pass
+                self._spilled_bytes -= cell.bytes
+                del self._cells[pid]
+            self.removes += 1
+            return
+        if self.memory_budget_bytes is not None:
+            row = cell.registry.get(rid)
+            if row is not None:
+                estimate = estimate_record_bytes(row[0], row[1])
+                self._cell_bytes[pid] = self._cell_bytes.get(pid, 0) - estimate
+                self._bytes_in_memory -= estimate
         cell.remove(rid)
         if not cell.registry:
             self._retired_rebuilds += cell.rebuilds
             del self._cells[pid]
+            self._cell_bytes.pop(pid, None)
+            self._touch.pop(pid, None)
         self.removes += 1
+
+    # -- spill machinery ---------------------------------------------------
+
+    def _spill_path(self, pid: int) -> str:
+        """The spill file a cell id maps to (one store per directory)."""
+        return os.path.join(self.spill_dir, f"cell-{pid}.pkl")
+
+    def _enforce_budget(self, protect: int | None = None) -> None:
+        """Spill least-recently-touched cells until the budget holds.
+
+        *protect* (the cell an insert or load just touched) is never a
+        spill candidate -- the budget is best-effort rather than strict
+        so the working cell always stays resident.  Stops early when a
+        spill fails (counted) or no candidate remains.
+        """
+        budget = self.memory_budget_bytes
+        if budget is None:
+            return
+        while self._bytes_in_memory > budget:
+            candidates = [
+                (self._touch.get(pid, 0), pid)
+                for pid, cell in self._cells.items()
+                if isinstance(cell, CellState) and pid != protect and cell.registry
+            ]
+            if not candidates:
+                break
+            _tick, pid = min(candidates)
+            if not self._spill_cell(pid):
+                break
+
+    def _spill_cell(self, pid: int) -> bool:
+        """Write one cell's registry to disk and stub it; True on success.
+
+        The write runs the ``state.spill`` chaos site first, then the
+        storage layer's durable-rename commit (staging file,
+        ``durable_replace``), so every spill barrier is visible to the
+        crash harness.  Any failure -- injected or real -- is swallowed
+        into ``spill_failures`` and leaves the cell fully in memory
+        (process kills from the crash harness still propagate).
+        """
+        cell = self._cells[pid]
+        path = self._spill_path(pid)
+        tmp = path + "._tmp"
+        try:
+            if self._injector_source is not None:
+                injector = self._injector_source()
+                if injector is not None:
+                    injector.check("state.spill", key=pid)
+            rows = [
+                (rid, st, value, t_start, t_end)
+                for rid, (st, value, t_start, t_end) in cell.registry.items()
+            ]
+            rows.sort(key=lambda row: row[0])
+            with open(tmp, "wb") as handle:
+                pickle.dump(rows, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            durable_replace(tmp, path)
+        except Exception:
+            self.spill_failures += 1
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return False
+        freed = self._cell_bytes.pop(pid, 0)
+        self._cells[pid] = SpilledCell(
+            path,
+            len(rows),
+            freed,
+            cell._min_x,
+            cell._min_y,
+            cell._max_x,
+            cell._max_y,
+            cell.t_min,
+            cell.t_max,
+        )
+        self._retired_rebuilds += cell.rebuilds
+        self._touch.pop(pid, None)
+        self._bytes_in_memory -= freed
+        self._spilled_bytes += freed
+        self.cells_spilled += 1
+        return True
+
+    def _load_cell(self, pid: int) -> CellState:
+        """Bring a spilled cell back in memory (transparent reload).
+
+        Applies the stub's dead set, re-accounts bytes, removes the
+        spill file, and re-enforces the budget (the loaded cell itself
+        is protected, so a load can push *other* cold cells out but
+        never bounce straight back to disk).
+        """
+        stub = self._cells[pid]
+        with open(stub.path, "rb") as handle:
+            rows = pickle.load(handle)
+        cell = CellState()
+        total = 0
+        dead = stub.dead
+        for rid, st, value, t_start, t_end in rows:
+            if rid in dead:
+                continue
+            cell.insert(rid, st, value, t_start, t_end)
+            total += estimate_record_bytes(st, value)
+        self._cells[pid] = cell
+        try:
+            os.remove(stub.path)
+        except OSError:
+            pass
+        self._cell_bytes[pid] = total
+        self._bytes_in_memory += total
+        self._spilled_bytes -= stub.bytes
+        self.cells_loaded += 1
+        self._tick += 1
+        self._touch[pid] = self._tick
+        if self.memory_budget_bytes is not None and self._bytes_in_memory > self.memory_budget_bytes:
+            self._enforce_budget(protect=pid)
+        return cell
+
+    def _peek_rows(self, cell: "CellState | SpilledCell") -> list[tuple]:
+        """A cell's live rows *without* loading a stub back into memory.
+
+        Read-only paths (window iteration, snapshots) use this so a
+        full-state scan does not thrash the budget by paging every
+        spilled cell back in.
+        """
+        if isinstance(cell, SpilledCell):
+            with open(cell.path, "rb") as handle:
+                rows = pickle.load(handle)
+            dead = cell.dead
+            return [row for row in rows if row[0] not in dead]
+        return [
+            (rid, st, value, t_start, t_end)
+            for rid, (st, value, t_start, t_end) in cell.registry.items()
+        ]
+
+    def all_records(self) -> list[tuple]:
+        """Every live ``(rid, st, value, t_start, t_end)`` row, sorted by
+        rid -- including rows currently spilled (read from disk without
+        disturbing the store).  The checkpoint snapshot source."""
+        rows: list[tuple] = []
+        for cell in list(self._cells.values()):
+            rows.extend(self._peek_rows(cell))
+        rows.sort(key=lambda row: row[0])
+        return rows
 
     # -- window membership -------------------------------------------------
 
     def iter_window(self, window: Window | None) -> Iterator[tuple[int, STObject, Any]]:
         """Every live ``(rid, STObject, value)`` whose span intersects
-        *window* (all live records when *window* is None)."""
-        for cell in self._cells.values():
+        *window* (all live records when *window* is None).
+
+        Spilled cells surviving the temporal prune are *peeked* from
+        disk, not loaded -- iteration is read-only and must not churn
+        the memory budget.
+        """
+        for cell in list(self._cells.values()):
             if window is not None and not cell.intersects_time(window.start, window.end):
+                continue
+            if isinstance(cell, SpilledCell):
+                for rid, st, value, t_start, t_end in self._peek_rows(cell):
+                    if window is None or window.intersects_span(t_start, t_end):
+                        yield rid, st, value
                 continue
             for rid, (st, value, t_start, t_end) in cell.registry.items():
                 if window is None or window.intersects_span(t_start, t_end):
@@ -271,11 +625,15 @@ class KeyedStateStore:
         predicate = relax_static(resolve_predicate(predicate))
         region = predicate.candidate_region(query.geo.envelope)
         out: list[Record] = []
-        for cell in self._cells.values():
+        for pid, cell in list(self._cells.items()):
             if not cell.extent.intersects(region):
                 continue
             if window is not None and not cell.intersects_time(window.start, window.end):
                 continue
+            if isinstance(cell, SpilledCell):
+                # Pruning failed to exclude it, so the query genuinely
+                # needs this cell's tree: transparent reload on touch.
+                cell = self._load_cell(pid)
             registry = cell.registry
             for rid in cell.tree(self.node_capacity).query(region):
                 st, value, t_start, t_end = registry[rid]
@@ -310,7 +668,7 @@ class KeyedStateStore:
         prune = fn is euclidean
 
         ranked = []
-        for cell in self._cells.values():
+        for pid, cell in list(self._cells.items()):
             if window is not None and not cell.intersects_time(window.start, window.end):
                 continue
             bound = (
@@ -318,15 +676,25 @@ class KeyedStateStore:
                 if prune
                 else 0.0
             )
-            ranked.append((bound, cell))
+            ranked.append((bound, pid))
+        # Stable sort on the bound alone: tied cells keep store insertion
+        # order, so tied records rank exactly as the batch operator's.
         ranked.sort(key=lambda pair: pair[0])
 
         # A max-heap of the k best (negated distance, tie, record).
         best: list[tuple[float, int, Record]] = []
         tie = itertools.count()
-        for bound, cell in ranked:
+        for bound, pid in ranked:
             if prune and len(best) == k and bound > -best[0][0]:
                 break
+            cell = self._cells.get(pid)
+            if cell is None:
+                continue
+            if isinstance(cell, SpilledCell):
+                # This cell's bound beat the current k-th distance, so
+                # its records must be scanned: reload it.  Cells the
+                # bound check already rejected stay on disk.
+                cell = self._load_cell(pid)
             for _rid, (st, value, t_start, t_end) in cell.registry.items():
                 if window is not None and not window.intersects_span(t_start, t_end):
                     continue
@@ -582,12 +950,16 @@ class StateConsumer:
         universe: Envelope | None = None,
         grid: int = 8,
         node_capacity: int = 10,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | None = None,
     ) -> None:
         self.node = node
         self.spec = spec
         self.lateness = lateness
         self.grid = grid
         self.node_capacity = node_capacity
+        self.memory_budget_bytes = memory_budget_bytes
+        self.spill_dir = spill_dir
         self.state: KeyedWindowState | None = None
         self.queries: list[ContinuousQuery] = []
         self._absorbed_batch: int | None = None
@@ -599,8 +971,19 @@ class StateConsumer:
         if universe is not None:
             self._init_state(universe)
 
+    def _injector(self):
+        """The context's live fault injector (the store's chaos source)."""
+        return getattr(self.node._ssc.spark_context, "fault_injector", None)
+
     def _init_state(self, universe: Envelope) -> None:
-        store = KeyedStateStore(universe, grid=self.grid, node_capacity=self.node_capacity)
+        store = KeyedStateStore(
+            universe,
+            grid=self.grid,
+            node_capacity=self.node_capacity,
+            memory_budget_bytes=self.memory_budget_bytes,
+            spill_dir=self.spill_dir,
+            injector_source=self._injector,
+        )
         self.state = KeyedWindowState(self.spec, store, self.lateness)
 
     @property
@@ -698,18 +1081,17 @@ class StateConsumer:
         marks its cell dirty -- the first query touching a cell after
         recovery rebuilds its tree lazily, exactly like any other
         mutation (generation-rebuild, see :class:`CellState`).
+
+        Spilled cells are embedded too (their records read from disk
+        without loading them back): the snapshot is self-contained and
+        never depends on a spill file outliving the process.
         """
         if self.state is None:
             state = None
         else:
             kw = self.state
             universe = kw.store.partitioner.universe
-            records = [
-                (rid, st, value, t_start, t_end)
-                for cell in kw.store._cells.values()
-                for rid, (st, value, t_start, t_end) in cell.registry.items()
-            ]
-            records.sort(key=lambda row: row[0])
+            records = kw.store.all_records()
             state = {
                 "universe": (universe.min_x, universe.min_y, universe.max_x, universe.max_y),
                 "watermark": kw.watermark,
@@ -722,6 +1104,11 @@ class StateConsumer:
                 ],
                 "eviction": list(kw._eviction),
                 "records": records,
+                "spill": {
+                    "cells_spilled": kw.store.cells_spilled,
+                    "cells_loaded": kw.store.cells_loaded,
+                    "spill_failures": kw.store.spill_failures,
+                },
             }
         return {
             "kind": "keyed",
@@ -760,6 +1147,14 @@ class StateConsumer:
         eviction = [tuple(entry) for entry in state["eviction"]]
         heapq.heapify(eviction)
         kw._eviction = eviction
+        # Carry the crashed run's cumulative spill counters forward
+        # *before* re-inserting, so spills triggered by the restore
+        # itself keep counting on top of them.
+        spill = state.get("spill")
+        if spill:
+            kw.store.cells_spilled = spill["cells_spilled"]
+            kw.store.cells_loaded = spill["cells_loaded"]
+            kw.store.spill_failures = spill["spill_failures"]
         for rid, st, value, t_start, t_end in state["records"]:
             kw.store.insert(rid, st, value, t_start, t_end)
         for query in self.queries:

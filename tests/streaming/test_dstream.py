@@ -234,6 +234,47 @@ class TestWindowedOutputs:
         ]
 
 
+class TestWindowBridge:
+    def test_bridge_feeds_a_second_context(self, sc):
+        """Chained pipelines: each closed window of the upstream context
+        arrives as one micro-batch in the downstream one."""
+        upstream = StreamingContext(sc)
+        downstream = StreamingContext(sc)
+        source, events = upstream.queue_stream()
+        bridged = events.window(length=10.0).bridge_to(downstream)
+        sink = bridged.map(lambda kv: (kv[0], kv[1].upper())).collect_batches()
+
+        source.push([rec(0, 0, 1.0, "a"), rec(1, 1, 9.0, "b")])
+        source.push([rec(2, 2, 11.0, "c")])  # closes [0, 10)
+        source.push([rec(3, 3, 21.0, "d")])  # closes [10, 20)
+        upstream.run_batches(3, batch_times=[0.0, 0.0, 0.0])
+        assert upstream.metrics.windows_emitted == 2
+
+        downstream.run_batches(2, batch_times=[0.0, 1.0])
+        results = sink.results()
+        assert [sorted(v for _st, v in rows) for _b, rows in results] == [
+            ["A", "B"],
+            ["C"],
+        ]
+        upstream.stop(flush=False)
+        downstream.stop()
+
+    def test_bridge_flush_delivers_the_tail_window(self, sc):
+        upstream = StreamingContext(sc)
+        downstream = StreamingContext(sc)
+        source, events = upstream.queue_stream()
+        bridged = events.window(length=10.0).bridge_to(downstream)
+        sink = bridged.collect_batches()
+        source.push([rec(0, 0, 1.0, "a")])
+        upstream.run_batch(batch_time=0.0)
+        assert downstream.pending_batches == 0  # window still open
+        upstream.stop()  # flush fires [0, 10) into the bridge
+        downstream.run_batch(batch_time=0.0)
+        [(_batch_id, rows)] = sink.results()
+        assert [v for _st, v in rows] == ["a"]
+        downstream.stop()
+
+
 class TestStreamingContextLifecycle:
     def test_validation(self, sc):
         for kwargs in (

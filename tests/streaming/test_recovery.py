@@ -265,6 +265,147 @@ class TestCrashMatrix:
                 assert crashed[key] == resumed[key], f"kill point {at}: {key}"
 
 
+POISON_EVERY = 17
+
+
+def build_degraded(sc, checkpoint_dir, work, out_dir=None):
+    """The overload variant of :func:`build`: same window shapes, but
+    the generator plants poison records (quarantined to the context's
+    DLQ), and the continuous query runs under a byte budget that forces
+    cell spill.  Both add fsync barriers to the crash matrix -- DLQ
+    appends and spill commits -- and both must replay to equivalence.
+    """
+    ssc = StreamingContext(
+        sc,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_interval=2,
+        dlq_dir=os.path.join(work, "dlq"),
+    )
+    events = ssc.generator_stream(
+        rate=RATE, time_step=1.0, seed=11, poison_every=POISON_EVERY
+    )
+
+    def reject_poison(record):
+        st, (i, category) = record
+        if category == "__poison__":
+            raise ValueError(f"poison record {i}")
+        return record
+
+    checked = events.map(reject_poison)
+    win = checked.window(**WINDOW)
+    sinks = {
+        "counts": win.count_windows(),
+        "range": checked.continuous(
+            **WINDOW,
+            memory_budget_bytes=4096,
+            spill_dir=os.path.join(work, "spill"),
+        ).range("POLYGON ((10 10, 90 10, 90 60, 10 60, 10 10))"),
+    }
+    if out_dir is not None:
+        sinks["files"] = EventFileSink(out_dir)
+        win.for_each_window(sinks["files"])
+    return ssc, sinks
+
+
+class TestDegradedCrashMatrix:
+    """The fsync-kill matrix with spill and dead-lettering active.
+
+    Every DLQ append and every spilled-cell commit is itself a
+    durability barrier, so the matrix now kills *inside* the degraded
+    paths too.  The contract is unchanged: byte-identical durable sink
+    output, union-equal volatile results -- plus a non-empty DLQ whose
+    quarantined records carry provenance, on every kill point.
+    """
+
+    def _scenario(self, ck, work, out):
+        with make_sc() as sc:
+            ssc, _ = build_degraded(sc, ck, work, out)
+            ssc.run_batches(BATCHES, batch_times=TIMES)
+            ssc.stop(flush=False)
+
+    def _resume(self, sc, ck, work, out):
+        ssc, sinks = build_degraded(sc, ck, work, out)
+        report = ssc.restore(ck)
+        remaining = BATCHES - report.resumed_batch_id
+        if remaining > 0:
+            ssc.run_batches(remaining, batch_times=TIMES[report.resumed_batch_id :])
+        ssc.stop(flush=False)
+        return ssc, sinks, report
+
+    def test_kill_between_any_two_fsyncs_with_spill_and_dlq(self, tmp_path):
+        from repro.streaming import DeadLetterQueue
+
+        base_out = str(tmp_path / "base-out")
+        base_work = str(tmp_path / "base-work")
+        with make_sc() as sc:
+            ssc, base_sinks = build_degraded(sc, None, base_work, base_out)
+            ssc.run_batches(BATCHES, batch_times=TIMES)
+            ssc.stop(flush=False)
+            base = canon(base_sinks)
+            # The degraded paths really engaged in the baseline.
+            assert ssc.metrics.state_cells_spilled > 0
+            assert ssc.metrics.records_quarantined > 0
+        base_files = read_files(base_out)
+        assert base_files
+        base_poisons = [
+            p["record"][1]
+            for p in DeadLetterQueue(os.path.join(base_work, "dlq")).poison_records()
+        ]
+        assert base_poisons
+
+        n = crash_points(
+            lambda: self._scenario(
+                str(tmp_path / "probe-ck"),
+                str(tmp_path / "probe-work"),
+                str(tmp_path / "probe-out"),
+            )
+        )
+        # WAL + ledger + checkpoints + sink commits + DLQ + spill.
+        assert n > 20
+
+        for at in range(1, n + 1):
+            ck = str(tmp_path / f"ck-{at}")
+            work = str(tmp_path / f"work-{at}")
+            out = str(tmp_path / f"out-{at}")
+            with make_sc() as sc:
+                ssc, crashed_sinks = build_degraded(sc, ck, work, out)
+                harness = CrashHarness(at=at)
+                try:
+                    with harness.installed():
+                        ssc.run_batches(BATCHES, batch_times=TIMES)
+                        ssc.stop(flush=False)
+                except SimulatedCrash:
+                    pass
+                crashed = canon(crashed_sinks)
+            # The restart reuses the crashed run's work dir, exactly as
+            # a real operator would: the DLQ keeps its entries (torn
+            # tails truncated), stale spill files are reaped.
+            with make_sc() as sc2:
+                ssc2, sinks, _report = self._resume(sc2, ck, work, out)
+                resumed = canon(sinks)
+
+            assert read_files(out) == base_files, f"kill point {at}: file divergence"
+
+            crashed.pop("__duplicates__", None)
+            resumed.pop("__duplicates__", None)
+            union = {**crashed, **resumed}
+            assert union == base, f"kill point {at}: result divergence"
+            for key in set(crashed) & set(resumed):
+                assert crashed[key] == resumed[key], f"kill point {at}: {key}"
+
+            # The quarantine survived the crash: every baseline poison
+            # is in the reopened DLQ with provenance (replay may add
+            # duplicate convictions; replay never loses one).
+            poisons = DeadLetterQueue(
+                os.path.join(work, "dlq")
+            ).poison_records()
+            got = {p["record"][1] for p in poisons}
+            assert got == set(base_poisons), f"kill point {at}: poison divergence"
+            for poison in poisons:
+                assert poison["source"] == "generator"
+                assert "ValueError" in poison["error"]
+
+
 class TestSourceCursors:
     def test_queue_source_skips_consumed_batches(self, tmp_path):
         ck = str(tmp_path / "ck")
