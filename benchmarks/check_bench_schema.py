@@ -102,6 +102,38 @@ RECOVERY_CONFIG_KEYS = {
 
 OVERLOAD_SCHEMA = "bench.streaming_overload/v1"
 
+PLANNER_SCHEMA = "bench.planner/v1"
+
+#: Required keys of the planner report's ``planner`` section.
+PLANNER_KEYS = {
+    "chosen_strategy",
+    "temporal_first",
+    "partitioner_hint",
+    "plan_explain",
+    "naive",
+    "planned",
+    "candidate_reduction",
+    "speedup",
+    "rows_matched",
+    "results_equal",
+    "equality",
+}
+PLANNER_CONFIG_KEYS = {
+    "points",
+    "parallelism",
+    "repeat",
+    "span",
+    "window_fraction",
+    "window_start",
+    "index_order",
+    "seed",
+    "chaos",
+}
+
+#: The deterministic pruning gate: the planned index mode must admit at
+#: least this factor fewer candidates than the spatial-only plan.
+PLANNER_MIN_CANDIDATE_REDUCTION = 3.0
+
 #: Required keys of the overload report's ``overload`` section.
 OVERLOAD_KEYS = {
     "window_length",
@@ -325,20 +357,81 @@ def check_overload(section: dict, label: str = "overload") -> None:
     )
 
 
+def check_planner(section: dict, label: str = "planner") -> None:
+    """The cost-based planner block, including its pruning gates.
+
+    The candidate-reduction gate is deterministic (tracer counters, not
+    wall time): the planned index mode must admit >= 3x fewer
+    candidates than the spatial-only plan.  Wall-based speedup is only
+    required to be positive here -- timing noise must not flake CI --
+    while the committed canonical artifact documents speedup > 1.
+    """
+    require(isinstance(section, dict), f"{label} must be an object")
+    missing = PLANNER_KEYS - section.keys()
+    require(not missing, f"{label} missing keys: {sorted(missing)}")
+    require(
+        section["results_equal"] is True,
+        f"{label}.results_equal must be true -- the planned execution "
+        "diverged from naive recomputation",
+    )
+    equality = section["equality"]
+    require(isinstance(equality, dict), f"{label}.equality must be an object")
+    for executor in ("sequential", "threads"):
+        require(
+            equality.get(executor) is True,
+            f"{label}.equality.{executor} must be true -- planned results "
+            "diverged under seeded chaos on that executor",
+        )
+    require(
+        isinstance(section["chosen_strategy"], str)
+        and section["chosen_strategy"].startswith("live:"),
+        f"{label}.chosen_strategy must be a live index strategy, "
+        f"got {section['chosen_strategy']!r}",
+    )
+    for side in ("naive", "planned"):
+        block = section[side]
+        require(isinstance(block, dict), f"{label}.{side} must be an object")
+        check_number(block.get("wall_s"), f"{label}.{side}.wall_s", positive=True)
+        check_number(block.get("candidates"), f"{label}.{side}.candidates", positive=True)
+    check_number(
+        section["candidate_reduction"], f"{label}.candidate_reduction", positive=True
+    )
+    require(
+        section["candidate_reduction"] >= PLANNER_MIN_CANDIDATE_REDUCTION,
+        f"{label}.candidate_reduction must be >= "
+        f"{PLANNER_MIN_CANDIDATE_REDUCTION}, got "
+        f"{section['candidate_reduction']!r} -- the time-aware index is "
+        "not pruning",
+    )
+    check_number(section["speedup"], f"{label}.speedup", positive=True)
+    check_number(section["rows_matched"], f"{label}.rows_matched")
+    require(
+        isinstance(section["plan_explain"], str) and section["plan_explain"],
+        f"{label}.plan_explain must be a non-empty string",
+    )
+
+
 def check_report(report: dict) -> None:
     """Validate one parsed report, dispatching on its ``schema`` key."""
     require(isinstance(report, dict), "report must be a JSON object")
     schema = report.get("schema")
     require(
-        schema in (SCHEMA, RECOVERY_SCHEMA, OVERLOAD_SCHEMA),
-        f"schema must be {SCHEMA!r}, {RECOVERY_SCHEMA!r} or "
-        f"{OVERLOAD_SCHEMA!r}, got {schema!r}",
+        schema in (SCHEMA, RECOVERY_SCHEMA, OVERLOAD_SCHEMA, PLANNER_SCHEMA),
+        f"schema must be {SCHEMA!r}, {RECOVERY_SCHEMA!r}, "
+        f"{OVERLOAD_SCHEMA!r} or {PLANNER_SCHEMA!r}, got {schema!r}",
     )
     check_number(report.get("created_unix"), "created_unix", positive=True)
     host = report.get("host")
     require(isinstance(host, dict) and "cpus" in host, "host.cpus missing")
     config = report.get("config")
     require(isinstance(config, dict), "config must be an object")
+
+    if schema == PLANNER_SCHEMA:
+        missing = PLANNER_CONFIG_KEYS - config.keys()
+        require(not missing, f"config missing keys: {sorted(missing)}")
+        require("planner" in report, "planner section missing")
+        check_planner(report["planner"])
+        return
 
     if schema == OVERLOAD_SCHEMA:
         missing = OVERLOAD_CONFIG_KEYS - config.keys()

@@ -23,7 +23,7 @@ import sys
 
 #: Packages the gate covers: the paper-facing operators, the engine,
 #: and the streaming layer built in this change.
-DEFAULT_PACKAGES = ("repro.core", "repro.spark", "repro.streaming")
+DEFAULT_PACKAGES = ("repro.core", "repro.spark", "repro.streaming", "repro.planner", "repro.index")
 
 #: Required fraction of public objects carrying a docstring.
 DEFAULT_THRESHOLD = 0.95

@@ -39,6 +39,8 @@ DEFAULT_PACKAGES = (
     "repro.spark",
     "repro.streaming",
     "repro.piglet",
+    "repro.planner",
+    "repro.index",
 )
 
 

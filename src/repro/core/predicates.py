@@ -82,6 +82,37 @@ class STPredicate:
         """Full predicate with the combined temporal semantics."""
         return combine(self.spatial, self.temporal, item, query)
 
+    def temporal_clause(self, item: STObject, query: STObject) -> bool:
+        """The temporal half of the combined semantics on its own.
+
+        True when both temporal components are undefined, or both are
+        defined and the temporal predicate holds; a mixed pair never
+        matches.  Evaluating this clause *first* is the planner's
+        temporal-first predicate order: for a temporally-selective
+        query it rejects most items with two float comparisons before
+        any geometry work runs.
+        """
+        if item.time is None and query.time is None:
+            return True
+        if item.time is not None and query.time is not None:
+            return self.temporal(item.time, query.time)
+        return False
+
+    def evaluate_ordered(
+        self, item: STObject, query: STObject, temporal_first: bool
+    ) -> bool:
+        """:meth:`evaluate` with an explicit clause order.
+
+        Both orders compute the same truth value (the clauses are
+        independent); the order only decides which side pays for the
+        rejections, which is what the cost-based planner optimizes.
+        """
+        if temporal_first:
+            return self.temporal_clause(item, query) and self.spatial(
+                item.geo, query.geo
+            )
+        return combine(self.spatial, self.temporal, item, query)
+
     def __repr__(self) -> str:
         return f"STPredicate({self.name})"
 

@@ -47,10 +47,11 @@ from repro.core.predicates import (
 )
 from repro.core.stobject import STObject
 from repro.geometry.distance import DistanceFunction, euclidean
-from repro.index import persistence
-from repro.index.rtree import STRTree
+from repro.index import INDEX_MODES, build_partition_index, persistence
+from repro.index.temporal_forest import temporal_extent_of
 from repro.partitioners.base import SpatialPartitioner
 from repro.spark.rdd import RDD
+from repro.temporal.interval import Interval
 
 V = TypeVar("V")
 
@@ -181,29 +182,46 @@ class SpatialRDDFunctions:
         self,
         order: int = DEFAULT_INDEX_ORDER,
         partitioner: SpatialPartitioner | None = None,
+        mode: str = "spatial",
+        time_slices: int | None = None,
+        temporal_first: bool = False,
     ) -> "LiveIndexedSpatialRDDFunctions":
         """Live indexing mode: build an R-tree per partition at query time.
 
         The optional *partitioner* repartitions the RDD before indexing,
         matching the paper's ``liveIndex(order, partitioner)`` signature.
+        *mode* picks the partition-index structure (``"spatial"``,
+        ``"temporal"`` or ``"3d"``; see
+        :func:`repro.index.build_partition_index`), *time_slices* sizes
+        the temporal forest, and *temporal_first* flips the refinement
+        clause order -- the knobs the cost-based planner turns.
         """
+        if mode not in INDEX_MODES:
+            raise ValueError(f"unknown index mode {mode!r}; known: {INDEX_MODES}")
         rdd = self._rdd if partitioner is None else self._rdd.partition_by(partitioner)
-        return LiveIndexedSpatialRDDFunctions(rdd, order)
+        return LiveIndexedSpatialRDDFunctions(
+            rdd, order, mode=mode, time_slices=time_slices, temporal_first=temporal_first
+        )
 
     def index(
         self,
         order: int = DEFAULT_INDEX_ORDER,
         partitioner: SpatialPartitioner | None = None,
+        mode: str = "spatial",
+        time_slices: int | None = None,
     ) -> "IndexedSpatialRDD":
-        """Persistent-index mode: materialize one STR-tree per partition.
+        """Persistent-index mode: materialize one index tree per partition.
 
         The returned handle answers queries immediately *and* can be
         saved, so no extra run is needed just to persist the index.
+        *mode* picks the structure exactly as for :meth:`live_index`.
         """
+        if mode not in INDEX_MODES:
+            raise ValueError(f"unknown index mode {mode!r}; known: {INDEX_MODES}")
         rdd = self._rdd if partitioner is None else self._rdd.partition_by(partitioner)
 
-        def build(it: Iterator[tuple[STObject, V]]) -> Iterator[STRTree]:
-            yield STRTree(((kv[0].geo.envelope, kv) for kv in it), node_capacity=order)
+        def build(it: Iterator[tuple[STObject, V]]) -> Iterator:
+            yield build_partition_index(list(it), order, mode, time_slices)
 
         tree_rdd = rdd.map_partitions(build, preserves_partitioning=True).persist()
         spatial_part = (
@@ -211,7 +229,43 @@ class SpatialRDDFunctions:
             if isinstance(rdd.partitioner, SpatialPartitioner)
             else None
         )
-        return IndexedSpatialRDD(tree_rdd, spatial_part, order=order)
+        return IndexedSpatialRDD(tree_rdd, spatial_part, order=order, mode=mode)
+
+    # -- cost-based planning ----------------------------------------------
+
+    def plan(
+        self, query: STObject | str, predicate: str | STPredicate = INTERSECTS
+    ):
+        """The cost-based plan for filtering this RDD with *query*.
+
+        Returns a :class:`repro.planner.FilterPlan`; inspect it with
+        ``.explain()`` or run it with :meth:`filter_planned`.
+        """
+        from repro.planner import QueryPlanner
+
+        return QueryPlanner(self._rdd.context).plan_filter(
+            self._rdd, _as_query(query), resolve_predicate(predicate)
+        )
+
+    def explain(
+        self, query: STObject | str, predicate: str | STPredicate = INTERSECTS
+    ) -> str:
+        """A human-readable rendering of :meth:`plan` for *query*."""
+        return self.plan(query, predicate).explain()
+
+    def filter_planned(
+        self, query: STObject | str, predicate: str | STPredicate = INTERSECTS
+    ) -> RDD:
+        """Filter with the execution strategy the cost model picks.
+
+        Equivalent results to the unplanned operators -- the plan only
+        decides index mode, predicate order and pruning route.
+        """
+        from repro.planner import QueryPlanner
+
+        return QueryPlanner(self._rdd.context).execute(
+            self._rdd, _as_query(query), resolve_predicate(predicate)
+        )
 
     # camelCase aliases matching the paper's Scala API
     containedBy = contained_by
@@ -219,6 +273,7 @@ class SpatialRDDFunctions:
     kNN = knn
     liveIndex = live_index
     partitionBy = partition_by
+    filterPlanned = filter_planned
 
 
 class LiveIndexedSpatialRDDFunctions:
@@ -226,39 +281,62 @@ class LiveIndexedSpatialRDDFunctions:
 
     Nothing is materialized here: each operation builds the per-
     partition trees while it runs, queries them, and refines candidates.
+    The handle carries the planner's knobs (index *mode*, forest
+    *time_slices*, refinement clause order) so a plan is just a
+    configured handle.
     """
 
-    def __init__(self, rdd: RDD, order: int) -> None:
+    def __init__(
+        self,
+        rdd: RDD,
+        order: int,
+        mode: str = "spatial",
+        time_slices: int | None = None,
+        temporal_first: bool = False,
+    ) -> None:
         if order < 2:
             raise ValueError(f"index order must be >= 2, got {order}")
         self._rdd = rdd
         self._order = order
+        self._mode = mode
+        self._time_slices = time_slices
+        self._temporal_first = temporal_first
 
     @property
     def rdd(self) -> RDD:
         """The underlying (possibly repartitioned) RDD."""
         return self._rdd
 
-    def intersects(self, query: STObject | str) -> RDD:
-        """Items intersecting the query, via a per-partition live R-tree."""
+    @property
+    def mode(self) -> str:
+        """The partition-index mode this handle builds."""
+        return self._mode
+
+    def _filter(self, query: STObject, predicate: STPredicate) -> RDD:
         return filter_ops.filter_live_index(
-            self._rdd, _as_query(query), INTERSECTS, self._order
+            self._rdd,
+            query,
+            predicate,
+            self._order,
+            mode=self._mode,
+            time_slices=self._time_slices,
+            temporal_first=self._temporal_first,
         )
+
+    def intersects(self, query: STObject | str) -> RDD:
+        """Items intersecting the query, via a per-partition live index."""
+        return self._filter(_as_query(query), INTERSECTS)
 
     # the paper's example calls this ``intersect`` on the indexed handle
     intersect = intersects
 
     def contains(self, query: STObject | str) -> RDD:
         """Items that completely contain the query, with live indexing."""
-        return filter_ops.filter_live_index(
-            self._rdd, _as_query(query), CONTAINS, self._order
-        )
+        return self._filter(_as_query(query), CONTAINS)
 
     def contained_by(self, query: STObject | str) -> RDD:
         """Items completely contained by the query, with live indexing."""
-        return filter_ops.filter_live_index(
-            self._rdd, _as_query(query), CONTAINED_BY, self._order
-        )
+        return self._filter(_as_query(query), CONTAINED_BY)
 
     def within_distance(
         self,
@@ -268,9 +346,7 @@ class LiveIndexedSpatialRDDFunctions:
     ) -> RDD:
         """Items within *max_distance* of the query, with live indexing."""
         predicate = within_distance_predicate(max_distance, distance_fn)
-        return filter_ops.filter_live_index(
-            self._rdd, _as_query(query), predicate, self._order
-        )
+        return self._filter(_as_query(query), predicate)
 
     def join(
         self,
@@ -293,21 +369,32 @@ class LiveIndexedSpatialRDDFunctions:
 
 
 class IndexedSpatialRDD:
-    """A materialized index: one STR-tree per partition (persistent mode)."""
+    """A materialized index: one index tree per partition (persistent mode).
+
+    Besides the spatial partitioner, the handle tracks each partition's
+    *temporal extent* (the covering interval of its timed members).
+    A timed query prunes whole partitions whose extent misses before a
+    single tree is opened -- the persistent-mode analogue of
+    ``TemporalRangePartitioner`` pruning on the unindexed path.
+    """
 
     def __init__(
         self,
         tree_rdd: RDD,
         partitioner: SpatialPartitioner | None = None,
         order: int | None = None,
+        mode: str = "spatial",
+        temporal_extents: list[Interval | None] | None = None,
     ) -> None:
         self._trees = tree_rdd
         self._partitioner = partitioner
         self._order = order
+        self._mode = mode
+        self._temporal_extents = temporal_extents
 
     @property
     def tree_rdd(self) -> RDD:
-        """The underlying ``RDD[STRTree]``."""
+        """The underlying RDD of per-partition index trees."""
         return self._trees
 
     @property
@@ -315,25 +402,61 @@ class IndexedSpatialRDD:
         """The spatial partitioner backing pruning, if one was used."""
         return self._partitioner
 
+    @property
+    def mode(self) -> str:
+        """The partition-index mode the trees were built with."""
+        return self._mode
+
+    def temporal_extents(self) -> list[Interval | None]:
+        """Per-partition covering intervals of timed members (cached).
+
+        Computed with one job over the stored trees on first use (or
+        restored from persisted metadata by :meth:`load`); ``None`` in
+        a slot means that partition holds no timed members at all.
+        """
+        if self._temporal_extents is None:
+
+            def extent_of_partition(trees: Iterator) -> Iterator[Interval | None]:
+                lo, hi = float("inf"), float("-inf")
+                for tree in trees:
+                    extent, _has_untimed = temporal_extent_of(tree)
+                    if extent is not None:
+                        lo = min(lo, extent.start)
+                        hi = max(hi, extent.end)
+                yield Interval(lo, hi) if lo <= hi else None
+
+            self._temporal_extents = self._trees.map_partitions(
+                extent_of_partition
+            ).collect()
+        return self._temporal_extents
+
+    def _filter(self, query: STObject, predicate: STPredicate) -> RDD:
+        # The extents job runs lazily, and only when a timed query can
+        # actually use them for pruning.
+        extents = (
+            self.temporal_extents() if query.time is not None else self._temporal_extents
+        )
+        return filter_ops.filter_indexed(
+            self._trees,
+            query,
+            predicate,
+            self._partitioner,
+            temporal_extents=extents,
+        )
+
     def intersects(self, query: STObject | str) -> RDD:
         """Items intersecting the query, answered from the stored trees."""
-        return filter_ops.filter_indexed(
-            self._trees, _as_query(query), INTERSECTS, self._partitioner
-        )
+        return self._filter(_as_query(query), INTERSECTS)
 
     intersect = intersects
 
     def contains(self, query: STObject | str) -> RDD:
         """Items that completely contain the query, from the stored trees."""
-        return filter_ops.filter_indexed(
-            self._trees, _as_query(query), CONTAINS, self._partitioner
-        )
+        return self._filter(_as_query(query), CONTAINS)
 
     def contained_by(self, query: STObject | str) -> RDD:
         """Items completely contained by the query, from the stored trees."""
-        return filter_ops.filter_indexed(
-            self._trees, _as_query(query), CONTAINED_BY, self._partitioner
-        )
+        return self._filter(_as_query(query), CONTAINED_BY)
 
     def within_distance(
         self,
@@ -343,9 +466,7 @@ class IndexedSpatialRDD:
     ) -> RDD:
         """Items within *max_distance* of the query, from the stored trees."""
         predicate = within_distance_predicate(max_distance, distance_fn)
-        return filter_ops.filter_indexed(
-            self._trees, _as_query(query), predicate, self._partitioner
-        )
+        return self._filter(_as_query(query), predicate)
 
     def knn(self, query: STObject | str, k: int) -> knn_ops.KnnResult:
         """The k nearest items, pruned through the stored trees."""
@@ -363,9 +484,19 @@ class IndexedSpatialRDD:
         return flattened
 
     def save(self, path: str) -> None:
-        """Persist the trees (and partitioner) for reuse by other programs."""
+        """Persist the trees, partitioner and temporal partition extents.
+
+        The extents are computed here (one job over the trees) if no
+        timed query has already cached them, so a reloaded index prunes
+        in time without touching the data again.
+        """
         persistence.save_index(
-            self._trees, path, self._partitioner, order=self._order
+            self._trees,
+            path,
+            self._partitioner,
+            order=self._order,
+            temporal_extents=self.temporal_extents(),
+            mode=self._mode,
         )
 
     @staticmethod
@@ -374,11 +505,19 @@ class IndexedSpatialRDD:
 
         Tolerant of damage: corrupt tree parts are rebuilt live from the
         recovery sidecar and corrupt metadata merely disables pruning
-        (see :mod:`repro.index.persistence`).
+        (see :mod:`repro.index.persistence`).  Repeated loads of an
+        unchanged path reuse already-deserialized trees from the
+        process-level cache.
         """
-        tree_rdd, partitioner = persistence.load_index(context, path)
+        tree_rdd, partitioner, extents, mode = persistence.load_index(context, path)
         order = getattr(tree_rdd, "_order", None)
-        return IndexedSpatialRDD(tree_rdd.persist(), partitioner, order=order)
+        return IndexedSpatialRDD(
+            tree_rdd.persist(),
+            partitioner,
+            order=order,
+            mode=mode or "spatial",
+            temporal_extents=extents,
+        )
 
     containedBy = contained_by
     withinDistance = within_distance
@@ -415,6 +554,12 @@ _RDD_METHODS = {
     "knn_join": "knn_join",
     "skyline": "skyline",
     "colocation": "colocation",
+    "stPlan": "plan",
+    "st_plan": "plan",
+    "stExplain": "explain",
+    "st_explain": "explain",
+    "filterPlanned": "filter_planned",
+    "filter_planned": "filter_planned",
 }
 
 

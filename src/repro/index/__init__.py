@@ -3,14 +3,61 @@
 - :class:`~repro.index.rtree.STRTree` -- the Sort-Tile-Recursive bulk-
   loaded R-tree, the reproduction of the JTS STRtree STARK uses for
   partition-local indexing (paper section 2.2),
+- :class:`~repro.index.temporal_forest.TimeSlicedForest` -- the hybrid
+  temporal index: equi-depth time slices of STR-trees behind an
+  interval-tree slice directory (``mode="temporal"``),
+- :class:`~repro.index.rtree3d.STRTree3D` -- a 3D (x, y, t) STR bulk
+  load that fuses the time dimension into the tree (``mode="3d"``),
 - :class:`~repro.index.intervaltree.IntervalTree` -- a static interval
-  tree for temporal lookups (an extension point; STARK's live indexing
-  evaluates the temporal predicate during candidate refinement),
+  tree for temporal lookups; it backs the forest's slice directory,
 - :mod:`~repro.index.persistence` -- save/load helpers implementing the
-  *persistent indexing* mode.
+  *persistent indexing* mode, with a process-level reuse cache.
+
+:func:`build_partition_index` is the one factory every indexing call
+path goes through, so ``live_index(mode=...)`` / ``index(mode=...)``
+and the cost-based planner all agree on what each mode means.
 """
 
 from repro.index.intervaltree import IntervalTree
 from repro.index.rtree import STRTree
+from repro.index.rtree3d import Envelope3, STRTree3D
+from repro.index.temporal_forest import TimeSlicedForest, temporal_extent_of
 
-__all__ = ["IntervalTree", "STRTree"]
+#: The partition-index modes ``live_index`` / ``index`` accept.
+INDEX_MODES = ("spatial", "temporal", "3d")
+
+
+def build_partition_index(
+    entries,
+    order: int = 10,
+    mode: str = "spatial",
+    time_slices: int | None = None,
+):
+    """Build one partition-local index over ``(STObject, V)`` pairs.
+
+    ``mode`` selects the structure: ``"spatial"`` (a plain STR-tree,
+    temporal predicate left to refinement -- the paper's behaviour),
+    ``"temporal"`` (a :class:`TimeSlicedForest`) or ``"3d"`` (an
+    :class:`STRTree3D`).  ``time_slices`` applies to the forest only.
+    """
+    if mode not in INDEX_MODES:
+        raise ValueError(f"unknown index mode {mode!r}; known: {INDEX_MODES}")
+    if mode == "temporal":
+        return TimeSlicedForest(entries, node_capacity=order, time_slices=time_slices)
+    if mode == "3d":
+        return STRTree3D.for_stobjects(entries, node_capacity=order)
+    return STRTree(
+        ((kv[0].geo.envelope, kv) for kv in entries), node_capacity=order
+    )
+
+
+__all__ = [
+    "INDEX_MODES",
+    "Envelope3",
+    "IntervalTree",
+    "STRTree",
+    "STRTree3D",
+    "TimeSlicedForest",
+    "build_partition_index",
+    "temporal_extent_of",
+]

@@ -6,7 +6,21 @@ as binary objects ("using Spark's method to save binary objects") and
 can be loaded by the same or another program without rebuilding.
 
 The partitioner metadata is stored alongside the trees so a reloaded
-index keeps its partition-pruning ability.
+index keeps its partition-pruning ability, and the per-partition
+*temporal extents* recorded at save time let a timed query prune whole
+partitions before a single tree is opened.
+
+Process-level reuse cache
+-------------------------
+Deserializing a large index dominates short interactive programs that
+open the same index repeatedly (the paper's multi-program workflow).
+Loads therefore go through a process-level cache keyed by the index
+path and validated against a *freshness signature* (name, mtime_ns,
+size of every part and the metadata file): a repeated load of an
+unchanged index returns the already-deserialized trees (counted in
+``metrics.index_cache_hits``), while any rewrite -- including
+:func:`save_index` over the same path -- invalidates automatically.
+:func:`invalidate_index_cache` drops entries explicitly.
 
 Fault model
 -----------
@@ -27,12 +41,17 @@ damage:
 - only when a part is corrupt *and* no recovery data exists does the
   load fail, with a :class:`~repro.spark.storage.StorageError` naming
   the path (pre-sidecar layouts written by older versions).
+
+The cache never interferes with either mechanism: chaos runs (an
+active fault injector) bypass it entirely, and partitions that needed
+a live rebuild are not cached.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 from repro.index.rtree import DEFAULT_NODE_CAPACITY, STRTree
@@ -46,14 +65,58 @@ if TYPE_CHECKING:  # pragma: no cover
 _META_FILE = "_index_meta.pkl"
 _DATA_DIR = "_data"
 
+#: path -> (freshness signature, {split: deserialized trees}).
+_INDEX_CACHE: dict[str, tuple[tuple, dict[int, list]]] = {}
+_CACHE_LOCK = threading.Lock()
 
-def save_index(indexed_rdd: RDD, path: str, partitioner=None, order: int | None = None) -> None:
+
+def _index_signature(path: str, parts: list[str]) -> tuple:
+    """A freshness signature for the index at *path*.
+
+    Built from (name, mtime_ns, size) of every tree part and the
+    metadata file, so any rewrite -- even one preserving file names --
+    changes the signature and invalidates cached trees.
+    """
+    sig = []
+    for name in [_META_FILE, *parts]:
+        full = os.path.join(path, name)
+        try:
+            st = os.stat(full)
+            sig.append((name, st.st_mtime_ns, st.st_size))
+        except OSError:
+            sig.append((name, None, None))
+    return tuple(sig)
+
+
+def invalidate_index_cache(path: str | None = None) -> None:
+    """Drop cached deserialized trees for *path* (or every path).
+
+    Called automatically by :func:`save_index`; call it directly after
+    mutating an index directory through any other channel.
+    """
+    with _CACHE_LOCK:
+        if path is None:
+            _INDEX_CACHE.clear()
+        else:
+            _INDEX_CACHE.pop(os.path.abspath(path), None)
+
+
+def save_index(
+    indexed_rdd: RDD,
+    path: str,
+    partitioner=None,
+    order: int | None = None,
+    temporal_extents: list | None = None,
+    mode: str | None = None,
+) -> None:
     """Persist an RDD of per-partition index trees plus its partitioner.
 
     Alongside the pickled trees, every partition's raw entries are
     written to a ``_data`` sidecar so a damaged tree part can be rebuilt
-    live on load.  *order* (the tree's node capacity) is stored in the
-    metadata and reused for the rebuild.
+    live on load.  *order* (the tree's node capacity), the index *mode*
+    and the per-partition *temporal_extents* (``Interval | None`` per
+    partition) are stored in the metadata; the extents power whole-
+    partition temporal pruning after a reload.
     """
     indexed_rdd.save_as_object_file(path)
 
@@ -66,10 +129,16 @@ def save_index(indexed_rdd: RDD, path: str, partitioner=None, order: int | None 
     )
     with open(os.path.join(path, _META_FILE), "wb") as f:
         pickle.dump(
-            {"partitioner": partitioner, "order": order},
+            {
+                "partitioner": partitioner,
+                "order": order,
+                "mode": mode,
+                "temporal_extents": temporal_extents,
+            },
             f,
             protocol=pickle.HIGHEST_PROTOCOL,
         )
+    invalidate_index_cache(path)
 
 
 def _read_meta(path: str) -> dict:
@@ -91,6 +160,10 @@ class ResilientIndexRDD(RDD[STRTree]):
     ``_data`` sidecar it behaves like :class:`ObjectFileRDD` (corrupt
     parts raise :class:`StorageError`); with one, damaged partitions are
     rebuilt from their raw entries.
+
+    Splits deserialize through the process-level cache: a split already
+    loaded by an earlier RDD over the same (unchanged) path is served
+    from memory and counted in ``metrics.index_cache_hits``.
     """
 
     def __init__(self, context, path: str, order: int | None = None) -> None:
@@ -102,21 +175,53 @@ class ResilientIndexRDD(RDD[STRTree]):
         self._data_dir = data_dir if os.path.isdir(data_dir) else None
         #: Splits that were rebuilt live instead of unpickled.
         self.fallbacks: list[int] = []
+        self._cache_key = os.path.abspath(path)
+        self._signature = _index_signature(path, self._parts)
 
     @property
     def num_partitions(self) -> int:
         return len(self._parts)
 
+    def _cached_splits(self) -> dict[int, list] | None:
+        """This path's split cache, or None when caching must not apply.
+
+        Chaos runs bypass the cache so every load actually exercises the
+        injected fault sites; a signature mismatch drops the stale entry.
+        """
+        if self.context.fault_injector is not None:
+            return None
+        with _CACHE_LOCK:
+            entry = _INDEX_CACHE.get(self._cache_key)
+            if entry is not None and entry[0] == self._signature:
+                return entry[1]
+            splits: dict[int, list] = {}
+            _INDEX_CACHE[self._cache_key] = (self._signature, splits)
+            return splits
+
     def compute(self, split: int) -> Iterator[STRTree]:
+        cache = self._cached_splits()
+        if cache is not None:
+            with _CACHE_LOCK:
+                cached = cache.get(split)
+            if cached is not None:
+                self.context.metrics.index_cache_hits += 1
+                if self.context.tracer.enabled:
+                    self.context.tracer.add("index.cache_hits", 1)
+                return iter(cached)
         part = os.path.join(self._path, self._parts[split])
         try:
             injector = self.context.fault_injector
             if injector is not None:
                 injector.check("index.load", key=(part, split))
-            return iter(storage.read_object_part(part))
+            trees = storage.read_object_part(part)
         except Exception as exc:
-            trees = self._rebuild_live(split, part, exc)
-            return iter(trees)
+            # Rebuilt partitions stay uncached: the rebuild is the
+            # fault-handling path and must re-run on every load.
+            return iter(self._rebuild_live(split, part, exc))
+        if cache is not None:
+            with _CACHE_LOCK:
+                cache[split] = trees
+        return iter(trees)
 
     def _rebuild_live(self, split: int, part: str, cause: Exception) -> list[STRTree]:
         """Build the partition's trees from the recovery sidecar."""
@@ -159,13 +264,17 @@ class ResilientIndexRDD(RDD[STRTree]):
         return rows[0] if rows else []
 
 
-def load_index(context: "SparkContext", path: str) -> tuple[RDD, object]:
-    """Load a persisted index: (RDD of trees, partitioner-or-None).
+def load_index(
+    context: "SparkContext", path: str
+) -> tuple[RDD, object, list | None, str | None]:
+    """Load a persisted index: (trees, partitioner, temporal extents, mode).
 
     Damage is absorbed where possible: corrupt metadata degrades to an
-    unpartitioned load (recorded on the trace as ``index.meta_fallback``
-    and in ``metrics.index_fallbacks``), and corrupt tree parts rebuild
-    live per partition (see :class:`ResilientIndexRDD`).
+    unpartitioned load with pruning disabled (recorded on the trace as
+    ``index.meta_fallback`` and in ``metrics.index_fallbacks``), and
+    corrupt tree parts rebuild live per partition (see
+    :class:`ResilientIndexRDD`).  The temporal extents are ``None`` for
+    pre-extent layouts; they can always be recomputed from the trees.
     """
     try:
         meta = _read_meta(path)
@@ -180,4 +289,7 @@ def load_index(context: "SparkContext", path: str) -> tuple[RDD, object]:
             ):
                 pass
     rdd = ResilientIndexRDD(context, path, order=meta.get("order"))
-    return rdd, meta.get("partitioner")
+    extents = meta.get("temporal_extents")
+    if extents is not None and len(extents) != rdd.num_partitions:
+        extents = None  # stale metadata; pruning must stay conservative
+    return rdd, meta.get("partitioner"), extents, meta.get("mode")

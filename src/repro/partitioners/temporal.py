@@ -68,10 +68,61 @@ class TemporalRangePartitioner(Partitioner):
             member = Interval(time.start, time.end)
             self._extents[pid] = member if extent is None else extent.merge(member)
 
+    #: Sample size ``from_rdd`` aims for when choosing the slice cuts.
+    DEFAULT_SAMPLE_TARGET = 2000
+
     @staticmethod
-    def from_rdd(rdd, num_partitions: int = 4) -> "TemporalRangePartitioner":
-        """Build from an ``RDD[(STObject, V)]`` (collects the keys)."""
-        return TemporalRangePartitioner(rdd.keys().collect(), num_partitions)
+    def from_rdd(
+        rdd, num_partitions: int = 4, sample_target: int | None = None
+    ) -> "TemporalRangePartitioner":
+        """Build from an ``RDD[(STObject, V)]`` without collecting every key.
+
+        The slice cut points only need *approximate* quantiles, so they
+        come from a driver-side sample of roughly *sample_target* keys
+        (the whole dataset no longer funnels through the driver).  The
+        per-slice extents, however, must be **exact** for pruning to be
+        lossless -- one distributed refinement pass grows them with the
+        true min/max interval of every member.
+        """
+        target = sample_target or TemporalRangePartitioner.DEFAULT_SAMPLE_TARGET
+        sample = rdd.keys().collect_sample(target)
+        part = TemporalRangePartitioner(sample, num_partitions)
+        part.refine_extents(rdd)
+        return part
+
+    def refine_extents(self, rdd) -> None:
+        """Replace the sampled extents with exact ones from *rdd*.
+
+        Each partition reduces its members to a tiny ``pid -> (lo, hi)``
+        dict; the driver merges them.  Required after building from a
+        sample: an unsampled member's interval can stick out of the
+        sampled extent, and pruning on a too-small extent loses results.
+        """
+        cuts = list(self._bounds_cuts)
+
+        def local_extents(it):
+            ext: dict[int, tuple[float, float]] = {}
+            for kv in it:
+                time = _temporal_of(kv[0])
+                pid = bisect.bisect_right(cuts, time.start)
+                cur = ext.get(pid)
+                if cur is None:
+                    ext[pid] = (time.start, time.end)
+                else:
+                    ext[pid] = (min(cur[0], time.start), max(cur[1], time.end))
+            yield ext
+
+        merged: list[tuple[float, float] | None] = [None] * self._n
+        for local in rdd.map_partitions(local_extents).collect():
+            for pid, (lo, hi) in local.items():
+                cur = merged[pid]
+                merged[pid] = (
+                    (lo, hi) if cur is None else (min(cur[0], lo), max(cur[1], hi))
+                )
+        self._extents = [
+            Interval(pair[0], pair[1]) if pair is not None else None
+            for pair in merged
+        ]
 
     @property
     def num_partitions(self) -> int:
@@ -127,16 +178,65 @@ class SpatioTemporalPartitioner(Partitioner):
         rdd,
         spatial_factory,
         time_slices: int = 4,
+        sample_target: int | None = None,
     ) -> "SpatioTemporalPartitioner":
-        """Build both halves from one key collection.
+        """Build both halves from one key *sample*, then refine extents.
 
         ``spatial_factory`` maps the key sample to a SpatialPartitioner,
         e.g. ``lambda keys: BSPartitioner(keys, max_cost_per_partition=500)``.
+        Like :meth:`TemporalRangePartitioner.from_rdd`, only the cell /
+        slice boundaries come from the sample; one distributed pass then
+        grows both the spatial and temporal extents with every true
+        member so pruning stays lossless.
         """
-        keys = rdd.keys().collect()
-        return SpatioTemporalPartitioner(
+        target = sample_target or TemporalRangePartitioner.DEFAULT_SAMPLE_TARGET
+        keys = rdd.keys().collect_sample(target)
+        part = SpatioTemporalPartitioner(
             spatial_factory(keys), TemporalRangePartitioner(keys, time_slices)
         )
+        part.refine_extents(rdd)
+        return part
+
+    def refine_extents(self, rdd) -> None:
+        """Grow both halves' extents with every member of *rdd* (one pass).
+
+        Needed whenever the partitioner was built from a sample: an
+        unsampled member's envelope or interval can stick out of the
+        sampled extents, and pruning on a too-small extent loses
+        results.  Extents only ever grow, so refining is always safe.
+        """
+        spatial, temporal = self._spatial, self._temporal
+
+        def local(it):
+            s_ext: dict[int, Any] = {}
+            t_ext: dict[int, tuple[float, float]] = {}
+            for kv in it:
+                key = kv[0]
+                spid = spatial.get_partition(key)
+                env = key.geo.envelope
+                cur = s_ext.get(spid)
+                s_ext[spid] = env if cur is None else cur.merge(env)
+                time = _temporal_of(key)
+                tpid = temporal.get_partition(key)
+                pair = t_ext.get(tpid)
+                if pair is None:
+                    t_ext[tpid] = (time.start, time.end)
+                else:
+                    t_ext[tpid] = (
+                        min(pair[0], time.start),
+                        max(pair[1], time.end),
+                    )
+            yield (s_ext, t_ext)
+
+        for s_ext, t_ext in rdd.map_partitions(local).collect():
+            for pid, env in s_ext.items():
+                spatial._extents[pid] = spatial._extents[pid].merge(env)
+            for pid, (lo, hi) in t_ext.items():
+                extent = temporal._extents[pid]
+                member = Interval(lo, hi)
+                temporal._extents[pid] = (
+                    member if extent is None else extent.merge(member)
+                )
 
     @property
     def spatial(self) -> SpatialPartitioner:

@@ -1,0 +1,189 @@
+"""Dataset statistics for the cost-based planner.
+
+One distributed job reduces each partition to a tiny summary -- exact
+cardinality, spatial/temporal bounds, timed-member count and a
+fixed-size **reservoir sample** of its keys -- and the driver merges
+them into a :class:`DatasetStatistics`.  Selectivity questions
+("what fraction of rows intersects this window?") are then answered
+from the sample without touching the data again.
+
+Reservoir sampling keeps the per-partition memory bounded no matter how
+large a partition grows; the driver never sees more than
+``sample_target`` keys in total (modulo small per-partition minimums).
+Sampling is seeded per split, so statistics are deterministic for a
+given dataset and seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.geometry.envelope import Envelope
+from repro.temporal.interval import Interval, TemporalExpression
+
+#: Default total sample size the collector aims for.
+DEFAULT_SAMPLE_TARGET = 512
+
+#: Every partition keeps at least this many keys in its reservoir.
+MIN_PARTITION_RESERVOIR = 16
+
+
+@dataclass
+class _PartitionSummary:
+    """What one partition reduces to: counts, bounds and a reservoir."""
+
+    count: int
+    timed: int
+    envelope: Envelope
+    t_lo: float
+    t_hi: float
+    reservoir: list
+
+
+@dataclass
+class DatasetStatistics:
+    """Merged dataset statistics backing the planner's cost estimates.
+
+    ``sample`` holds STObject keys drawn (approximately) uniformly; the
+    ``*_selectivity`` estimators evaluate predicates against it.  The
+    extents and counts are exact.
+    """
+
+    count: int
+    num_partitions: int
+    partition_cardinalities: list[int]
+    spatial_extent: Envelope
+    temporal_extent: Interval | None
+    timed_count: int
+    sample: list = field(default_factory=list)
+
+    @property
+    def timed_fraction(self) -> float:
+        """The exact fraction of rows carrying a temporal component."""
+        return self.timed_count / self.count if self.count else 0.0
+
+    def spatial_selectivity(self, region: Envelope) -> float:
+        """Estimated fraction of rows whose envelope intersects *region*.
+
+        Falls back to 1.0 (no pruning assumed) when the sample is empty.
+        """
+        if not self.sample:
+            return 1.0
+        hits = sum(1 for key in self.sample if key.geo.envelope.intersects(region))
+        return hits / len(self.sample)
+
+    def temporal_selectivity(self, time: TemporalExpression | None) -> float:
+        """Estimated fraction of rows whose temporal clause can hold.
+
+        Under the combined semantics an untimed query matches only
+        untimed rows and a timed query only timed rows whose interval
+        intersects -- the estimator mirrors exactly that.
+        """
+        if not self.sample:
+            return 1.0
+        if time is None:
+            untimed = sum(1 for key in self.sample if key.time is None)
+            return untimed / len(self.sample)
+        hits = sum(
+            1
+            for key in self.sample
+            if key.time is not None
+            and key.time.start <= time.end
+            and time.start <= key.time.end
+        )
+        return hits / len(self.sample)
+
+    def spatial_skew(self) -> float:
+        """The sample share of the densest quadrant of the extent.
+
+        0.25 means perfectly uniform; 1.0 means everything clusters in
+        one quadrant.  Drives the grid-vs-BSP/quadtree recommendation.
+        """
+        if not self.sample or self.spatial_extent.is_empty:
+            return 0.25
+        ext = self.spatial_extent
+        mid_x = (ext.min_x + ext.max_x) / 2.0
+        mid_y = (ext.min_y + ext.max_y) / 2.0
+        quadrants = [0, 0, 0, 0]
+        for key in self.sample:
+            env = key.geo.envelope
+            cx = (env.min_x + env.max_x) / 2.0
+            cy = (env.min_y + env.max_y) / 2.0
+            quadrants[(cx > mid_x) * 2 + (cy > mid_y)] += 1
+        return max(quadrants) / len(self.sample)
+
+    def mean_partition_cardinality(self) -> float:
+        """Average rows per partition (0 for an empty dataset)."""
+        if not self.partition_cardinalities:
+            return 0.0
+        return self.count / len(self.partition_cardinalities)
+
+
+def _summarize_partition(
+    split: int, it: Iterator, reservoir_size: int, seed: int
+) -> Iterator[_PartitionSummary]:
+    """Reduce one partition to a :class:`_PartitionSummary`."""
+    rng = random.Random(seed * 1_000_003 + split)
+    reservoir: list = []
+    count = 0
+    timed = 0
+    env = Envelope.empty()
+    t_lo, t_hi = float("inf"), float("-inf")
+    for kv in it:
+        key = kv[0]
+        count += 1
+        env = env.merge(key.geo.envelope)
+        if key.time is not None:
+            timed += 1
+            t_lo = min(t_lo, key.time.start)
+            t_hi = max(t_hi, key.time.end)
+        if len(reservoir) < reservoir_size:
+            reservoir.append(key)
+        else:
+            j = rng.randrange(count)
+            if j < reservoir_size:
+                reservoir[j] = key
+    yield _PartitionSummary(count, timed, env, t_lo, t_hi, reservoir)
+
+
+def collect_statistics(
+    rdd,
+    sample_target: int = DEFAULT_SAMPLE_TARGET,
+    seed: int = 17,
+) -> DatasetStatistics:
+    """Collect :class:`DatasetStatistics` for an ``RDD[(STObject, V)]``.
+
+    Runs exactly one job; each task returns a constant-size summary, so
+    the driver-side cost is proportional to the partition count and the
+    sample size, never the data size.
+    """
+    per_partition = max(
+        MIN_PARTITION_RESERVOIR,
+        -(-sample_target // max(1, rdd.num_partitions)),
+    )
+
+    def summarize(split: int, it: Iterator) -> Iterator[_PartitionSummary]:
+        return _summarize_partition(split, it, per_partition, seed)
+
+    summaries = rdd.map_partitions_with_index(summarize).collect()
+    count = sum(s.count for s in summaries)
+    timed = sum(s.timed for s in summaries)
+    envelope = Envelope.empty()
+    t_lo, t_hi = float("inf"), float("-inf")
+    sample: list = []
+    for s in summaries:
+        envelope = envelope.merge(s.envelope)
+        t_lo = min(t_lo, s.t_lo)
+        t_hi = max(t_hi, s.t_hi)
+        sample.extend(s.reservoir)
+    return DatasetStatistics(
+        count=count,
+        num_partitions=len(summaries),
+        partition_cardinalities=[s.count for s in summaries],
+        spatial_extent=envelope,
+        temporal_extent=Interval(t_lo, t_hi) if t_lo <= t_hi else None,
+        timed_count=timed,
+        sample=sample,
+    )

@@ -117,8 +117,12 @@ WORKER_METRICS = frozenset(
         "cache_hits",
         "cache_evictions",
         "index_fallbacks",
+        "index_cache_hits",
+        "index_candidates",
+        "index_slices_pruned",
         "shuffle_records_written",
         "partitions_pruned",
+        "partitions_pruned_temporal",
     }
 )
 
@@ -145,7 +149,11 @@ class Metrics:
     cache_hits: int = 0
     cache_evictions: int = 0
     partitions_pruned: int = 0
+    partitions_pruned_temporal: int = 0
     index_fallbacks: int = 0
+    index_cache_hits: int = 0
+    index_candidates: int = 0
+    index_slices_pruned: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""

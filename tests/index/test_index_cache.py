@@ -1,0 +1,143 @@
+"""The process-level persistent-index cache."""
+
+import os
+import random
+import shutil
+
+import pytest
+
+from repro.core.spatial_rdd import IndexedSpatialRDD, spatial
+from repro.core.stobject import STObject
+from repro.geometry.point import Point
+from repro.index import persistence
+from repro.temporal import Interval
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    persistence.invalidate_index_cache()
+    yield
+    persistence.invalidate_index_cache()
+
+
+def make_rdd(sc, n=400, partitions=4, seed=5):
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        start = rng.uniform(0, 1000)
+        rows.append(
+            (
+                STObject(
+                    Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+                    Interval(start, start + 5),
+                ),
+                i,
+            )
+        )
+    return sc.parallelize(rows, partitions)
+
+
+QUERY = STObject("POLYGON((10 10, 80 10, 80 80, 10 80, 10 10))", Interval(0, 1000))
+
+
+class TestCacheHits:
+    def test_repeated_load_hits_cache(self, sc, tmp_path):
+        path = str(tmp_path / "idx")
+        spatial(make_rdd(sc)).index(order=8).save(path)
+
+        first = IndexedSpatialRDD.load(sc, path)
+        baseline = sorted(kv[1] for kv in first.intersects(QUERY).collect())
+        assert sc.metrics.index_cache_hits == 0
+
+        second = IndexedSpatialRDD.load(sc, path)
+        again = sorted(kv[1] for kv in second.intersects(QUERY).collect())
+        assert again == baseline
+        assert sc.metrics.index_cache_hits == second.tree_rdd.num_partitions
+
+    def test_results_identical_with_and_without_cache(self, sc, tmp_path):
+        path = str(tmp_path / "idx")
+        spatial(make_rdd(sc)).index(order=8).save(path)
+        warm = sorted(
+            kv[1] for kv in IndexedSpatialRDD.load(sc, path).intersects(QUERY).collect()
+        )
+        cached = sorted(
+            kv[1] for kv in IndexedSpatialRDD.load(sc, path).intersects(QUERY).collect()
+        )
+        persistence.invalidate_index_cache(path)
+        cold = sorted(
+            kv[1] for kv in IndexedSpatialRDD.load(sc, path).intersects(QUERY).collect()
+        )
+        assert warm == cached == cold
+
+
+class TestInvalidation:
+    def test_rewrite_invalidates(self, sc, tmp_path):
+        path = str(tmp_path / "idx")
+        spatial(make_rdd(sc, seed=5)).index(order=8).save(path)
+        IndexedSpatialRDD.load(sc, path).intersects(QUERY).collect()
+
+        # Rewriting the same path must not serve stale trees.
+        shutil.rmtree(path)
+        spatial(make_rdd(sc, seed=99)).index(order=8).save(path)
+        reloaded = IndexedSpatialRDD.load(sc, path)
+        fresh = sorted(kv[1] for kv in reloaded.intersects(QUERY).collect())
+        naive = sorted(
+            kv[1] for kv in spatial(make_rdd(sc, seed=99)).intersects(QUERY).collect()
+        )
+        assert fresh == naive
+
+    def test_touched_file_invalidates(self, sc, tmp_path):
+        path = str(tmp_path / "idx")
+        spatial(make_rdd(sc)).index(order=8).save(path)
+        IndexedSpatialRDD.load(sc, path).intersects(QUERY).collect()
+        IndexedSpatialRDD.load(sc, path).intersects(QUERY).collect()
+        hits_before = sc.metrics.index_cache_hits
+        assert hits_before > 0
+
+        # Bump mtime of one part: the signature changes, cache misses.
+        part = next(
+            str(tmp_path / "idx" / name)
+            for name in os.listdir(path)
+            if name.startswith("part-")
+        )
+        stat = os.stat(part)
+        os.utime(part, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        IndexedSpatialRDD.load(sc, path).intersects(QUERY).collect()
+        assert sc.metrics.index_cache_hits == hits_before
+
+    def test_explicit_invalidate_all(self, sc, tmp_path):
+        path = str(tmp_path / "idx")
+        spatial(make_rdd(sc)).index(order=8).save(path)
+        IndexedSpatialRDD.load(sc, path).intersects(QUERY).collect()
+        persistence.invalidate_index_cache()
+        IndexedSpatialRDD.load(sc, path).intersects(QUERY).collect()
+        assert sc.metrics.index_cache_hits == 0
+
+
+class TestChaosBypass:
+    def test_fault_injector_disables_cache(self, tmp_path):
+        from repro.chaos import FaultInjector
+        from repro.spark.context import SparkContext
+
+        plain = SparkContext(executor="sequential", retry_backoff=0.0)
+        path = str(tmp_path / "idx")
+        spatial(make_rdd(plain)).index(order=8).save(path)
+        IndexedSpatialRDD.load(plain, path).intersects(QUERY).collect()
+        plain.stop()
+
+        chaotic = SparkContext(
+            executor="sequential",
+            retry_backoff=0.0,
+            fault_injector=FaultInjector(seed=3).fail(
+                "index.load", times=1, per_key=False
+            ),
+        )
+        loaded = IndexedSpatialRDD.load(chaotic, path)
+        result = sorted(kv[1] for kv in loaded.intersects(QUERY).collect())
+        assert chaotic.metrics.index_cache_hits == 0
+        assert chaotic.metrics.index_fallbacks >= 1  # the fault actually fired
+        naive = sorted(
+            kv[1] for kv in spatial(make_rdd(chaotic)).intersects(QUERY).collect()
+        )
+        assert result == naive
+        chaotic.stop()

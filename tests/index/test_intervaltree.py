@@ -113,3 +113,66 @@ class TestIntervalTreeProperties:
         hi = lo + span
         expected = sorted(i for iv, i in rows if iv.start <= hi and lo <= iv.end)
         assert sorted(tree.query(Interval(lo, hi))) == expected
+
+
+class TestBoundaryProperties:
+    """Oracle checks aimed at the edges: exact endpoints, zero-length
+    intervals, instants, and stabbing an empty tree."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=30, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_stab_at_entry_boundaries(self, raw, data):
+        """Stabbing exactly at a stored start or end must include it
+        (closed bounds), and must agree with brute force everywhere."""
+        rows = []
+        for i, (s, d, as_instant) in enumerate(raw):
+            expr = Instant(s) if as_instant else Interval(s, s + d)
+            rows.append((expr, i))
+        tree = IntervalTree(rows)
+        boundaries = sorted({iv.start for iv, _ in rows} | {iv.end for iv, _ in rows})
+        t = data.draw(st.sampled_from(boundaries))
+        expected = sorted(i for iv, i in rows if iv.start <= t <= iv.end)
+        assert sorted(tree.stab(t)) == expected
+        assert t in [iv.start for iv, _ in rows] + [iv.end for iv, _ in rows]
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        st.floats(min_value=-5, max_value=105, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_point_intervals(self, starts, t):
+        """Zero-length intervals behave exactly like instants."""
+        as_interval = IntervalTree(
+            [(Interval(s, s), i) for i, s in enumerate(starts)]
+        )
+        as_instant = IntervalTree([(Instant(s), i) for i, s in enumerate(starts)])
+        expected = sorted(i for i, s in enumerate(starts) if s == t)
+        assert sorted(as_interval.stab(t)) == expected
+        assert sorted(as_instant.stab(t)) == expected
+        q = Interval(t, t + 10)
+        expected_range = sorted(i for i, s in enumerate(starts) if t <= s <= t + 10)
+        assert sorted(as_interval.query(q)) == expected_range
+        assert sorted(as_instant.query(q)) == expected_range
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    @settings(max_examples=30)
+    def test_empty_tree_never_matches(self, t):
+        tree = IntervalTree([])
+        assert tree.stab(t) == []
+        assert tree.query(Interval(t, t + 1)) == []
+        assert tree.query(Instant(t)) == []

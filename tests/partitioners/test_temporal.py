@@ -214,3 +214,74 @@ class TestSpatioTemporalPartitioner:
         )
         assert part.temporal.num_partitions == 3
         assert part.num_partitions % 3 == 0
+
+
+class TestSampledFromRdd:
+    """``from_rdd`` samples keys but must keep pruning lossless."""
+
+    def test_small_sample_extents_stay_exact(self, sc):
+        keys = timed_keys(n=2000, seed=67)
+        rdd = sc.parallelize([(k, i) for i, k in enumerate(keys)], 8)
+        # A tiny sample: the cut points are rough, but the refinement
+        # pass makes every partition's extent cover its actual members.
+        part = TemporalRangePartitioner.from_rdd(rdd, 4, sample_target=50)
+        partitioned = rdd.partition_by(part)
+        rows = partitioned.map_partitions_with_index(
+            lambda split, it: ((split, kv[0]) for kv in it)
+        ).collect()
+        for pid, key in rows:
+            extent = part.partition_extent(pid)
+            start, end = key.time.start, key.time.end
+            assert extent.start <= start and end <= extent.end
+
+    def test_sampled_partitioner_filter_equality(self, sc):
+        keys = timed_keys(n=2000, seed=68)
+        rdd = sc.parallelize([(k, i) for i, k in enumerate(keys)], 8)
+        part = TemporalRangePartitioner.from_rdd(rdd, 4, sample_target=50)
+        query = STObject(
+            "POLYGON ((0 0, 600 0, 600 600, 0 600, 0 0))", Interval(2_000, 2_500)
+        )
+        pruned = sorted(
+            v
+            for _k, v in filter_ops.filter_no_index(
+                rdd.partition_by(part), query, INTERSECTS
+            ).collect()
+        )
+        brute = sorted(
+            i for i, k in enumerate(keys) if INTERSECTS.evaluate(k, query)
+        )
+        assert pruned == brute
+
+    def test_builder_samples_instead_of_collecting(self, sc):
+        keys = timed_keys(n=5000, seed=69)
+        rdd = sc.parallelize([(k, i) for i, k in enumerate(keys)], 8)
+        sample = rdd.keys().collect_sample(64)
+        # The sampling primitive the builder uses is bounded -- the
+        # driver never materializes all 5000 keys to compute the cuts.
+        assert len(sample) <= 8 * 64
+        part = TemporalRangePartitioner.from_rdd(rdd, 4, sample_target=64)
+        assert part.num_partitions == 4
+
+    def test_spatio_temporal_sampled_refinement(self, sc):
+        keys = timed_keys(n=1500, seed=70)
+        rdd = sc.parallelize([(k, i) for i, k in enumerate(keys)], 6)
+        part = SpatioTemporalPartitioner.from_rdd(
+            rdd,
+            lambda ks: BSPartitioner(ks, max_cost_per_partition=200),
+            time_slices=3,
+            sample_target=60,
+        )
+        partitioned = rdd.partition_by(part)
+        query = STObject(
+            "POLYGON ((0 0, 500 0, 500 500, 0 500, 0 0))", Interval(4_000, 4_600)
+        )
+        pruned = sorted(
+            v
+            for _k, v in filter_ops.filter_no_index(
+                partitioned, query, CONTAINED_BY
+            ).collect()
+        )
+        brute = sorted(
+            i for i, k in enumerate(keys) if CONTAINED_BY.evaluate(k, query)
+        )
+        assert pruned == brute

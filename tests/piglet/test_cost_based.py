@@ -1,0 +1,67 @@
+"""Piglet with ``cost_based_planning=True``: same answers, visible plans."""
+
+import pytest
+
+from repro.io.datagen import event_rows, uniform_points
+from repro.io.readers import write_event_file
+from repro.piglet import PigletRuntime
+
+
+@pytest.fixture
+def events_file(tmp_path):
+    rows = event_rows(uniform_points(300, seed=91), time_range=(0, 10_000), seed=91)
+    path = tmp_path / "events.csv"
+    write_event_file(rows, str(path))
+    return str(path)
+
+
+SCRIPT = """
+ev  = LOAD '{path}' USING EventStorage();
+st  = FOREACH ev GENERATE STOBJECT(wkt, time) AS obj, id;
+prt = SPATIAL_PARTITION st BY obj USING GRID(3);
+hit = FILTER prt BY INTERSECTS(obj, STOBJECT('POLYGON ((0 0, 600 0, 600 600, 0 600, 0 0))', 500, 900));
+"""
+
+
+class TestCostBasedRuntime:
+    def test_results_equal_default_runtime(self, sc, events_file):
+        default = PigletRuntime(sc)
+        default.run(SCRIPT.format(path=events_file))
+        baseline = sorted(r[1] for r in default.relation("hit").rdd.collect())
+
+        planned = PigletRuntime(sc, cost_based_planning=True)
+        planned.run(SCRIPT.format(path=events_file))
+        got = sorted(r[1] for r in planned.relation("hit").rdd.collect())
+        assert got == baseline
+
+    def test_plan_is_recorded_per_alias(self, sc, events_file):
+        runtime = PigletRuntime(sc, cost_based_planning=True)
+        runtime.run(SCRIPT.format(path=events_file))
+        assert "hit" in runtime.filter_plans
+        plan = runtime.filter_plans["hit"]
+        assert plan.strategy in ("scan", "live:spatial", "live:temporal", "live:3d")
+
+    def test_explain_shows_cost_based_plan(self, sc, events_file, capsys):
+        runtime = PigletRuntime(sc, cost_based_planning=True)
+        runtime.run(SCRIPT.format(path=events_file) + "\nEXPLAIN hit;")
+        out = capsys.readouterr().out
+        assert "cost-based plan:" in out
+        assert "strategies considered" in out
+
+    def test_default_runtime_has_no_plans(self, sc, events_file):
+        runtime = PigletRuntime(sc)
+        runtime.run(SCRIPT.format(path=events_file))
+        assert runtime.filter_plans == {}
+
+    def test_liveindex_alias_still_planned(self, sc, events_file):
+        runtime = PigletRuntime(sc, cost_based_planning=True)
+        runtime.run(
+            SCRIPT.format(path=events_file)
+            + "\nidx = LIVEINDEX prt BY obj ORDER 8;"
+            + "\nhit2 = FILTER idx BY INTERSECTS(obj, "
+            "STOBJECT('POLYGON ((0 0, 600 0, 600 600, 0 600, 0 0))', 500, 900));"
+        )
+        got = sorted(r[1] for r in runtime.relation("hit2").rdd.collect())
+        baseline = sorted(r[1] for r in runtime.relation("hit").rdd.collect())
+        assert got == baseline
+        assert "hit2" in runtime.filter_plans

@@ -1,0 +1,1 @@
+"""Tests for the cost-based query planner."""

@@ -1,0 +1,210 @@
+"""Cost-model direction and planned execution equivalence."""
+
+import random
+
+import pytest
+
+from repro.core.predicates import INTERSECTS
+from repro.core.spatial_rdd import spatial
+from repro.core.stobject import STObject
+from repro.geometry.point import Point
+from repro.planner import CostModel, QueryPlanner
+from repro.temporal import Interval
+
+
+def make_rdd(sc, n=600, partitions=4, seed=31, untimed_every=None, span=10_000.0):
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        if untimed_every and i % untimed_every == 0:
+            rows.append((STObject(Point(x, y)), i))
+        else:
+            start = rng.uniform(0, span)
+            rows.append((STObject(Point(x, y), Interval(start, start + 20)), i))
+    return sc.parallelize(rows, partitions)
+
+
+SELECTIVE_QUERY = STObject(
+    "POLYGON((10 10, 90 10, 90 90, 10 90, 10 10))", Interval(1000, 1400)
+)
+UNTIMED_QUERY = STObject("POLYGON((10 10, 90 10, 90 90, 10 90, 10 10))")
+
+
+class TestCostModelDirection:
+    def test_selective_timed_prefers_temporal_index(self, sc):
+        planner = QueryPlanner(sc)
+        plan = planner.plan_filter(
+            make_rdd(sc), SELECTIVE_QUERY, INTERSECTS, require_index=True
+        )
+        assert plan.strategy == "live:temporal"
+        assert plan.mode == "temporal"
+
+    def test_all_untimed_data_prefers_spatial_index(self, sc):
+        planner = QueryPlanner(sc)
+        plan = planner.plan_filter(
+            make_rdd(sc, untimed_every=1), UNTIMED_QUERY, INTERSECTS, require_index=True
+        )
+        # No timed rows at all: the time-aware structures cannot prune
+        # anything and only add build surcharge, so plain STR wins.
+        assert plan.strategy == "live:spatial"
+
+    def test_mixed_data_untimed_query_exploits_segregation(self, sc):
+        planner = QueryPlanner(sc)
+        plan = planner.plan_filter(
+            make_rdd(sc, untimed_every=3), UNTIMED_QUERY, INTERSECTS, require_index=True
+        )
+        # Under the combined semantics an untimed query matches only
+        # untimed rows; the forest keeps those in a separate tree, so a
+        # time-aware mode legitimately beats the all-in-one STR tree.
+        assert plan.strategy in ("live:temporal", "live:3d")
+        assert plan.estimate.candidates < 600  # fewer than a full spatial probe
+
+    def test_tiny_dataset_pins_scan(self, sc):
+        planner = QueryPlanner(sc)
+        plan = planner.plan_filter(make_rdd(sc, n=20), SELECTIVE_QUERY, INTERSECTS)
+        assert plan.strategy == "scan"
+
+    def test_repetitions_amortize_build_cost(self, sc):
+        planner = QueryPlanner(sc)
+        rdd = make_rdd(sc)
+        stats = planner.statistics(rdd)
+        once = planner.plan_filter(rdd, SELECTIVE_QUERY, INTERSECTS, stats=stats)
+        many = planner.plan_filter(
+            rdd, SELECTIVE_QUERY, INTERSECTS, stats=stats, repetitions=1000
+        )
+        amortized = [e for e in [many.estimate] + many.alternatives if e.mode]
+        one_shot = [e for e in [once.estimate] + once.alternatives if e.mode]
+        assert all(e.build_cost > 0 for e in one_shot)
+        assert max(e.build_cost for e in amortized) < min(
+            e.build_cost for e in one_shot
+        )
+
+    def test_alternatives_are_ranked(self, sc):
+        planner = QueryPlanner(sc)
+        plan = planner.plan_filter(make_rdd(sc), SELECTIVE_QUERY, INTERSECTS)
+        costs = [plan.estimate.cost] + [e.cost for e in plan.alternatives]
+        # The winner is cheapest; pinning (tiny data / require_index)
+        # does not apply here so the full list is sorted.
+        assert costs == sorted(costs)
+        assert len(costs) == 5  # 2 scan orders + 3 live modes
+
+    def test_custom_constants_change_the_choice(self, sc):
+        # Make index probing absurdly expensive: scans must win even
+        # under require_index-free planning on large data.
+        model = CostModel().with_constants(index_probe_per_candidate=1e9)
+        planner = QueryPlanner(sc, model=model)
+        plan = planner.plan_filter(make_rdd(sc), SELECTIVE_QUERY, INTERSECTS)
+        assert plan.strategy == "scan"
+
+
+class TestExplain:
+    def test_explain_mentions_everything(self, sc):
+        planner = QueryPlanner(sc)
+        plan = planner.plan_filter(
+            make_rdd(sc), SELECTIVE_QUERY, INTERSECTS, require_index=True
+        )
+        text = plan.explain()
+        assert "FilterPlan" in text
+        assert "strategies considered" in text
+        assert "->" in text  # the chosen strategy marker
+        assert "live:temporal" in text
+        assert "partitioner hint" in text
+
+    def test_partitioner_hints(self, sc):
+        planner = QueryPlanner(sc)
+        # Mostly-timed data + selective window -> temporal slicing.
+        timed = planner.plan_filter(make_rdd(sc), SELECTIVE_QUERY, INTERSECTS)
+        assert timed.partitioner_hint.kind == "temporal"
+        # Untimed query over mixed data, uniform space -> grid.
+        untimed = planner.plan_filter(
+            make_rdd(sc, untimed_every=3), UNTIMED_QUERY, INTERSECTS
+        )
+        assert untimed.partitioner_hint.kind == "grid"
+        # Tiny data -> leave it alone.
+        tiny = planner.plan_filter(make_rdd(sc, n=10), UNTIMED_QUERY, INTERSECTS)
+        assert tiny.partitioner_hint.kind == "none"
+
+
+class TestExecution:
+    @pytest.mark.parametrize("query", [SELECTIVE_QUERY, UNTIMED_QUERY])
+    def test_execute_equals_naive(self, sc, query):
+        rdd = make_rdd(sc, untimed_every=7)
+        naive = sorted(kv[1] for kv in spatial(rdd).intersects(query).collect())
+        planner = QueryPlanner(sc)
+        planned = sorted(
+            kv[1] for kv in planner.execute(rdd, query, INTERSECTS).collect()
+        )
+        assert planned == naive
+
+    def test_execute_with_forced_index_plan(self, sc):
+        rdd = make_rdd(sc)
+        planner = QueryPlanner(sc, index_order=8)
+        plan = planner.plan_filter(rdd, SELECTIVE_QUERY, INTERSECTS, require_index=True)
+        naive = sorted(
+            kv[1] for kv in spatial(rdd).intersects(SELECTIVE_QUERY).collect()
+        )
+        planned = sorted(
+            kv[1]
+            for kv in planner.execute(rdd, SELECTIVE_QUERY, INTERSECTS, plan).collect()
+        )
+        assert planned == naive
+
+    def test_filter_planned_rdd_api(self, sc):
+        rdd = make_rdd(sc)
+        naive = sorted(
+            kv[1] for kv in spatial(rdd).intersects(SELECTIVE_QUERY).collect()
+        )
+        planned = sorted(
+            kv[1]
+            for kv in spatial(rdd).filter_planned(SELECTIVE_QUERY).collect()
+        )
+        assert planned == naive
+
+    def test_explain_api_returns_text(self, sc):
+        text = spatial(make_rdd(sc)).explain(SELECTIVE_QUERY)
+        assert "FilterPlan" in text
+
+
+class TestJoinAndKnnPlans:
+    def test_join_plan_small_vs_large(self, sc):
+        planner = QueryPlanner(sc)
+        small = planner.plan_join(make_rdd(sc, n=6), make_rdd(sc, n=6), INTERSECTS)
+        assert small.index_order is None
+        large = planner.plan_join(make_rdd(sc, n=300), make_rdd(sc, n=300), INTERSECTS)
+        assert large.index_order is not None
+        assert "JoinPlan" in large.explain()
+
+    def test_join_execution_matches_direct(self, sc):
+        from repro.core.join import spatial_join
+
+        left = make_rdd(sc, n=40, seed=1)
+        right = make_rdd(sc, n=40, seed=2)
+        planner = QueryPlanner(sc)
+        direct = sorted(
+            (a[1], b[1]) for a, b in spatial_join(left, right, INTERSECTS).collect()
+        )
+        planned = sorted(
+            (a[1], b[1])
+            for a, b in planner.execute_join(left, right, INTERSECTS).collect()
+        )
+        assert planned == direct
+
+    def test_knn_plan_routes(self, sc):
+        planner = QueryPlanner(sc)
+        probe = STObject(Point(50, 50))
+        small = planner.plan_knn(make_rdd(sc, n=30), probe, k=5)
+        assert not small.use_index
+        big = planner.plan_knn(make_rdd(sc, n=2000), probe, k=5)
+        assert big.use_index
+        assert "KnnPlan" in big.explain()
+
+    def test_knn_execution_matches_direct(self, sc):
+        from repro.core.knn import knn
+
+        rdd = make_rdd(sc, n=500)
+        probe = STObject(Point(50, 50))
+        planner = QueryPlanner(sc, index_order=8)
+        direct = [kv[1] for _d, kv in knn(rdd, probe, 7)]
+        planned = [kv[1] for _d, kv in planner.execute_knn(rdd, probe, 7)]
+        assert planned == direct
