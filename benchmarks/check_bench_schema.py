@@ -13,13 +13,14 @@ cannot diff::
 
 Each file is validated against the schema its own ``schema`` key
 names -- ``bench.streaming/v1`` (throughput + incremental),
-``bench.streaming_recovery/v1`` (crash recovery) or
+``bench.streaming_recovery/v1`` (crash recovery),
 ``bench.streaming_overload/v1`` (graceful degradation; the canonical
-artifact is ``BENCH_overload.json``).  Exit status 0 when every file
-conforms; 1 with a per-file reason otherwise.  The checker validates
-structure and invariants (the ``results_equal`` / overload gates must
-be true, walls and speedup positive) -- it deliberately does not
-compare timings across runs.
+artifact is ``BENCH_overload.json``) or ``bench.streaming_cep/v1``
+(pattern matching; canonical ``BENCH_cep.json``).  Exit status 0 when
+every file conforms; 1 with a per-file reason otherwise.  The checker
+validates structure and invariants (the ``results_equal`` / overload
+gates must be true, walls and speedup positive) -- it deliberately
+does not compare timings across runs.
 """
 
 from __future__ import annotations
@@ -103,6 +104,27 @@ RECOVERY_CONFIG_KEYS = {
 OVERLOAD_SCHEMA = "bench.streaming_overload/v1"
 
 PLANNER_SCHEMA = "bench.planner/v1"
+
+CEP_SCHEMA = "bench.streaming_cep/v1"
+
+#: Required keys of the CEP report's ``cep`` section.
+CEP_KEYS = {
+    "rules",
+    "events",
+    "lateness",
+    "late_dropped",
+    "matches_total",
+    "matches",
+    "matches_emitted",
+    "nfa_wall_s",
+    "rescan_wall_s",
+    "rescan_scans",
+    "speedup",
+    "results_equal",
+    "store",
+}
+CEP_STORE_KEYS = {"inserts", "removes", "cells_spilled"}
+CEP_CONFIG_KEYS = {"batches", "rate", "parallelism", "seed"}
 
 #: Required keys of the planner report's ``planner`` section.
 PLANNER_KEYS = {
@@ -411,20 +433,73 @@ def check_planner(section: dict, label: str = "planner") -> None:
     )
 
 
+def check_cep(section: dict, label: str = "cep") -> None:
+    """The CEP block: NFA-vs-re-scan equality plus match accounting."""
+    require(isinstance(section, dict), f"{label} must be an object")
+    missing = CEP_KEYS - section.keys()
+    require(not missing, f"{label} missing keys: {sorted(missing)}")
+    require(
+        section["results_equal"] is True,
+        f"{label}.results_equal must be true -- the incremental NFA "
+        "diverged from the brute-force re-scan",
+    )
+    rules = section["rules"]
+    require(
+        isinstance(rules, list) and rules and all(isinstance(r, str) for r in rules),
+        f"{label}.rules must be a non-empty list of rule names",
+    )
+    check_number(section["events"], f"{label}.events", positive=True)
+    check_number(section["nfa_wall_s"], f"{label}.nfa_wall_s", positive=True)
+    check_number(section["rescan_wall_s"], f"{label}.rescan_wall_s", positive=True)
+    check_number(section["speedup"], f"{label}.speedup", positive=True)
+    check_number(section["rescan_scans"], f"{label}.rescan_scans", positive=True)
+    check_number(section["matches_total"], f"{label}.matches_total", positive=True)
+    check_number(section["late_dropped"], f"{label}.late_dropped")
+    matches = section["matches"]
+    require(isinstance(matches, dict), f"{label}.matches must be an object")
+    require(
+        set(matches) == set(rules),
+        f"{label}.matches must carry one count per rule",
+    )
+    require(
+        sum(matches.values()) == section["matches_total"],
+        f"{label}.matches must sum to matches_total",
+    )
+    require(
+        section["matches_emitted"] == section["matches_total"],
+        f"{label}.matches_emitted must equal matches_total -- the "
+        "emission ledger lost or duplicated matches",
+    )
+    store = section["store"]
+    require(isinstance(store, dict), f"{label}.store must be an object")
+    missing = CEP_STORE_KEYS - store.keys()
+    require(not missing, f"{label}.store missing keys: {sorted(missing)}")
+    for key in CEP_STORE_KEYS:
+        check_number(store[key], f"{label}.store.{key}")
+
+
 def check_report(report: dict) -> None:
     """Validate one parsed report, dispatching on its ``schema`` key."""
     require(isinstance(report, dict), "report must be a JSON object")
     schema = report.get("schema")
     require(
-        schema in (SCHEMA, RECOVERY_SCHEMA, OVERLOAD_SCHEMA, PLANNER_SCHEMA),
+        schema in (SCHEMA, RECOVERY_SCHEMA, OVERLOAD_SCHEMA, PLANNER_SCHEMA, CEP_SCHEMA),
         f"schema must be {SCHEMA!r}, {RECOVERY_SCHEMA!r}, "
-        f"{OVERLOAD_SCHEMA!r} or {PLANNER_SCHEMA!r}, got {schema!r}",
+        f"{OVERLOAD_SCHEMA!r}, {PLANNER_SCHEMA!r} or {CEP_SCHEMA!r}, "
+        f"got {schema!r}",
     )
     check_number(report.get("created_unix"), "created_unix", positive=True)
     host = report.get("host")
     require(isinstance(host, dict) and "cpus" in host, "host.cpus missing")
     config = report.get("config")
     require(isinstance(config, dict), "config must be an object")
+
+    if schema == CEP_SCHEMA:
+        missing = CEP_CONFIG_KEYS - config.keys()
+        require(not missing, f"config missing keys: {sorted(missing)}")
+        require("cep" in report, "cep section missing")
+        check_cep(report["cep"])
+        return
 
     if schema == PLANNER_SCHEMA:
         missing = PLANNER_CONFIG_KEYS - config.keys()

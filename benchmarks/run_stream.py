@@ -36,6 +36,19 @@ exactly -- divergence is a hard failure (non-zero exit) -- and the
 report carries the durability overhead (WAL append cost per batch,
 checkpoint write cost) plus the time-to-recover wall.
 
+``--mode cep`` measures the pattern layer: the same seeded stream is
+matched once through the incremental NFA path (``patterns()`` with all
+four rule types live) and once by the brute-force comparator that
+re-scans the full accepted event prefix after every batch with the
+oracle (:func:`repro.streaming.cep.brute_force_matches`).  The two
+match multisets must be identical per rule (the correctness gate) and
+the report carries ``speedup = rescan_wall / nfa_wall`` -- the paper's
+motivation for incremental matching -- under the
+``bench.streaming_cep/v1`` schema (canonical artifact
+``BENCH_cep.json``).  The re-scan comparator is quadratic by design,
+so cep mode defaults to a smaller stream unless ``--batches`` /
+``--rate`` are given explicitly.
+
 ``--mode overload`` measures graceful degradation under sustained
 ``--overload-factor``x ingest pressure: a seeded generator (with a
 deterministic sprinkling of poison records) is polled several times per
@@ -389,6 +402,164 @@ def bench_recovery(args) -> dict:
     }
 
 
+#: The CEP geofence for the entered/exited sequence rule: a central
+#: district of the generator's default 1000x1000 extent.
+CEP_FENCE = "POLYGON ((350 350, 650 350, 650 650, 350 650, 350 350))"
+
+#: Event-time lateness bound for cep mode: the generator emits batches
+#: in time order, so one step of slack never drops a record.
+CEP_LATENESS = 1.0
+
+
+def cep_rules(args):
+    """All four rule types over the generator's (id, category) values.
+
+    Selective category guards keep the brute-force comparator's DFS
+    bounded; the thresholds scale with ``--rate`` so the windowed rules
+    stay discriminative instead of firing on every window.
+    """
+    from repro.streaming import absence, aggregate, count, sequence, step
+
+    return [
+        sequence(
+            "escalation",
+            steps=[step(category="accident"), step(category="protest")],
+            within=1.0,
+        ),
+        sequence(
+            "fence-visit",
+            steps=[step(entered=CEP_FENCE), step(exited=CEP_FENCE)],
+            within=4.0,
+            group_by=lambda st, value: value[1],
+        ),
+        absence(
+            "sports-gap",
+            expect=step(category="sports"),
+            within=0.15,
+        ),
+        count(
+            "burst",
+            step(),
+            within=2.0,
+            threshold=max(1, args.rate // 4),
+            group_by=lambda st, value: value[1],
+        ),
+        aggregate(
+            "eastward",
+            step(),
+            field=lambda st, value: st.geo.centroid().x,
+            within=2.0,
+            threshold=500.0,
+            agg="avg",
+        ),
+    ]
+
+
+def bench_cep(args) -> dict:
+    """Incremental NFA matching vs brute-force re-scan; gate on equality.
+
+    Two measured passes over the identical seeded stream on the
+    sequential executor: the *NFA* pass drives the real streaming
+    pipeline through ``patterns()``; the *re-scan* pass replays the
+    same batches and, after each one, re-runs the oracle over the
+    entire accepted prefix at the engine's watermark -- what a system
+    without partial-match state would have to do.  The final multisets
+    of canonical matches must agree per rule, else hard failure.
+    """
+    from collections import Counter
+
+    from repro.streaming.cep import brute_force_matches, canonical
+
+    rules = cep_rules(args)
+    limit = args.rate * args.batches
+    times = [float(b) for b in range(args.batches)]
+
+    def make_stream(ssc):
+        return ssc.generator_stream(
+            rate=args.rate, time_step=1.0, seed=args.seed, limit=limit
+        )
+
+    # -- NFA pass: the real pipeline, matches emitted incrementally.
+    with SparkContext(
+        "stream-bench-cep", parallelism=args.parallelism, executor="sequential"
+    ) as sc:
+        ssc = StreamingContext(sc, batch_interval=args.interval)
+        stream = make_stream(ssc).patterns(*rules, lateness=CEP_LATENESS)
+        sink = stream.matches()
+        start = time.perf_counter()
+        ssc.run_batches(args.batches, batch_times=times)
+        nfa_wall = time.perf_counter() - start
+        ssc.stop(flush=False)
+        consumer = stream.consumer
+        store = consumer.store
+        nfa_metrics = ssc.metrics
+
+    nfa_matches: dict[str, Counter] = {rule.name: Counter() for rule in rules}
+    for rule_name, match in sink.results():
+        nfa_matches[rule_name][canonical(match)] += 1
+
+    # -- Re-scan pass: same batches (collected untimed), then the
+    # quadratic comparator, timed over pure matching work only.
+    batches: list[list] = []
+    with SparkContext(
+        "stream-bench-cep-collect",
+        parallelism=args.parallelism,
+        executor="sequential",
+    ) as sc:
+        ssc = StreamingContext(sc, batch_interval=args.interval)
+        make_stream(ssc).for_each_rdd(
+            lambda _b, rdd: batches.append(rdd.collect())
+        )
+        ssc.run_batches(args.batches, batch_times=times)
+        ssc.stop(flush=False)
+
+    prefix: list = []
+    rescan_matches: dict[str, Counter] = {}
+    scans = 0
+    start = time.perf_counter()
+    for batch in batches:
+        prefix.extend(batch)
+        if not prefix:
+            continue
+        watermark = max(st.time.start for st, _v in prefix) - CEP_LATENESS
+        for rule in rules:
+            found = brute_force_matches(prefix, rule, watermark=watermark)
+            rescan_matches[rule.name] = Counter(canonical(m) for m in found)
+            scans += 1
+    rescan_wall = time.perf_counter() - start
+
+    if nfa_matches != rescan_matches:
+        diverged = sorted(
+            name
+            for name in nfa_matches
+            if nfa_matches[name] != rescan_matches.get(name, Counter())
+        )
+        raise SystemExit(
+            f"NFA matches diverge from the brute-force re-scan: {diverged}"
+        )
+
+    total = sum(sum(c.values()) for c in nfa_matches.values())
+    return {
+        "rules": [rule.name for rule in rules],
+        "events": limit,
+        "lateness": CEP_LATENESS,
+        "late_dropped": consumer.late_dropped,
+        "matches_total": total,
+        "matches": {name: sum(c.values()) for name, c in nfa_matches.items()},
+        "matches_emitted": nfa_metrics.matches_emitted,
+        "nfa_wall_s": nfa_wall,
+        "rescan_wall_s": rescan_wall,
+        "rescan_scans": scans,
+        "speedup": rescan_wall / nfa_wall if nfa_wall > 0 else None,
+        "results_equal": True,
+        "store": {
+            "inserts": store.inserts if store else 0,
+            "removes": store.removes if store else 0,
+            "cells_spilled": store.cells_spilled if store else 0,
+        },
+    }
+
+
 #: The generator category that marks a record as poison in overload mode.
 POISON_CATEGORY = "__poison__"
 
@@ -642,7 +813,7 @@ def main() -> None:
         "--mode",
         default="throughput,incremental",
         help="comma-separated subset of {throughput, incremental}, or one "
-        "of 'recovery' / 'overload'",
+        "of 'recovery' / 'overload' / 'cep'",
     )
     parser.add_argument(
         "--overload-factor",
@@ -699,9 +870,49 @@ def main() -> None:
     args = parser.parse_args()
 
     modes = {name.strip() for name in args.mode.split(",") if name.strip()}
-    unknown = modes - {"throughput", "incremental", "recovery", "overload"}
+    unknown = modes - {"throughput", "incremental", "recovery", "overload", "cep"}
     if unknown:
         raise SystemExit(f"unknown --mode entries: {sorted(unknown)}")
+    if "cep" in modes:
+        if modes != {"cep"}:
+            raise SystemExit(
+                "--mode cep writes its own report schema and cannot be "
+                "combined with other modes"
+            )
+        if args.out == parser.get_default("out"):
+            args.out = "BENCH_cep.json"
+        # The re-scan comparator is quadratic; shrink the default stream
+        # so the baseline finishes promptly (explicit flags still win).
+        if args.batches == parser.get_default("batches"):
+            args.batches = 12
+        if args.rate == parser.get_default("rate"):
+            args.rate = 60
+        print("== CEP: incremental NFA vs brute-force re-scan ==", flush=True)
+        cep = bench_cep(args)
+        print(
+            f"  events={cep['events']}  matches={cep['matches_total']} "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(cep['matches'].items()))})  "
+            f"nfa={1000 * cep['nfa_wall_s']:.1f} ms  "
+            f"rescan={1000 * cep['rescan_wall_s']:.1f} ms  "
+            f"speedup=x{cep['speedup']:.2f}"
+        )
+        report = {
+            "schema": "bench.streaming_cep/v1",
+            "created_unix": time.time(),
+            "host": {"cpus": os.cpu_count()},
+            "config": {
+                "batches": args.batches,
+                "rate": args.rate,
+                "parallelism": args.parallelism,
+                "seed": args.seed,
+            },
+            "cep": cep,
+        }
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nreport written to {args.out}")
+        return
     if "overload" in modes:
         if modes != {"overload"}:
             raise SystemExit(

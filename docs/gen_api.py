@@ -66,14 +66,19 @@ def public_members(module) -> tuple[list, list]:
             classes.append((name, obj))
         elif inspect.isfunction(obj):
             functions.append((name, obj))
-    def source_line(kv):
+    def source_order(kv):
+        # Name tiebreak: when getsourcelines fails (C-accelerated or
+        # generated members) every such entry lands on line 0, and
+        # without the tiebreak their order would follow dict insertion
+        # -- making the generated reference depend on import order.
         try:
-            return inspect.getsourcelines(kv[1])[1]
+            line = inspect.getsourcelines(kv[1])[1]
         except (OSError, TypeError):
-            return 0
+            line = 0
+        return (line, kv[0])
 
-    classes.sort(key=source_line)
-    functions.sort(key=source_line)
+    classes.sort(key=source_order)
+    functions.sort(key=source_order)
     return classes, functions
 
 

@@ -30,6 +30,14 @@ breakers route undeliverable windows to a durable dead-letter queue
 sink heals, and the whole ladder (``healthy -> shedding -> spilling ->
 circuit-open``) surfaces through :class:`StreamMetrics`.
 
+Patterns *across* events -- geofence entry/exit sequences, absent
+heartbeats per region, windowed counts and aggregates with spatial
+guards -- are the CEP layer (:mod:`repro.streaming.cep`): declarative
+rules built with :func:`sequence` / :func:`absence` / :func:`count` /
+:func:`aggregate` register through :meth:`SpatialDStream.patterns` and
+match incrementally with their state in the same keyed store,
+checkpointed and recovered like every other consumer.
+
 Typical use::
 
     from repro.spark.context import SparkContext
@@ -44,6 +52,19 @@ Typical use::
     ssc.stop()
 """
 
+from repro.streaming.cep import (
+    CepConsumer,
+    EventPattern,
+    Match,
+    PatternStream,
+    RuleError,
+    absence,
+    aggregate,
+    brute_force_matches,
+    count,
+    sequence,
+    step,
+)
 from repro.streaming.checkpoint import (
     CheckpointManager,
     WalCorruptionError,
@@ -162,4 +183,15 @@ __all__ = [
     "dlq_replay",
     "SpilledCell",
     "estimate_record_bytes",
+    "CepConsumer",
+    "EventPattern",
+    "Match",
+    "PatternStream",
+    "RuleError",
+    "absence",
+    "aggregate",
+    "brute_force_matches",
+    "count",
+    "sequence",
+    "step",
 ]

@@ -139,6 +139,10 @@ class StreamMetrics:
     records_ingested: int = 0
     #: Event-time windows closed and fired.
     windows_emitted: int = 0
+    #: CEP rule matches emitted (a subset of the ``windows_emitted``
+    #: accounting: each match emits under its own synthetic ledger
+    #: window, so suppression after recovery counts uniformly).
+    matches_emitted: int = 0
     #: Batches that found the pending queue full (backpressure stalls).
     backpressure_waits: int = 0
     #: Records whose *every* window had already fired on arrival

@@ -361,6 +361,54 @@ class SpatialDStream(DStream):
         self._ssc._register_window(consumer)
         return ContinuousWindowedStream(self._ssc, consumer)
 
+    def patterns(
+        self,
+        *rules,
+        lateness: float = 0.0,
+        universe: "Envelope | None" = None,
+        grid: int = 8,
+        node_capacity: int = 10,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | None = None,
+        max_partials: int = 256,
+    ):
+        """Complex event processing: declarative rules over this stream.
+
+        Registers the given :mod:`repro.streaming.cep` rules (built
+        with :func:`~repro.streaming.cep.rules.sequence` /
+        :func:`~repro.streaming.cep.rules.absence` /
+        :func:`~repro.streaming.cep.rules.count` /
+        :func:`~repro.streaming.cep.rules.aggregate`) against this
+        stream and returns a :class:`~repro.streaming.cep.consumer.
+        PatternStream` exposing the matches -- in-memory via
+        ``.matches()``, callbacks via ``.for_each_match()``, durable
+        per-match sinks via ``.deliver_to()``.
+
+        Event payloads are held in the same grid-keyed state store as
+        :meth:`continuous` (``universe``/``grid``/``node_capacity``
+        fix the grid; ``memory_budget_bytes``/``spill_dir`` enable
+        cold-cell spill), matcher state checkpoints with the stream,
+        and ``lateness`` is the event-time slack before the watermark
+        -- events later than that are dropped and counted.
+        ``max_partials`` bounds live partial sequence matches per
+        group.
+        """
+        from repro.streaming.cep.consumer import CepConsumer, PatternStream
+
+        consumer = CepConsumer(
+            self,
+            rules,
+            lateness=lateness,
+            universe=universe,
+            grid=grid,
+            node_capacity=node_capacity,
+            memory_budget_bytes=memory_budget_bytes,
+            spill_dir=spill_dir,
+            max_partials=max_partials,
+        )
+        self._ssc._register_window(consumer)
+        return PatternStream(consumer)
+
     # camelCase aliases matching the paper's Scala API
     containedBy = contained_by
     withinDistance = within_distance

@@ -435,6 +435,24 @@ class KeyedStateStore:
             self._touch.pop(pid, None)
         self.removes += 1
 
+    def get(self, rid: int) -> tuple[STObject, Any, float, float] | None:
+        """Look up one live record: ``(st, value, t_start, t_end)``.
+
+        Returns None for unknown (or already evicted) ids.  A record
+        living in a spilled cell loads its cell back transparently --
+        the lookup genuinely needs the payload, the same touch-load
+        rule the continuous queries follow -- so callers on a hot path
+        (the CEP guard evaluators) pull exactly the cold cells their
+        guards actually read.
+        """
+        pid = self._locations.get(rid)
+        if pid is None:
+            return None
+        cell = self._cells[pid]
+        if isinstance(cell, SpilledCell):
+            cell = self._load_cell(pid)
+        return cell.registry.get(rid)
+
     # -- spill machinery ---------------------------------------------------
 
     def _spill_path(self, pid: int) -> str:
